@@ -1,0 +1,99 @@
+//! **Ablation: the MBM's bitmap cache** (paper §6.3).
+//!
+//! "Since accessing the main memory and fetching the bitmap data for
+//! every write event in the same region is inefficient, we implemented a
+//! bitmap cache in MBM." This harness quantifies that design choice: the
+//! same monitored file-churn workload runs with the cache disabled and at
+//! several capacities, and we report the MBM's own DRAM traffic (bitmap
+//! fetches) and hit rate.
+//!
+//! Run with `cargo bench -p hypernel-bench --bench ablation_bitmap_cache`.
+
+use hypernel::machine::PhysAddr;
+use hypernel::mbm::MbmConfig;
+use hypernel::{Mode, SystemBuilder};
+use hypernel_bench::rule;
+use hypernel_kernel::kernel::{MonitorHooks, MonitorMode};
+use hypernel_kernel::layout;
+
+fn run(cache_words: Option<usize>) -> (u64, u64, Option<f64>) {
+    let mut config = MbmConfig::standard(
+        PhysAddr::new(layout::MBM_WINDOW_BASE),
+        layout::MBM_WINDOW_LEN,
+        PhysAddr::new(layout::MBM_BITMAP_BASE),
+        PhysAddr::new(layout::MBM_RING_BASE),
+        layout::MBM_RING_ENTRIES,
+    );
+    config.bitmap_cache_words = cache_words;
+    let mut sys = SystemBuilder::new(Mode::Hypernel)
+        .mbm_config(config)
+        .build()
+        .expect("boot");
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        kernel
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::WholeObject,
+                },
+            )
+            .expect("arm");
+    }
+    sys.reset_mbm_stats();
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        for i in 0..400 {
+            let path = format!("/tmp/bc{i}");
+            kernel.sys_create(machine, hyp, &path).expect("create");
+            kernel.sys_write_file(machine, hyp, &path, 1024).expect("write");
+            kernel.sys_stat(machine, hyp, &path).expect("stat");
+            if i % 64 == 63 {
+                kernel.poll_irqs(machine, hyp).expect("irqs");
+            }
+        }
+    }
+    let stats = sys.mbm_stats().expect("mbm");
+    let mbm = sys
+        .machine()
+        .bus()
+        .snooper::<hypernel::mbm::Mbm>()
+        .expect("mbm");
+    (
+        stats.bitmap_lookups,
+        stats.device_reads,
+        mbm.bitmap_cache_stats().hit_rate(),
+    )
+}
+
+fn main() {
+    println!("Ablation: MBM bitmap cache (paper Fig. 5 / §6.3)");
+    println!("workload: 400 file create/write/stat cycles under whole-object monitoring");
+    rule(72);
+    println!(
+        "{:<14} | {:>10} | {:>12} | {:>9} | {:>10}",
+        "cache", "lookups", "DRAM fetches", "hit rate", "reduction"
+    );
+    rule(72);
+    let (lookups, base_reads, _) = run(None);
+    println!(
+        "{:<14} | {:>10} | {:>12} | {:>9} | {:>10}",
+        "disabled", lookups, base_reads, "-", "1.0x"
+    );
+    for words in [4, 16, 64, 256] {
+        let (lookups, reads, hit) = run(Some(words));
+        println!(
+            "{:<14} | {:>10} | {:>12} | {:>8.1}% | {:>9.1}x",
+            format!("{words} words"),
+            lookups,
+            reads,
+            hit.unwrap_or(0.0) * 100.0,
+            base_reads as f64 / reads.max(1) as f64,
+        );
+    }
+    rule(72);
+    println!("Each cached bitmap word covers 64 monitored words (512 B), so even a");
+    println!("tiny cache removes nearly all of the monitor's own memory traffic —");
+    println!("the property that lets the MBM keep up with the bus at ~55k gates.");
+}

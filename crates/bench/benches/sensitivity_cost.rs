@@ -1,0 +1,83 @@
+//! **Sensitivity analysis**: do the paper's overhead results depend on
+//! the exact cycle-cost calibration?
+//!
+//! The same Table 1 operations run under two independent calibration
+//! points — the big core (Cortex-A57-class, the paper's measurement
+//! core) and the platform's little core (Cortex-A53-class). If the
+//! overhead *shape* (who wins, roughly by how much) survives the swap,
+//! the reproduction's conclusions are driven by mechanism counts
+//! (hypercalls, traps, faults, walks), not by one lucky constant set.
+//!
+//! Run with `cargo bench -p hypernel-bench --bench sensitivity_cost`.
+
+use hypernel::machine::cost::CostModel;
+use hypernel::machine::machine::MachineConfig;
+use hypernel::workloads::{lmbench, LmbenchOp};
+use hypernel::{Mode, SystemBuilder};
+use hypernel_bench::{pct, rule};
+
+fn overheads(cost: CostModel, op: LmbenchOp) -> (f64, f64) {
+    let run = |mode| {
+        let mut sys = SystemBuilder::new(mode)
+            .machine_config(MachineConfig {
+                cost,
+                ..MachineConfig::default()
+            })
+            .build()
+            .expect("boot");
+        let (kernel, machine, hyp) = sys.parts();
+        lmbench::run_op(kernel, machine, hyp, op, 50)
+            .expect("op")
+            .cycles_per_iter()
+    };
+    let native = run(Mode::Native);
+    (
+        run(Mode::KvmGuest) / native - 1.0,
+        run(Mode::Hypernel) / native - 1.0,
+    )
+}
+
+fn main() {
+    println!("Sensitivity: Table 1 overheads under two cost calibrations");
+    rule(84);
+    println!(
+        "{:<15} | {:>10} {:>10} | {:>10} {:>10}",
+        "", "A57 (big)", "", "A53 (little)", ""
+    );
+    println!(
+        "{:<15} | {:>10} {:>10} | {:>10} {:>10}",
+        "test", "kvm ovh", "hyp ovh", "kvm ovh", "hyp ovh"
+    );
+    rule(84);
+    let ops = [
+        LmbenchOp::SyscallStat,
+        LmbenchOp::PipeLatency,
+        LmbenchOp::ForkExit,
+        LmbenchOp::PageFault,
+        LmbenchOp::Mmap,
+    ];
+    let mut agree = true;
+    for op in ops {
+        let (kvm_big, hyp_big) = overheads(CostModel::calibrated(), op);
+        let (kvm_little, hyp_little) = overheads(CostModel::cortex_a53(), op);
+        // Shape check: ordering of configurations is calibration-invariant.
+        if (kvm_big > hyp_big) != (kvm_little > hyp_little) && (kvm_big - hyp_big).abs() > 0.03 {
+            agree = false;
+        }
+        println!(
+            "{:<15} | {:>10} {:>10} | {:>10} {:>10}",
+            op.label(),
+            pct(kvm_big),
+            pct(hyp_big),
+            pct(kvm_little),
+            pct(hyp_little),
+        );
+    }
+    rule(84);
+    println!(
+        "configuration ordering preserved across calibrations: {}",
+        if agree { "yes" } else { "NO — investigate" }
+    );
+    println!("(mechanism counts — hypercalls, traps, faults, nested walks — drive the");
+    println!("shape; the calibration only scales it.)");
+}

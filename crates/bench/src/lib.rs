@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the Hypernel benchmark harnesses.
+//!
+//! Each `benches/*.rs` target regenerates one table or figure of the
+//! paper; this crate provides the system drivers and table formatting
+//! they share.
+
+use hypernel::{Mode, System};
+use hypernel_kernel::kernel::KernelError;
+use hypernel_workloads::{apps, lmbench, AppBenchmark, LmbenchOp, Measurement};
+
+/// Iterations per LMbench operation (LMbench itself repeats and averages;
+/// the simulation is deterministic, so fewer repetitions suffice — the
+/// repetitions still matter because cache, TLB and allocator state evolve
+/// across them).
+pub const LMBENCH_ITERS: u64 = 100;
+
+/// Runs one LMbench op on a freshly booted system of the given mode.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn lmbench_on(mode: Mode, op: LmbenchOp) -> Result<Measurement, KernelError> {
+    let mut sys = System::boot(mode)?;
+    let (kernel, machine, hyp) = sys.parts();
+    lmbench::run_op(kernel, machine, hyp, op, LMBENCH_ITERS)
+}
+
+/// Runs one application benchmark on a freshly booted system.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn app_on(mode: Mode, bench: AppBenchmark) -> Result<Measurement, KernelError> {
+    let mut sys = System::boot(mode)?;
+    let (kernel, machine, hyp) = sys.parts();
+    apps::prepare(kernel, machine, hyp, bench)?;
+    apps::run(kernel, machine, hyp, bench, 1, 42)
+}
+
+/// Formats a signed percentage (`0.155` → `+15.5%`).
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Prints a horizontal rule of `width` dashes.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.155), "+15.5%");
+        assert_eq!(pct(-0.031), "-3.1%");
+    }
+}

@@ -1,0 +1,289 @@
+//! `hypernel-sim` — command-line driver for the Hypernel full-system
+//! simulation.
+//!
+//! ```text
+//! hypernel-sim run --mode hypernel --op fork+exit --iters 100
+//! hypernel-sim run --mode kvm --app untar
+//! hypernel-sim compare --op 'pipe lat'
+//! hypernel-sim monitor --app iozone --granularity word
+//! hypernel-sim replay --script workload.hsim --mode hypernel
+//! hypernel-sim audit
+//! hypernel-sim --help
+//! ```
+
+use std::process::ExitCode;
+
+use hypernel::kernel::kernel::{MonitorHooks, MonitorMode};
+use hypernel::workloads::{apps, lmbench, AppBenchmark, LmbenchOp};
+use hypernel::{Mode, RunReport, System};
+
+const HELP: &str = "\
+hypernel-sim — drive the Hypernel (DAC 2018) full-system simulation
+
+USAGE:
+    hypernel-sim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run        run one workload on one configuration, print a report
+    compare    run one workload on all three configurations
+    monitor    run an app benchmark with kernel-object monitoring armed
+    replay     replay a workload script (see hypernel_workloads::replay)
+    audit      boot Hypernel, run a stress mix, audit every invariant
+    help       print this message
+
+OPTIONS:
+    --mode <native|kvm|hypernel>   configuration (default: hypernel)
+    --op <name>                    LMbench op: 'syscall stat', 'pipe lat',
+                                   'fork+exit', 'fork+execv', 'page fault',
+                                   'mmap', 'signal install', 'signal ovh',
+                                   'socket lat'
+    --app <name>                   app benchmark: whetstone, dhrystone,
+                                   untar, iozone, apache
+    --iters <N>                    LMbench iterations (default: 100)
+    --granularity <word|object>    monitoring policy (default: word)
+    --script <path>                replay script file
+    --markdown                     print the machine report as markdown
+";
+
+fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s {
+        "native" => Ok(Mode::Native),
+        "kvm" | "kvm-guest" => Ok(Mode::KvmGuest),
+        "hypernel" => Ok(Mode::Hypernel),
+        other => Err(format!("unknown mode '{other}' (native|kvm|hypernel)")),
+    }
+}
+
+fn parse_op(s: &str) -> Result<LmbenchOp, String> {
+    LmbenchOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.label() == s)
+        .ok_or_else(|| format!("unknown op '{s}'"))
+}
+
+fn parse_app(s: &str) -> Result<AppBenchmark, String> {
+    AppBenchmark::ALL
+        .iter()
+        .copied()
+        .find(|b| b.label() == s)
+        .ok_or_else(|| format!("unknown app '{s}'"))
+}
+
+#[derive(Debug, Default)]
+struct Options {
+    mode: Option<String>,
+    op: Option<String>,
+    app: Option<String>,
+    iters: Option<u64>,
+    granularity: Option<String>,
+    script: Option<String>,
+    markdown: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--mode" => opts.mode = Some(take("--mode")?),
+            "--op" => opts.op = Some(take("--op")?),
+            "--app" => opts.app = Some(take("--app")?),
+            "--iters" => {
+                opts.iters = Some(
+                    take("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?,
+                )
+            }
+            "--granularity" => opts.granularity = Some(take("--granularity")?),
+            "--script" => opts.script = Some(take("--script")?),
+            "--markdown" => opts.markdown = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_workload(sys: &mut System, opts: &Options) -> Result<f64, String> {
+    let iters = opts.iters.unwrap_or(100);
+    if let Some(op) = &opts.op {
+        let op = parse_op(op)?;
+        let (kernel, machine, hyp) = sys.parts();
+        let m = lmbench::run_op(kernel, machine, hyp, op, iters).map_err(|e| e.to_string())?;
+        println!(
+            "{op}: {:.2} us/iter ({:.0} cycles, {} iters)",
+            m.micros_per_iter(),
+            m.cycles_per_iter(),
+            m.iterations
+        );
+        Ok(m.cycles_per_iter())
+    } else if let Some(app) = &opts.app {
+        let app = parse_app(app)?;
+        let (kernel, machine, hyp) = sys.parts();
+        apps::prepare(kernel, machine, hyp, app).map_err(|e| e.to_string())?;
+        let m = apps::run(kernel, machine, hyp, app, 1, 42).map_err(|e| e.to_string())?;
+        println!(
+            "{app}: {:.2} Mcycles ({:.2} ms modeled)",
+            m.total_cycles as f64 / 1e6,
+            m.total_cycles as f64 / 1.15e9 * 1e3
+        );
+        Ok(m.total_cycles as f64)
+    } else {
+        Err("provide --op or --app".into())
+    }
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let mode = parse_mode(opts.mode.as_deref().unwrap_or("hypernel"))?;
+    let mut sys = System::boot(mode).map_err(|e| e.to_string())?;
+    println!("booted: {mode}");
+    run_workload(&mut sys, opts)?;
+    if opts.markdown {
+        println!("\n{}", RunReport::capture(&sys).to_markdown());
+    }
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let mut results = Vec::new();
+    for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+        let mut sys = System::boot(mode).map_err(|e| e.to_string())?;
+        print!("{mode:<12} ");
+        results.push((mode, run_workload(&mut sys, opts)?));
+    }
+    let native = results[0].1;
+    println!("\noverheads vs native:");
+    for (mode, cost) in &results[1..] {
+        println!("  {mode}: {:+.1}%", (cost / native - 1.0) * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_monitor(opts: &Options) -> Result<(), String> {
+    let mode = match opts.granularity.as_deref().unwrap_or("word") {
+        "word" => MonitorMode::SensitiveFields,
+        "object" | "page" => MonitorMode::WholeObject,
+        other => return Err(format!("unknown granularity '{other}' (word|object)")),
+    };
+    let mut sys = System::boot(Mode::Hypernel).map_err(|e| e.to_string())?;
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        kernel
+            .arm_monitor_hooks(machine, hyp, MonitorHooks { mode })
+            .map_err(|e| e.to_string())?;
+    }
+    sys.reset_mbm_stats();
+    run_workload(&mut sys, opts)?;
+    sys.service_interrupts().map_err(|e| e.to_string())?;
+    let stats = sys.mbm_stats().expect("mbm attached");
+    let hs = sys.hypersec().expect("hypersec");
+    println!("\nmonitoring ({mode:?}):");
+    println!("  MBM events matched:   {}", stats.events_matched);
+    println!("  events dispatched:    {}", hs.stats().events_dispatched);
+    println!("  detections:           {}", hs.detections().len());
+    for d in hs.detections() {
+        println!("    [sid {}] {}", d.sid, d.reason);
+    }
+    Ok(())
+}
+
+fn cmd_replay(opts: &Options) -> Result<(), String> {
+    use hypernel::workloads::replay;
+    let path = opts.script.as_deref().ok_or("replay needs --script <path>")?;
+    let script = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let statements = replay::parse(&script).map_err(|e| format!("{path}: {e}"))?;
+    let mode = parse_mode(opts.mode.as_deref().unwrap_or("hypernel"))?;
+    let mut sys = System::boot(mode).map_err(|e| e.to_string())?;
+    let m = {
+        let (kernel, machine, hyp) = sys.parts();
+        replay::replay(kernel, machine, hyp, &statements, 42).map_err(|e| e.to_string())?
+    };
+    println!(
+        "{mode}: {} statements, {} cycles ({:.2} us modeled)",
+        statements.len(),
+        m.total_cycles,
+        m.total_cycles as f64 / 1150.0
+    );
+    if opts.markdown {
+        println!("\n{}", RunReport::capture(&sys).to_markdown());
+    }
+    Ok(())
+}
+
+fn cmd_audit() -> Result<(), String> {
+    let mut sys = System::boot(Mode::Hypernel).map_err(|e| e.to_string())?;
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        kernel
+            .arm_monitor_hooks(machine, hyp, MonitorHooks {
+                mode: MonitorMode::SensitiveFields,
+            })
+            .map_err(|e| e.to_string())?;
+        for i in 0..8 {
+            let child = kernel.sys_fork(machine, hyp).map_err(|e| e.to_string())?;
+            kernel.switch_to(machine, hyp, child).map_err(|e| e.to_string())?;
+            kernel.sys_execve(machine, hyp, "/bin/sh").map_err(|e| e.to_string())?;
+            let p = format!("/tmp/audit{i}");
+            kernel.sys_create(machine, hyp, &p).map_err(|e| e.to_string())?;
+            kernel
+                .sys_exit(machine, hyp, child, hypernel::kernel::task::Pid(1))
+                .map_err(|e| e.to_string())?;
+            kernel.poll_irqs(machine, hyp).map_err(|e| e.to_string())?;
+        }
+    }
+    let report = sys.audit_hypersec().expect("hypernel mode");
+    println!(
+        "audit: {} tables, {} leaves, {} regions checked",
+        report.tables_checked, report.leaves_checked, report.regions_checked
+    );
+    if report.is_clean() {
+        println!("all invariants hold");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            println!("VIOLATION: {v}");
+        }
+        Err(format!("{} violations", report.violations.len()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "run" | "compare" | "monitor" | "replay" => match parse_options(rest) {
+            Ok(opts) => match command {
+                "run" => cmd_run(&opts),
+                "compare" => cmd_compare(&opts),
+                "replay" => cmd_replay(&opts),
+                _ => cmd_monitor(&opts),
+            },
+            Err(e) => Err(e),
+        },
+        "audit" => cmd_audit(),
+        other => Err(format!("unknown command '{other}' (try 'help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Run reports: consolidated statistics snapshots and latency helpers.
+
+use hypernel_kernel::kernel::KernelStats;
+use hypernel_machine::cache::CacheStats;
+use hypernel_machine::cost::CostModel;
+use hypernel_machine::machine::MachineStats;
+use hypernel_machine::tlb::TlbStats;
+use hypernel_mbm::MbmStats;
+
+use crate::system::{Mode, System};
+
+/// A consolidated statistics snapshot of a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Which configuration produced it.
+    pub mode: Mode,
+    /// Elapsed cycles at snapshot time.
+    pub cycles: u64,
+    /// Machine event counters.
+    pub machine: MachineStats,
+    /// Kernel event counters.
+    pub kernel: KernelStats,
+    /// Main-TLB statistics.
+    pub tlb: TlbStats,
+    /// Data-cache statistics.
+    pub cache: CacheStats,
+    /// MBM statistics (Hypernel mode only).
+    pub mbm: Option<MbmStats>,
+}
+
+impl RunReport {
+    /// Captures the current state of `system`.
+    pub fn capture(system: &System) -> Self {
+        Self {
+            mode: system.mode(),
+            cycles: system.cycles(),
+            machine: system.machine().stats(),
+            kernel: system.kernel().stats(),
+            tlb: system.machine().tlb().stats(),
+            cache: system.machine().data_cache().stats(),
+            mbm: system.mbm_stats(),
+        }
+    }
+
+    /// Elapsed microseconds at the modeled clock.
+    pub fn micros(&self) -> f64 {
+        CostModel::cycles_to_us(self.cycles)
+    }
+
+    /// Renders the report as a GitHub-flavored markdown table, ready to
+    /// paste into an experiment log.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "### {} — {} cycles ({:.1} µs)
+
+",
+            self.mode,
+            self.cycles,
+            self.micros()
+        ));
+        out.push_str("| counter | value |
+|---|---|
+");
+        let rows: &[(&str, u64)] = &[
+            ("memory reads", self.machine.reads),
+            ("memory writes", self.machine.writes),
+            ("uncached accesses", self.machine.uncached_accesses),
+            ("hypercalls", self.machine.hypercalls),
+            ("sysreg traps", self.machine.sysreg_traps),
+            ("stage-2 faults", self.machine.stage2_faults),
+            ("EL1 aborts", self.machine.el1_aborts),
+            ("IRQs delivered", self.machine.irqs_delivered),
+            ("syscalls", self.kernel.syscalls),
+            ("forks / execs / exits", self.kernel.forks),
+            ("context switches", self.kernel.context_switches),
+            ("page faults", self.kernel.page_faults),
+            ("TLB hits", self.tlb.hits),
+            ("TLB misses", self.tlb.misses),
+            ("cache hits", self.cache.hits),
+            ("cache misses", self.cache.misses),
+        ];
+        for (name, value) in rows {
+            out.push_str(&format!("| {name} | {value} |
+"));
+        }
+        if let Some(mbm) = self.mbm {
+            out.push_str(&format!("| MBM events matched | {} |
+", mbm.events_matched));
+            out.push_str(&format!("| MBM IRQs raised | {} |
+", mbm.irqs_raised));
+        }
+        out
+    }
+
+    /// Deltas of the headline counters versus an earlier snapshot of the
+    /// same system (for before/after experiment phases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots come from different modes or `earlier`
+    /// is not actually earlier.
+    pub fn since(&self, earlier: &RunReport) -> RunDelta {
+        assert_eq!(self.mode, earlier.mode, "snapshots from different systems");
+        assert!(self.cycles >= earlier.cycles, "snapshots out of order");
+        RunDelta {
+            cycles: self.cycles - earlier.cycles,
+            hypercalls: self.machine.hypercalls - earlier.machine.hypercalls,
+            sysreg_traps: self.machine.sysreg_traps - earlier.machine.sysreg_traps,
+            stage2_faults: self.machine.stage2_faults - earlier.machine.stage2_faults,
+            mbm_events: match (self.mbm, earlier.mbm) {
+                (Some(a), Some(b)) => a.events_matched - b.events_matched,
+                _ => 0,
+            },
+        }
+    }
+}
+
+/// Headline counter deltas between two [`RunReport`] snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunDelta {
+    /// Cycles elapsed between the snapshots.
+    pub cycles: u64,
+    /// Hypercalls taken.
+    pub hypercalls: u64,
+    /// VM-register traps.
+    pub sysreg_traps: u64,
+    /// Stage-2 faults.
+    pub stage2_faults: u64,
+    /// MBM events matched.
+    pub mbm_events: u64,
+}
+
+/// A measured latency: cycles for `iterations` repetitions of an
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latency {
+    /// Total cycles across all iterations.
+    pub total_cycles: u64,
+    /// Number of iterations measured.
+    pub iterations: u64,
+}
+
+impl Latency {
+    /// Mean cycles per iteration.
+    pub fn cycles_per_iter(&self) -> f64 {
+        self.total_cycles as f64 / self.iterations.max(1) as f64
+    }
+
+    /// Mean microseconds per iteration at the modeled clock.
+    pub fn micros_per_iter(&self) -> f64 {
+        CostModel::cycles_to_us(self.total_cycles) / self.iterations.max(1) as f64
+    }
+
+    /// Overhead of `self` relative to `baseline`, as a fraction
+    /// (`0.05` = 5 % slower).
+    pub fn overhead_vs(&self, baseline: &Latency) -> f64 {
+        self.cycles_per_iter() / baseline.cycles_per_iter() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_math() {
+        let base = Latency {
+            total_cycles: 1000,
+            iterations: 10,
+        };
+        let slower = Latency {
+            total_cycles: 1150,
+            iterations: 10,
+        };
+        assert_eq!(base.cycles_per_iter(), 100.0);
+        assert!((slower.overhead_vs(&base) - 0.15).abs() < 1e-12);
+        // 100 cycles at 1.15 GHz ≈ 0.087 µs.
+        assert!((base.micros_per_iter() - 100.0 / 1150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capture_snapshot() {
+        let sys = System::boot(Mode::Native).expect("boot");
+        let report = RunReport::capture(&sys);
+        assert_eq!(report.mode, Mode::Native);
+        assert!(report.mbm.is_none());
+        assert!(report.micros() >= 0.0);
+    }
+
+    #[test]
+    fn markdown_rendering_contains_the_counters() {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            let child = kernel.sys_fork(machine, hyp).expect("fork");
+            kernel.switch_to(machine, hyp, child).expect("switch");
+            kernel
+                .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                .expect("exit");
+        }
+        let md = RunReport::capture(&sys).to_markdown();
+        assert!(md.contains("### Hypernel"));
+        assert!(md.contains("| hypercalls |"));
+        assert!(md.contains("| MBM events matched |"));
+        assert!(md.starts_with("###"));
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        let before = RunReport::capture(&sys);
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            let child = kernel.sys_fork(machine, hyp).expect("fork");
+            kernel.switch_to(machine, hyp, child).expect("switch");
+            kernel
+                .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                .expect("exit");
+        }
+        let delta = RunReport::capture(&sys).since(&before);
+        assert!(delta.cycles > 0);
+        assert!(delta.hypercalls > 10, "fork routes through hypercalls");
+        assert!(delta.sysreg_traps >= 2);
+        assert_eq!(delta.stage2_faults, 0);
+    }
+}

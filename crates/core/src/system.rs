@@ -1,0 +1,418 @@
+//! Whole-system assembly: machine + EL2 software + kernel (+ MBM).
+//!
+//! [`System`] wires up one of the paper's three evaluation configurations
+//! (§7.1):
+//!
+//! * [`Mode::Native`] — the base kernel on bare metal.
+//! * [`Mode::KvmGuest`] — the kernel inside a KVM-style VM with nested
+//!   paging and lazy stage-2 population.
+//! * [`Mode::Hypernel`] — the kernel under Hypersec (no nested paging)
+//!   with the memory bus monitor attached.
+
+use hypernel_hypersec::{CredMonitor, DentryMonitor, Hypersec, HypersecConfig, SecurityApp};
+use hypernel_hypervisor::{KvmConfig, KvmHypervisor};
+use hypernel_kernel::kernel::{Kernel, KernelConfig, KernelError, MonitorHooks};
+use hypernel_kernel::layout;
+use hypernel_machine::addr::PhysAddr;
+use hypernel_machine::machine::{Hyp, Machine, MachineConfig, NullHyp};
+use hypernel_mbm::{Mbm, MbmConfig, MbmStats};
+
+/// The three evaluated system configurations (paper §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Base kernel, no hypervisor-level software.
+    Native,
+    /// Kernel in a KVM-style VM (nested paging).
+    KvmGuest,
+    /// Kernel protected by Hypernel (Hypersec + MBM, no nested paging).
+    Hypernel,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Native => write!(f, "Native"),
+            Self::KvmGuest => write!(f, "KVM-guest"),
+            Self::Hypernel => write!(f, "Hypernel"),
+        }
+    }
+}
+
+/// The EL2 software installed on the machine.
+#[allow(clippy::large_enum_variant)] // one instance per system; boxing buys nothing
+enum El2Software {
+    Native(NullHyp),
+    Kvm(KvmHypervisor),
+    Hypersec(Hypersec),
+}
+
+impl El2Software {
+    fn as_hyp(&mut self) -> &mut dyn Hyp {
+        match self {
+            Self::Native(h) => h,
+            Self::Kvm(h) => h,
+            Self::Hypersec(h) => h,
+        }
+    }
+}
+
+/// Builder for a [`System`].
+///
+/// ```
+/// use hypernel::system::{Mode, SystemBuilder};
+///
+/// let system = SystemBuilder::new(Mode::Native).build()?;
+/// assert_eq!(system.mode(), Mode::Native);
+/// # Ok::<(), hypernel_kernel::kernel::KernelError>(())
+/// ```
+pub struct SystemBuilder {
+    mode: Mode,
+    machine_config: MachineConfig,
+    monitor_hooks: Option<MonitorHooks>,
+    extra_apps: Vec<Box<dyn SecurityApp>>,
+    section_linear_map: bool,
+    mbm_config: Option<MbmConfig>,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("mode", &self.mode)
+            .field("monitor_hooks", &self.monitor_hooks)
+            .field("section_linear_map", &self.section_linear_map)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemBuilder {
+    /// Starts a builder for the given mode.
+    pub fn new(mode: Mode) -> Self {
+        Self {
+            mode,
+            machine_config: MachineConfig {
+                dram_size: layout::DRAM_SIZE,
+                ..MachineConfig::default()
+            },
+            monitor_hooks: None,
+            extra_apps: Vec::new(),
+            section_linear_map: false,
+            mbm_config: None,
+        }
+    }
+
+    /// Overrides the machine configuration (DRAM is always forced to the
+    /// platform layout's size).
+    pub fn machine_config(mut self, mut config: MachineConfig) -> Self {
+        config.dram_size = layout::DRAM_SIZE;
+        self.machine_config = config;
+        self
+    }
+
+    /// Enables the kernel's security hooks from boot (usually enabled
+    /// later, per experiment, via [`Kernel::set_monitor_hooks`]).
+    pub fn monitor_hooks(mut self, hooks: MonitorHooks) -> Self {
+        self.monitor_hooks = Some(hooks);
+        self
+    }
+
+    /// Hosts an additional security application (Hypernel mode only; the
+    /// cred and dentry monitors are always installed).
+    pub fn app(mut self, app: Box<dyn SecurityApp>) -> Self {
+        self.extra_apps.push(app);
+        self
+    }
+
+    /// Uses the vanilla 2 MiB-section linear map instead of the
+    /// instrumented 4 KiB-page map (the §6.2 ablation).
+    pub fn section_linear_map(mut self, yes: bool) -> Self {
+        self.section_linear_map = yes;
+        self
+    }
+
+    /// Overrides the MBM configuration (Hypernel mode only).
+    pub fn mbm_config(mut self, config: MbmConfig) -> Self {
+        self.mbm_config = Some(config);
+        self
+    }
+
+    /// Assembles and boots the system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel boot failures (including Hypersec denials, which
+    /// indicate a misconfiguration).
+    pub fn build(self) -> Result<System, KernelError> {
+        let mut machine = Machine::new(self.machine_config);
+        let mut kernel_config = match self.mode {
+            Mode::Native | Mode::KvmGuest => KernelConfig::native(),
+            Mode::Hypernel => KernelConfig::hypernel(),
+        };
+        kernel_config.monitor_hooks = self.monitor_hooks;
+        if self.section_linear_map {
+            kernel_config.linear_map = hypernel_kernel::pgtable::LinearMapMode::Sections;
+        }
+
+        let mut el2 = match self.mode {
+            Mode::Native => El2Software::Native(NullHyp),
+            Mode::KvmGuest => {
+                let mut kvm = KvmHypervisor::new(KvmConfig::standard(
+                    PhysAddr::new(layout::SECURE_BASE),
+                    layout::SECURE_SIZE,
+                    layout::SECURE_BASE,
+                ));
+                kvm.install(&mut machine);
+                El2Software::Kvm(kvm)
+            }
+            Mode::Hypernel => {
+                let mbm_config = self.mbm_config.unwrap_or_else(|| {
+                    MbmConfig::standard(
+                        PhysAddr::new(layout::MBM_WINDOW_BASE),
+                        layout::MBM_WINDOW_LEN,
+                        PhysAddr::new(layout::MBM_BITMAP_BASE),
+                        PhysAddr::new(layout::MBM_RING_BASE),
+                        layout::MBM_RING_ENTRIES,
+                    )
+                    // §8 extension: alarm on any bus (DMA) write into
+                    // Hypersec's private memory — the CPU never writes it
+                    // through the bus, so bus writes there are tampering.
+                    .with_secure_guard(
+                        PhysAddr::new(layout::HYPERSEC_PRIVATE_BASE),
+                        layout::HYPERSEC_PRIVATE_SIZE,
+                    )
+                });
+                machine.bus_mut().attach(Box::new(Mbm::new(mbm_config)));
+                let mut hypersec = Hypersec::install(&mut machine, HypersecConfig::standard());
+                hypersec.install_app(Box::new(CredMonitor::new()));
+                hypersec.install_app(Box::new(DentryMonitor::new()));
+                for app in self.extra_apps {
+                    hypersec.install_app(app);
+                }
+                El2Software::Hypersec(hypersec)
+            }
+        };
+
+        let kernel = Kernel::boot(&mut machine, el2.as_hyp(), kernel_config)?;
+
+        // KVM warms stage 2 for boot-time memory so only post-boot
+        // allocations fault lazily.
+        if let El2Software::Kvm(kvm) = &mut el2 {
+            let watermark = kernel.frames_watermark();
+            kvm.prefault(&mut machine, watermark);
+        }
+
+        Ok(System {
+            mode: self.mode,
+            machine,
+            kernel,
+            el2,
+        })
+    }
+}
+
+/// A booted system in one of the three configurations.
+pub struct System {
+    mode: Mode,
+    machine: Machine,
+    kernel: Kernel,
+    el2: El2Software,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("mode", &self.mode)
+            .field("cycles", &self.machine.cycles())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Boots a system with default settings for `mode`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SystemBuilder::build`].
+    pub fn boot(mode: Mode) -> Result<Self, KernelError> {
+        SystemBuilder::new(mode).build()
+    }
+
+    /// The configuration this system was built in.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The machine (read-only).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The machine, mutable — for debug inspection (cache-coherent
+    /// physical reads need `&mut`) and direct device access in tests.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The kernel (read-only).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Splits the system into the `(kernel, machine, el2)` triple that
+    /// kernel operations and workloads take.
+    pub fn parts(&mut self) -> (&mut Kernel, &mut Machine, &mut dyn Hyp) {
+        (&mut self.kernel, &mut self.machine, self.el2.as_hyp())
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// MBM statistics (Hypernel mode only).
+    pub fn mbm_stats(&self) -> Option<MbmStats> {
+        self.machine.bus().snooper::<Mbm>().map(Mbm::stats)
+    }
+
+    /// Resets the MBM statistics (between experiment phases).
+    pub fn reset_mbm_stats(&mut self) {
+        if let Some(mbm) = self.machine.bus_mut().snooper_mut::<Mbm>() {
+            mbm.reset_stats();
+        }
+    }
+
+    /// The Hypersec runtime (Hypernel mode only).
+    pub fn hypersec(&self) -> Option<&Hypersec> {
+        match &self.el2 {
+            El2Software::Hypersec(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Mutable Hypersec runtime (Hypernel mode only).
+    pub fn hypersec_mut(&mut self) -> Option<&mut Hypersec> {
+        match &mut self.el2 {
+            El2Software::Hypersec(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The KVM hypervisor (KVM-guest mode only).
+    pub fn kvm(&self) -> Option<&KvmHypervisor> {
+        match &self.el2 {
+            El2Software::Kvm(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Mutable KVM hypervisor (KVM-guest mode only).
+    pub fn kvm_mut(&mut self) -> Option<&mut KvmHypervisor> {
+        match &mut self.el2 {
+            El2Software::Kvm(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Runs Hypersec's invariant auditor against the live machine state
+    /// (Hypernel mode only). See [`Hypersec::audit`].
+    pub fn audit_hypersec(&mut self) -> Option<hypernel_hypersec::AuditReport> {
+        match &self.el2 {
+            El2Software::Hypersec(hs) => Some(hs.audit(&mut self.machine)),
+            _ => None,
+        }
+    }
+
+    /// Services pending interrupts (forwarding MBM events to Hypersec in
+    /// Hypernel mode) — call between workload phases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypercall denials.
+    pub fn service_interrupts(&mut self) -> Result<u64, KernelError> {
+        let (kernel, machine, hyp) = (
+            &mut self.kernel,
+            &mut self.machine,
+            self.el2.as_hyp_raw(),
+        );
+        // SAFETY of the split: fields are disjoint.
+        kernel.poll_irqs(machine, hyp)
+    }
+}
+
+impl El2Software {
+    fn as_hyp_raw(&mut self) -> &mut dyn Hyp {
+        self.as_hyp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_boots() {
+        let sys = System::boot(Mode::Native).expect("native boot");
+        assert_eq!(sys.mode(), Mode::Native);
+        assert!(sys.mbm_stats().is_none());
+        assert!(sys.hypersec().is_none());
+        assert!(sys.kvm().is_none());
+    }
+
+    #[test]
+    fn kvm_guest_boots_with_stage2() {
+        let sys = System::boot(Mode::KvmGuest).expect("kvm boot");
+        assert!(sys.machine().regs().stage2_enabled());
+        assert!(sys.kvm().is_some());
+        assert!(sys.kvm().unwrap().stats().pages_mapped > 0);
+    }
+
+    #[test]
+    fn hypernel_boots_locked_without_stage2() {
+        let sys = System::boot(Mode::Hypernel).expect("hypernel boot");
+        assert!(!sys.machine().regs().stage2_enabled(), "no nested paging");
+        assert!(sys.machine().regs().tvm_enabled(), "TVM armed");
+        let hs = sys.hypersec().expect("hypersec installed");
+        assert!(hs.is_locked());
+        assert!(hs.stats().tables_registered > 0);
+        assert!(sys.mbm_stats().is_some());
+    }
+
+    #[test]
+    fn hypernel_kernel_ops_route_through_hypercalls() {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        let hypercalls_before = sys.machine().stats().hypercalls;
+        let (kernel, machine, hyp) = sys.parts();
+        let child = kernel.sys_fork(machine, hyp).expect("fork");
+        kernel.switch_to(machine, hyp, child).expect("switch");
+        kernel
+            .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+            .expect("exit");
+        assert!(
+            sys.machine().stats().hypercalls > hypercalls_before + 20,
+            "fork under Hypernel must issue many PT hypercalls"
+        );
+        assert!(sys.machine().stats().sysreg_traps >= 2, "TTBR switches trap");
+    }
+
+    #[test]
+    fn same_workload_costs_most_under_kvm_for_fork() {
+        let mut costs = Vec::new();
+        for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+            let mut sys = System::boot(mode).expect("boot");
+            let (kernel, machine, hyp) = sys.parts();
+            let c0 = machine.cycles();
+            for _ in 0..3 {
+                let child = kernel.sys_fork(machine, hyp).expect("fork");
+                kernel.switch_to(machine, hyp, child).expect("switch");
+                kernel
+                    .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                    .expect("exit");
+            }
+            costs.push((mode, machine.cycles() - c0));
+        }
+        let native = costs[0].1 as f64;
+        let kvm = costs[1].1 as f64;
+        let hypernel = costs[2].1 as f64;
+        assert!(kvm > native, "KVM fork slower than native: {costs:?}");
+        assert!(hypernel > native, "Hypernel fork slower than native: {costs:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The hypercall ABI between the instrumented kernel and Hypersec.
+//!
+//! The paper replaces every kernel page-table write with a hypercall (a la
+//! TZ-RKP, §5.2.1), adds hooks through which security applications
+//! register memory regions to monitor (§5.3), and inserts a hypercall in
+//! the kernel interrupt handler so Hypersec can service MBM interrupts
+//! (§6.2). This module defines those calls as a typed enum with a stable
+//! `(call, args)` wire encoding, so the kernel crate and the Hypersec
+//! crate agree without depending on each other's internals.
+
+use hypernel_machine::addr::{PhysAddr, VirtAddr};
+
+/// Well-known security-application ids.
+pub mod sid {
+    /// The cred-integrity monitor (paper §7.2).
+    pub const CRED_MONITOR: u32 = 1;
+    /// The dentry-integrity monitor (paper §7.2).
+    pub const DENTRY_MONITOR: u32 = 2;
+}
+
+/// Raw hypercall numbers.
+pub mod call {
+    /// Write one page-table descriptor (after verification).
+    pub const PT_WRITE: u64 = 0x100;
+    /// Register a freshly allocated, zeroed page as a page-table page
+    /// (it becomes read-only to the kernel). `root != 0` marks it as a
+    /// translation root eligible for `TTBR` use.
+    pub const PT_REGISTER_TABLE: u64 = 0x101;
+    /// Retire a page-table page (it must be unreachable from every
+    /// registered root) so its frame can be reused as normal memory.
+    pub const PT_UNREGISTER_TABLE: u64 = 0x102;
+    /// Finalize boot: Hypersec verifies the kernel tables, write-protects
+    /// page-table pages, checks W⊕X and secure-region unmappability, and
+    /// arms `HCR_EL2.TVM`.
+    pub const LOCK: u64 = 0x110;
+    /// Register a monitored region with the MBM (security-app hook).
+    pub const MONITOR_REGISTER: u64 = 0x120;
+    /// Unregister a monitored region.
+    pub const MONITOR_UNREGISTER: u64 = 0x121;
+    /// The kernel interrupt handler forwards an MBM interrupt.
+    pub const IRQ_NOTIFY: u64 = 0x130;
+    /// Ask Hypersec to perform a data write the kernel cannot (the write
+    /// landed in a read-only region created by protection-granularity
+    /// overreach, e.g. a 2 MiB section that also contains page tables).
+    pub const EMULATE_WRITE: u64 = 0x140;
+}
+
+/// A typed hypercall request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hypercall {
+    /// Write descriptor `value` into entry `index` of the page-table page
+    /// at `table`.
+    PtWrite {
+        /// Physical address of the page-table page.
+        table: PhysAddr,
+        /// Descriptor index within the table (0..512).
+        index: usize,
+        /// Raw descriptor value.
+        value: u64,
+    },
+    /// Declare `table` a page-table page; `root` additionally allows it in
+    /// `TTBR0_EL1`.
+    PtRegisterTable {
+        /// Physical address of the new table page (must be zeroed).
+        table: PhysAddr,
+        /// Whether this page is a translation root.
+        root: bool,
+    },
+    /// Retire a page-table page.
+    PtUnregisterTable {
+        /// Physical address of the retiring table page.
+        table: PhysAddr,
+    },
+    /// Finalize boot with the kernel root (`TTBR1`) and the initial user
+    /// root (`TTBR0`).
+    Lock {
+        /// Kernel stage-1 root table.
+        kernel_root: PhysAddr,
+        /// Initial user root table.
+        user_root: PhysAddr,
+    },
+    /// Register `len` bytes at `base` (kernel VA) for monitoring on
+    /// behalf of security application `sid`.
+    MonitorRegister {
+        /// Security-application id.
+        sid: u32,
+        /// Kernel virtual base of the region.
+        base: VirtAddr,
+        /// Region length in bytes.
+        len: u64,
+    },
+    /// Remove a previously registered region.
+    MonitorUnregister {
+        /// Security-application id.
+        sid: u32,
+        /// Kernel virtual base of the region.
+        base: VirtAddr,
+        /// Region length in bytes.
+        len: u64,
+    },
+    /// Forward a pending MBM interrupt to Hypersec.
+    IrqNotify,
+    /// Request an emulated write of `value` to kernel VA `va`.
+    EmulateWrite {
+        /// Target kernel virtual address.
+        va: VirtAddr,
+        /// Value to store.
+        value: u64,
+    },
+}
+
+/// Error produced when decoding an unknown or malformed hypercall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeHypercallError {
+    /// The unrecognized call number.
+    pub call: u64,
+}
+
+impl std::fmt::Display for DecodeHypercallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown hypercall {:#x}", self.call)
+    }
+}
+
+impl std::error::Error for DecodeHypercallError {}
+
+impl Hypercall {
+    /// Encodes to the `(call, args)` pair passed through `HVC`.
+    pub fn encode(self) -> (u64, [u64; 4]) {
+        match self {
+            Self::PtWrite { table, index, value } => {
+                (call::PT_WRITE, [table.raw(), index as u64, value, 0])
+            }
+            Self::PtRegisterTable { table, root } => {
+                (call::PT_REGISTER_TABLE, [table.raw(), root as u64, 0, 0])
+            }
+            Self::PtUnregisterTable { table } => {
+                (call::PT_UNREGISTER_TABLE, [table.raw(), 0, 0, 0])
+            }
+            Self::Lock { kernel_root, user_root } => {
+                (call::LOCK, [kernel_root.raw(), user_root.raw(), 0, 0])
+            }
+            Self::MonitorRegister { sid, base, len } => {
+                (call::MONITOR_REGISTER, [sid as u64, base.raw(), len, 0])
+            }
+            Self::MonitorUnregister { sid, base, len } => {
+                (call::MONITOR_UNREGISTER, [sid as u64, base.raw(), len, 0])
+            }
+            Self::IrqNotify => (call::IRQ_NOTIFY, [0, 0, 0, 0]),
+            Self::EmulateWrite { va, value } => {
+                (call::EMULATE_WRITE, [va.raw(), value, 0, 0])
+            }
+        }
+    }
+
+    /// Decodes from the `(call, args)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeHypercallError`] for unknown call numbers.
+    pub fn decode(call_nr: u64, args: [u64; 4]) -> Result<Self, DecodeHypercallError> {
+        Ok(match call_nr {
+            call::PT_WRITE => Self::PtWrite {
+                table: PhysAddr::new(args[0]),
+                index: args[1] as usize,
+                value: args[2],
+            },
+            call::PT_REGISTER_TABLE => Self::PtRegisterTable {
+                table: PhysAddr::new(args[0]),
+                root: args[1] != 0,
+            },
+            call::PT_UNREGISTER_TABLE => Self::PtUnregisterTable {
+                table: PhysAddr::new(args[0]),
+            },
+            call::LOCK => Self::Lock {
+                kernel_root: PhysAddr::new(args[0]),
+                user_root: PhysAddr::new(args[1]),
+            },
+            call::MONITOR_REGISTER => Self::MonitorRegister {
+                sid: args[0] as u32,
+                base: VirtAddr::new(args[1]),
+                len: args[2],
+            },
+            call::MONITOR_UNREGISTER => Self::MonitorUnregister {
+                sid: args[0] as u32,
+                base: VirtAddr::new(args[1]),
+                len: args[2],
+            },
+            call::IRQ_NOTIFY => Self::IrqNotify,
+            call::EMULATE_WRITE => Self::EmulateWrite {
+                va: VirtAddr::new(args[0]),
+                value: args[1],
+            },
+            other => return Err(DecodeHypercallError { call: other }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let calls = [
+            Hypercall::PtWrite {
+                table: PhysAddr::new(0x1000),
+                index: 42,
+                value: 0xABC,
+            },
+            Hypercall::PtRegisterTable {
+                table: PhysAddr::new(0x2000),
+                root: true,
+            },
+            Hypercall::PtRegisterTable {
+                table: PhysAddr::new(0x2000),
+                root: false,
+            },
+            Hypercall::PtUnregisterTable {
+                table: PhysAddr::new(0x3000),
+            },
+            Hypercall::Lock {
+                kernel_root: PhysAddr::new(0x4000),
+                user_root: PhysAddr::new(0x5000),
+            },
+            Hypercall::MonitorRegister {
+                sid: 7,
+                base: VirtAddr::new(0xFFFF_0000_0000_1000),
+                len: 128,
+            },
+            Hypercall::MonitorUnregister {
+                sid: 7,
+                base: VirtAddr::new(0xFFFF_0000_0000_1000),
+                len: 128,
+            },
+            Hypercall::IrqNotify,
+            Hypercall::EmulateWrite {
+                va: VirtAddr::new(0xFFFF_0000_0000_2000),
+                value: 99,
+            },
+        ];
+        for c in calls {
+            let (nr, args) = c.encode();
+            assert_eq!(Hypercall::decode(nr, args), Ok(c), "roundtrip of {c:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_call_is_an_error() {
+        let err = Hypercall::decode(0xDEAD, [0; 4]).unwrap_err();
+        assert_eq!(err.call, 0xDEAD);
+        assert!(err.to_string().contains("0xdead"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Attack simulations: what a kernel-level adversary does after
+//! exploiting a vulnerability (threat model, paper §4).
+//!
+//! Each attack is expressed as the exact machine operations a rootkit
+//! would perform from EL1 — direct stores through the kernel linear map,
+//! forged page-table edits, rogue `TTBR` loads. Whether an attack
+//! *succeeds*, is *blocked* (Hypersec denies the operation), or succeeds
+//! but is *detected* (the MBM observes the write and a security
+//! application flags it) depends entirely on the installed protection —
+//! which is what the integration tests assert.
+
+use hypernel_machine::addr::{PhysAddr, PAGE_SIZE};
+use hypernel_machine::machine::{Exception, Hyp, Machine};
+use hypernel_machine::pagetable::{self, Descriptor, PagePerms};
+use hypernel_machine::regs::SysReg;
+
+use crate::abi::Hypercall;
+use crate::kernel::{Kernel, KernelError};
+use crate::kobj::{CredField, DentryField};
+use crate::layout;
+use crate::pgtable::PtRoute;
+use crate::task::Pid;
+
+/// What happened when the attack ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The malicious operation completed. (Detection, if any, happens
+    /// asynchronously through the MBM.)
+    Succeeded,
+    /// The protection mechanism refused the operation.
+    Blocked {
+        /// The exception that stopped it.
+        why: String,
+    },
+}
+
+impl AttackOutcome {
+    /// Returns `true` if the operation completed.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, Self::Succeeded)
+    }
+}
+
+impl std::fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Succeeded => write!(f, "succeeded"),
+            Self::Blocked { why } => write!(f, "blocked: {why}"),
+        }
+    }
+}
+
+fn outcome_of(result: Result<(), Exception>) -> AttackOutcome {
+    match result {
+        Ok(()) => AttackOutcome::Succeeded,
+        Err(e) => AttackOutcome::Blocked { why: e.to_string() },
+    }
+}
+
+impl Kernel {
+    /// **Privilege escalation**: overwrite the sensitive fields of a
+    /// task's `cred` with root identity — the classic
+    /// `commit_creds(prepare_kernel_cred(0))` rootkit payload, performed
+    /// as raw stores through the linear map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchTask`] for an unknown pid.
+    pub fn attack_cred_escalation(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        pid: Pid,
+    ) -> Result<AttackOutcome, KernelError> {
+        let cred = self
+            .task(pid)
+            .ok_or(KernelError::NoSuchTask(pid))?
+            .cred;
+        for field in [CredField::Uid, CredField::Euid, CredField::Fsuid] {
+            let va = layout::kva(cred.add(field.byte_offset()));
+            if let Err(e) = m.write_u64(va, 0, hyp) {
+                return Ok(AttackOutcome::Blocked { why: e.to_string() });
+            }
+        }
+        let cap_va = layout::kva(cred.add(CredField::CapEffective.byte_offset()));
+        Ok(outcome_of(m.write_u64(cap_va, u64::MAX, hyp)))
+    }
+
+    /// **VFS hijack**: redirect a dentry's inode pointer so operations on
+    /// the path reach attacker-controlled state (paper footnote 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchPath`] if the path is not cached.
+    pub fn attack_dentry_hijack(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        path: &str,
+        rogue_inode: u64,
+    ) -> Result<AttackOutcome, KernelError> {
+        let dentry = self
+            .dentry_of(path)
+            .ok_or_else(|| KernelError::NoSuchPath(path.to_string()))?;
+        let va = layout::kva(dentry.add(DentryField::Inode.byte_offset()));
+        Ok(outcome_of(m.write_u64(va, rogue_inode, hyp)))
+    }
+
+    /// **Secure-region mapping**: try to create a kernel mapping of
+    /// Hypersec's memory by submitting a forged leaf descriptor through
+    /// the regular page-table update channel (paper §5.2.1's example).
+    pub fn attack_map_secure_region(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        table: PhysAddr,
+        index: usize,
+    ) -> AttackOutcome {
+        let desc = Descriptor::Leaf {
+            out: PhysAddr::new(layout::SECURE_BASE),
+            perms: PagePerms::KERNEL_DATA,
+        }
+        .encode();
+        match self.config().pt_route {
+            PtRoute::Hypercall => {
+                let (nr, args) = Hypercall::PtWrite {
+                    table,
+                    index,
+                    value: desc,
+                }
+                .encode();
+                outcome_of(m.hvc(nr, args, hyp).map(|_| ()))
+            }
+            PtRoute::Direct => outcome_of(m.write_u64(
+                layout::kva(table.add(index as u64 * 8)),
+                desc,
+                hyp,
+            )),
+        }
+    }
+
+    /// **Direct page-table tampering**: skip the hypercall interface and
+    /// store straight into a page-table page via the linear map (what a
+    /// rootkit unaware of — or probing — Hypernel would try first).
+    pub fn attack_pt_direct_write(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        table: PhysAddr,
+        index: usize,
+        value: u64,
+    ) -> AttackOutcome {
+        outcome_of(m.write_u64(layout::kva(table.add(index as u64 * 8)), value, hyp))
+    }
+
+    /// **TTBR redirect**: build a private translation root in plain
+    /// kernel data memory (those stores are legitimate) and try to load
+    /// it into `TTBR0_EL1` — bypassing every verified table (§5.2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::OutOfFrames`] if no frame is available for
+    /// the rogue table.
+    pub fn attack_ttbr_redirect(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+    ) -> Result<AttackOutcome, KernelError> {
+        let rogue = self.alloc_raw_frame()?;
+        m.debug_zero_page(rogue);
+        // An identity block mapping of all low memory, built with plain
+        // data stores (nothing illegal about writing one's own page).
+        let entry = Descriptor::Leaf {
+            out: PhysAddr::new(0),
+            perms: PagePerms {
+                write: true,
+                exec: false,
+                user: true,
+                cacheable: true,
+            },
+        }
+        .encode();
+        if let Err(e) = m.write_u64(layout::kva(rogue), entry, hyp) {
+            return Ok(AttackOutcome::Blocked { why: e.to_string() });
+        }
+        Ok(outcome_of(m.write_sysreg(
+            SysReg::TTBR0_EL1,
+            rogue.raw(),
+            hyp,
+        )))
+    }
+
+    /// **Kernel code injection**: write shellcode into a kernel data
+    /// page, then try to make it executable and run it. W⊕X stops the
+    /// direct jump everywhere; the difference between configurations is
+    /// the *remap*: a native kernel freely flips its own page
+    /// permissions, while Hypersec rejects any writable+executable
+    /// mapping (paper §5.2.1's W⊕X policy).
+    ///
+    /// Returns `Succeeded` only if the injected code actually executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::OutOfFrames`] if no scratch frame exists.
+    pub fn attack_code_injection(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+    ) -> Result<AttackOutcome, KernelError> {
+        let frame = self.alloc_raw_frame()?;
+        m.debug_zero_page(frame);
+        let code_va = layout::kva(frame);
+        // Step 1: plant the shellcode — a plain data write, always lands.
+        if let Err(e) = m.write_u64(code_va, 0xD65F03C0 /* RET */, hyp) {
+            return Ok(AttackOutcome::Blocked { why: e.to_string() });
+        }
+        // Step 2: direct jump — W⊕X page permissions abort the fetch.
+        if m.fetch(code_va, hyp).is_ok() {
+            return Ok(AttackOutcome::Succeeded);
+        }
+        // Step 3: remap the page writable+executable through the page
+        // table machinery, then retry.
+        let write = {
+            let mut view = m.pt_view();
+            pagetable::plan_protect(
+                &mut view,
+                self.kernel_root(),
+                code_va.raw(),
+                PagePerms {
+                    write: true,
+                    exec: true,
+                    user: false,
+                    cacheable: true,
+                },
+            )
+        };
+        let Some(w) = write else {
+            return Ok(AttackOutcome::Blocked {
+                why: "shellcode page not mapped".into(),
+            });
+        };
+        let remap = match self.config().pt_route {
+            PtRoute::Hypercall => {
+                let (nr, args) = Hypercall::PtWrite {
+                    table: w.table,
+                    index: w.index,
+                    value: w.value,
+                }
+                .encode();
+                m.hvc(nr, args, hyp).map(|_| ())
+            }
+            PtRoute::Direct => m.write_u64(layout::kva(w.addr()), w.value, hyp),
+        };
+        if let Err(e) = remap {
+            return Ok(AttackOutcome::Blocked { why: e.to_string() });
+        }
+        m.tlbi_va(code_va);
+        Ok(match m.fetch(code_va, hyp) {
+            Ok(_) => AttackOutcome::Succeeded,
+            Err(e) => AttackOutcome::Blocked { why: e.to_string() },
+        })
+    }
+
+    /// **Kernel text patching**: overwrite an instruction in the kernel
+    /// image (inline-hook rootkits). The text is W⊕X, so the store
+    /// faults; the attacker then tries (a) Hypersec's write-emulation
+    /// channel and (b) remapping the text page writable. A native kernel
+    /// remaps freely; Hypersec rejects both (deliberately-RO pages are
+    /// not emulatable, and a writable text mapping violates W⊕X... and
+    /// the linear-identity + perms rules).
+    ///
+    /// Returns `Succeeded` only if the text word actually changed.
+    pub fn attack_text_patch(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+    ) -> Result<AttackOutcome, KernelError> {
+        let target = PhysAddr::new(layout::KERNEL_IMAGE_BASE + 0x1_0000);
+        let va = layout::kva(target);
+        let payload = 0x1400_0000u64; // an unconditional branch
+        // Direct store: W^X text mapping aborts it.
+        if m.write_u64(va, payload, hyp).is_ok() {
+            return Ok(AttackOutcome::Succeeded);
+        }
+        // Channel (a): the emulation hypercall (only reachable when an
+        // EL2 handler exists).
+        if self.config().pt_route == PtRoute::Hypercall {
+            let (nr, args) = Hypercall::EmulateWrite { va, value: payload }.encode();
+            if m.hvc(nr, args, hyp).is_ok() {
+                return Ok(AttackOutcome::Succeeded);
+            }
+        }
+        // Channel (b): remap the text page writable, then store.
+        let write = {
+            let mut view = m.pt_view();
+            pagetable::plan_protect(
+                &mut view,
+                self.kernel_root(),
+                va.raw(),
+                PagePerms::KERNEL_DATA,
+            )
+        };
+        let Some(w) = write else {
+            return Ok(AttackOutcome::Blocked {
+                why: "text not mapped".into(),
+            });
+        };
+        let remap = match self.config().pt_route {
+            PtRoute::Hypercall => {
+                let (nr, args) = Hypercall::PtWrite {
+                    table: w.table,
+                    index: w.index,
+                    value: w.value,
+                }
+                .encode();
+                m.hvc(nr, args, hyp).map(|_| ())
+            }
+            PtRoute::Direct => m.write_u64(layout::kva(w.addr()), w.value, hyp),
+        };
+        if let Err(e) = remap {
+            return Ok(AttackOutcome::Blocked { why: e.to_string() });
+        }
+        m.tlbi_va(va);
+        Ok(outcome_of(m.write_u64(va, payload, hyp)))
+    }
+
+    /// **ATRA** (address translation redirection attack, [Jang et al.,
+    /// CCS'14]): relocate a monitored object by remapping the kernel
+    /// linear-map page that holds it to a shadow copy. A bare external
+    /// monitor keeps watching the stale physical address and goes blind;
+    /// Hypersec's linear-identity rule rejects the remap (paper §5.3).
+    ///
+    /// Returns the shadow frame on success so tests can show the monitor
+    /// missed the redirected writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::OutOfFrames`] if no shadow frame is
+    /// available.
+    pub fn attack_atra(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        target: PhysAddr,
+    ) -> Result<(AttackOutcome, PhysAddr), KernelError> {
+        let shadow = self.alloc_raw_frame()?;
+        m.debug_zero_page(shadow);
+        // Copy the victim page so reads stay consistent post-redirect.
+        let src_page = target.page_base();
+        for w in 0..(PAGE_SIZE / 8) {
+            let v = m.debug_read_phys(src_page.add(w * 8));
+            m.debug_write_phys(shadow.add(w * 8), v);
+        }
+        // Remap the linear-map leaf for the victim page onto the shadow.
+        let victim_va = layout::kva(src_page);
+        let write = {
+            let mut view = m.pt_view();
+            pagetable::plan_protect(&mut view, self.kernel_root(), victim_va.raw(), PagePerms::KERNEL_DATA)
+        };
+        let Some(mut w) = write else {
+            return Ok((
+                AttackOutcome::Blocked {
+                    why: "victim page not mapped".into(),
+                },
+                shadow,
+            ));
+        };
+        w.value = Descriptor::Leaf {
+            out: shadow,
+            perms: PagePerms::KERNEL_DATA,
+        }
+        .encode();
+        let result = match self.config().pt_route {
+            PtRoute::Hypercall => {
+                let (nr, args) = Hypercall::PtWrite {
+                    table: w.table,
+                    index: w.index,
+                    value: w.value,
+                }
+                .encode();
+                m.hvc(nr, args, hyp).map(|_| ())
+            }
+            PtRoute::Direct => m.write_u64(layout::kva(w.addr()), w.value, hyp),
+        };
+        if result.is_ok() {
+            m.tlbi_va(victim_va);
+        }
+        Ok((outcome_of(result), shadow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+    use hypernel_machine::machine::{MachineConfig, NullHyp};
+
+    fn boot() -> (Machine, NullHyp, Kernel) {
+        let mut m = Machine::new(MachineConfig {
+            dram_size: layout::DRAM_SIZE,
+            ..MachineConfig::default()
+        });
+        let mut hyp = NullHyp;
+        let k = Kernel::boot(&mut m, &mut hyp, KernelConfig::native()).expect("boot");
+        (m, hyp, k)
+    }
+
+    #[test]
+    fn native_kernel_is_defenseless_against_cred_escalation() {
+        let (mut m, mut hyp, mut k) = boot();
+        let outcome = k
+            .attack_cred_escalation(&mut m, &mut hyp, Pid(1))
+            .expect("attack runs");
+        assert!(outcome.succeeded());
+        let cred = k.task(Pid(1)).unwrap().cred;
+        let euid = m.debug_read_phys(cred.add(CredField::Euid.byte_offset()));
+        assert_eq!(euid, 0, "euid forged to root");
+    }
+
+    #[test]
+    fn native_kernel_allows_dentry_hijack() {
+        let (mut m, mut hyp, mut k) = boot();
+        let outcome = k
+            .attack_dentry_hijack(&mut m, &mut hyp, "/bin/sh", 0xBAD)
+            .expect("attack runs");
+        assert!(outcome.succeeded());
+    }
+
+    #[test]
+    fn native_kernel_allows_ttbr_redirect() {
+        let (mut m, mut hyp, mut k) = boot();
+        let outcome = k.attack_ttbr_redirect(&mut m, &mut hyp).expect("attack runs");
+        assert!(outcome.succeeded(), "{outcome}");
+    }
+
+    #[test]
+    fn native_kernel_allows_atra() {
+        let (mut m, mut hyp, mut k) = boot();
+        let target = k.task(Pid(1)).unwrap().cred;
+        let (outcome, shadow) = k.attack_atra(&mut m, &mut hyp, target).expect("attack runs");
+        assert!(outcome.succeeded(), "{outcome}");
+        // Writes through the linear VA now land in the shadow frame.
+        let va = layout::kva(target.add(CredField::Euid.byte_offset()));
+        m.write_u64(va, 0x1337, &mut hyp).expect("redirected write");
+        let off = target.offset_from(target.page_base()) + CredField::Euid.byte_offset();
+        assert_eq!(m.debug_read_phys(shadow.add(off)), 0x1337);
+        // …while the original physical object is untouched.
+        assert_ne!(
+            m.debug_read_phys(target.add(CredField::Euid.byte_offset())),
+            0x1337
+        );
+    }
+
+    #[test]
+    fn native_kernel_allows_text_patching_via_remap() {
+        let (mut m, mut hyp, mut k) = boot();
+        let outcome = k.attack_text_patch(&mut m, &mut hyp).expect("attack runs");
+        assert!(outcome.succeeded(), "{outcome}");
+        let patched = m.debug_read_phys(PhysAddr::new(layout::KERNEL_IMAGE_BASE + 0x1_0000));
+        assert_eq!(patched, 0x1400_0000);
+    }
+
+    #[test]
+    fn native_kernel_allows_code_injection_via_remap() {
+        let (mut m, mut hyp, mut k) = boot();
+        let outcome = k.attack_code_injection(&mut m, &mut hyp).expect("attack runs");
+        assert!(outcome.succeeded(), "{outcome}");
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(AttackOutcome::Succeeded.to_string(), "succeeded");
+        let b = AttackOutcome::Blocked { why: "nope".into() };
+        assert_eq!(b.to_string(), "blocked: nope");
+        assert!(!b.succeeded());
+    }
+}

@@ -1,0 +1,243 @@
+//! Kernel object layouts: `cred` and `dentry`.
+//!
+//! These are the two objects the paper's security solution monitors
+//! (§7.2, footnote 2): corrupting a `cred` elevates a process to root;
+//! seizing a `dentry` redirects VFS operations. The layouts below follow
+//! the Linux 3.10 structures in spirit — field-for-field fidelity is not
+//! required, but two properties that drive Table 2 are preserved:
+//!
+//! 1. **Sensitivity is sparse**: only some fields are security-sensitive
+//!    (IDs/capabilities in `cred`; identity/redirection pointers in
+//!    `dentry`), and they sit interleaved with frequently-written
+//!    bookkeeping fields (reference counts, LRU links, seq counters).
+//! 2. **Write skew**: sensitive fields are written essentially only at
+//!    object construction, while bookkeeping fields churn on every use —
+//!    which is why word-granularity monitoring eliminates most traps.
+
+/// Discriminates the monitored kernel object types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// Process credentials (`struct cred`).
+    Cred,
+    /// Directory cache entry (`struct dentry`).
+    Dentry,
+}
+
+impl ObjectKind {
+    /// Object size in 8-byte words.
+    pub fn words(self) -> u64 {
+        match self {
+            Self::Cred => CredField::WORDS,
+            Self::Dentry => DentryField::WORDS,
+        }
+    }
+
+    /// Object size in bytes.
+    pub fn bytes(self) -> u64 {
+        self.words() * 8
+    }
+
+    /// Contiguous runs of sensitive words as `(word_offset, word_count)` —
+    /// the regions a sensitive-fields-only security solution registers
+    /// with Hypersec (one `MONITOR_REGISTER` hypercall per run).
+    pub fn sensitive_ranges(self) -> Vec<(u64, u64)> {
+        let mut offsets = self.sensitive_offsets();
+        offsets.sort_unstable();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for o in offsets {
+            match runs.last_mut() {
+                Some((start, count)) if *start + *count == o => *count += 1,
+                _ => runs.push((o, 1)),
+            }
+        }
+        runs
+    }
+
+    /// Word offsets (within the object) of the security-sensitive fields.
+    pub fn sensitive_offsets(self) -> Vec<u64> {
+        match self {
+            Self::Cred => CredField::ALL
+                .iter()
+                .filter(|f| f.is_sensitive())
+                .map(|f| f.offset())
+                .collect(),
+            Self::Dentry => DentryField::ALL
+                .iter()
+                .filter(|f| f.is_sensitive())
+                .map(|f| f.offset())
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Cred => write!(f, "cred"),
+            Self::Dentry => write!(f, "dentry"),
+        }
+    }
+}
+
+macro_rules! object_fields {
+    (
+        $(#[$doc:meta])*
+        $name:ident, words = $words:expr, {
+            $($variant:ident => ($offset:expr, $sensitive:expr, $fdoc:literal)),+ $(,)?
+        }
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $name {
+            $(#[doc = $fdoc] $variant),+
+        }
+
+        impl $name {
+            /// Object size in 8-byte words.
+            pub const WORDS: u64 = $words;
+
+            /// Every field, in layout order.
+            pub const ALL: &'static [$name] = &[$($name::$variant),+];
+
+            /// Word offset of the field within the object.
+            pub const fn offset(self) -> u64 {
+                match self {
+                    $($name::$variant => $offset),+
+                }
+            }
+
+            /// Byte offset of the field within the object.
+            pub const fn byte_offset(self) -> u64 {
+                self.offset() * 8
+            }
+
+            /// `true` if corrupting this field subverts security (the
+            /// word-granularity monitor watches exactly these).
+            pub const fn is_sensitive(self) -> bool {
+                match self {
+                    $($name::$variant => $sensitive),+
+                }
+            }
+        }
+    };
+}
+
+object_fields! {
+    /// Fields of `struct cred` (16 words / 128 bytes).
+    ///
+    /// The identity and capability fields are sensitive; the reference
+    /// count and RCU bookkeeping churn constantly and are not.
+    CredField, words = 16, {
+        Usage => (0, false, "reference count (`atomic_t usage`) — churns on every get/put"),
+        Uid => (1, true, "real user id"),
+        Gid => (2, true, "real group id"),
+        Suid => (3, true, "saved user id"),
+        Sgid => (4, true, "saved group id"),
+        Euid => (5, true, "effective user id — the classic escalation target"),
+        Egid => (6, true, "effective group id"),
+        Fsuid => (7, true, "filesystem user id"),
+        Fsgid => (8, true, "filesystem group id"),
+        Securebits => (9, true, "secure-bits flags"),
+        CapInheritable => (10, true, "inheritable capability set"),
+        CapPermitted => (11, true, "permitted capability set"),
+        CapEffective => (12, true, "effective capability set"),
+        CapBset => (13, true, "capability bounding set"),
+        RcuNext => (14, false, "RCU free-list link"),
+        RcuFunc => (15, false, "RCU callback pointer"),
+    }
+}
+
+object_fields! {
+    /// Fields of `struct dentry` (24 words / 192 bytes).
+    ///
+    /// Identity/redirection fields (`d_parent`, `d_inode`, `d_op`, name
+    /// hash, flags) are sensitive; lockref/LRU/list bookkeeping is not.
+    DentryField, words = 24, {
+        Count => (0, false, "lockref count — churns on every path walk"),
+        Flags => (1, true, "dentry flags (negative/positive, type bits)"),
+        Seq => (2, false, "RCU-walk sequence counter"),
+        HashNext => (3, false, "hash-chain link"),
+        NameHash => (4, true, "full name hash — redirects lookups if forged"),
+        NameLen => (5, false, "name length"),
+        Parent => (6, true, "parent dentry pointer"),
+        Inode => (7, true, "inode pointer — the paper's hijack target"),
+        Op => (8, true, "dentry operations vtable pointer"),
+        Sb => (9, false, "superblock pointer"),
+        Time => (10, false, "revalidation timestamp"),
+        Fsdata => (11, false, "filesystem private data"),
+        LruPrev => (12, false, "LRU list backward link"),
+        LruNext => (13, false, "LRU list forward link"),
+        ChildPrev => (14, false, "sibling list backward link"),
+        ChildNext => (15, false, "sibling list forward link"),
+        SubdirsHead => (16, false, "children list head"),
+        SubdirsTail => (17, false, "children list tail"),
+        AliasPrev => (18, false, "inode alias list backward link"),
+        AliasNext => (19, false, "inode alias list forward link"),
+        Iname0 => (20, false, "inline short name, word 0"),
+        Iname1 => (21, false, "inline short name, word 1"),
+        Iname2 => (22, false, "inline short name, word 2"),
+        Iname3 => (23, false, "inline short name, word 3"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cred_layout_is_dense_and_unique() {
+        let offsets: HashSet<u64> = CredField::ALL.iter().map(|f| f.offset()).collect();
+        assert_eq!(offsets.len(), CredField::ALL.len());
+        assert_eq!(CredField::ALL.len() as u64, CredField::WORDS);
+        assert!(offsets.iter().all(|&o| o < CredField::WORDS));
+    }
+
+    #[test]
+    fn dentry_layout_is_dense_and_unique() {
+        let offsets: HashSet<u64> = DentryField::ALL.iter().map(|f| f.offset()).collect();
+        assert_eq!(offsets.len(), DentryField::ALL.len());
+        assert_eq!(DentryField::ALL.len() as u64, DentryField::WORDS);
+    }
+
+    #[test]
+    fn sensitivity_is_sparse_in_dentry() {
+        let sensitive = ObjectKind::Dentry.sensitive_offsets();
+        assert_eq!(sensitive.len(), 5);
+        assert!(sensitive.contains(&DentryField::Inode.offset()));
+        assert!(sensitive.contains(&DentryField::Parent.offset()));
+        assert!(!sensitive.contains(&DentryField::Count.offset()));
+    }
+
+    #[test]
+    fn cred_ids_and_caps_are_sensitive() {
+        assert!(CredField::Euid.is_sensitive());
+        assert!(CredField::CapEffective.is_sensitive());
+        assert!(!CredField::Usage.is_sensitive());
+        assert_eq!(ObjectKind::Cred.sensitive_offsets().len(), 13);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ObjectKind::Cred.bytes(), 128);
+        assert_eq!(ObjectKind::Dentry.bytes(), 192);
+        assert_eq!(DentryField::Inode.byte_offset(), 56);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ObjectKind::Cred.to_string(), "cred");
+        assert_eq!(ObjectKind::Dentry.to_string(), "dentry");
+    }
+
+    #[test]
+    fn sensitive_ranges_are_contiguous_runs() {
+        // Cred: words 1..=13 form one run.
+        assert_eq!(ObjectKind::Cred.sensitive_ranges(), vec![(1, 13)]);
+        // Dentry: Flags(1), NameHash(4), Parent/Inode/Op(6..=8).
+        assert_eq!(
+            ObjectKind::Dentry.sensitive_ranges(),
+            vec![(1, 1), (4, 1), (6, 3)]
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Write-back, write-allocate data cache model.
+//!
+//! The cache sits between the CPU and the memory bus. Cacheable stores that
+//! hit stay in the cache (dirty) and are invisible on the bus until the
+//! line is written back — which is exactly why the paper's Hypersec
+//! "modifies the kernel page table so that any cache entry for the page
+//! including the monitored region is not generated" (§5.3). Non-cacheable
+//! accesses bypass this module entirely.
+//!
+//! Geometry: physically indexed/tagged, 64-byte lines, set-associative with
+//! true-LRU replacement. The defaults approximate a Cortex-A57 L1D
+//! (32 KiB, 2-way in hardware; we use 4-way × 128 sets = 32 KiB).
+
+use crate::addr::PhysAddr;
+use crate::bus::LINE_WORDS;
+
+/// Line size in bytes (64 B, eight 8-byte words).
+pub const LINE_SIZE: u64 = 64;
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// What the cache needs the machine to do on the bus before an access can
+/// complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePlan {
+    /// The access hits; no bus traffic required.
+    Hit,
+    /// The access misses; the machine must (1) write back the evicted dirty
+    /// line if present, (2) fill `line` from memory, (3) call
+    /// [`DataCache::install`], then retry.
+    Refill {
+        /// Line-aligned address to fill.
+        line: PhysAddr,
+        /// Dirty victim to write back first, if any.
+        evict: Option<Eviction>,
+    },
+}
+
+/// A dirty line that must be written back to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line-aligned address of the victim.
+    pub addr: PhysAddr,
+    /// Final contents of the victim line.
+    pub data: [u64; LINE_WORDS],
+}
+
+/// Running statistics for the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back (capacity evictions + maintenance).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `None` before the first access.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+    data: [u64; LINE_WORDS],
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        lru: 0,
+        data: [0; LINE_WORDS],
+    };
+}
+
+/// Set-associative write-back data cache.
+///
+/// ```
+/// use hypernel_machine::addr::PhysAddr;
+/// use hypernel_machine::cache::{CachePlan, DataCache};
+///
+/// let mut cache = DataCache::new(128, 4);
+/// let pa = PhysAddr::new(0x4000);
+/// // First touch misses and asks for a refill.
+/// match cache.probe(pa) {
+///     CachePlan::Refill { line, evict } => {
+///         assert_eq!(line, pa);
+///         assert!(evict.is_none());
+///         cache.install(line, [0; 8]);
+///     }
+///     CachePlan::Hit => unreachable!("cold cache cannot hit"),
+/// }
+/// cache.write_word(pa, 7);
+/// assert_eq!(cache.read_word(pa), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl DataCache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either parameter is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        Self {
+            sets: vec![vec![Line::INVALID; ways]; sets],
+            ways,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (self.sets.len() * self.ways) as u64 * LINE_SIZE
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index(&self, addr: PhysAddr) -> (usize, u64) {
+        let line = addr.raw() >> LINE_SHIFT;
+        let set = (line as usize) & (self.sets.len() - 1);
+        let tag = line >> self.sets.len().trailing_zeros();
+        (set, tag)
+    }
+
+    fn line_base(&self, addr: PhysAddr) -> PhysAddr {
+        PhysAddr::new(addr.raw() & !(LINE_SIZE - 1))
+    }
+
+    /// Probes for `addr` (read or write — the plan is the same) and records
+    /// a hit or miss. On a miss the caller must perform the returned refill
+    /// protocol before retrying the word access.
+    pub fn probe(&mut self, addr: PhysAddr) -> CachePlan {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            self.stats.hits += 1;
+            return CachePlan::Hit;
+        }
+        self.stats.misses += 1;
+        // Choose victim: invalid way first, else LRU.
+        let victim = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("ways > 0")
+            });
+        let victim_line = set[victim];
+        let evict = if victim_line.valid && victim_line.dirty {
+            self.stats.writebacks += 1;
+            Some(Eviction {
+                addr: self.reconstruct_addr(set_idx, victim_line.tag),
+                data: victim_line.data,
+            })
+        } else {
+            None
+        };
+        // Mark the victim way invalid so `install` can find it.
+        self.sets[set_idx][victim] = Line::INVALID;
+        CachePlan::Refill {
+            line: self.line_base(addr),
+            evict,
+        }
+    }
+
+    fn reconstruct_addr(&self, set: usize, tag: u64) -> PhysAddr {
+        let bits = self.sets.len().trailing_zeros();
+        PhysAddr::new(((tag << bits) | set as u64) << LINE_SHIFT)
+    }
+
+    /// Installs a freshly fetched line. Must follow a `Refill` plan for the
+    /// same line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has no free way (i.e. `probe` was not called or a
+    /// different line was probed).
+    pub fn install(&mut self, line_addr: PhysAddr, data: [u64; LINE_WORDS]) {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set_idx, tag) = self.index(line_addr);
+        let set = &mut self.sets[set_idx];
+        let way = set
+            .iter()
+            .position(|l| !l.valid)
+            .expect("install requires a prior Refill probe that freed a way");
+        set[way] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru: tick,
+            data,
+        };
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident (callers must `probe`/`install`
+    /// first).
+    pub fn read_word(&mut self, addr: PhysAddr) -> u64 {
+        let (set_idx, tag) = self.index(addr);
+        let word = (addr.raw() >> 3) as usize & (LINE_WORDS - 1);
+        let line = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+            .expect("read_word requires a resident line");
+        line.data[word]
+    }
+
+    /// Writes the word at `addr` and marks the line dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn write_word(&mut self, addr: PhysAddr, value: u64) {
+        let (set_idx, tag) = self.index(addr);
+        let word = (addr.raw() >> 3) as usize & (LINE_WORDS - 1);
+        let line = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+            .expect("write_word requires a resident line");
+        line.data[word] = value;
+        line.dirty = true;
+    }
+
+    /// Cleans and invalidates every line inside the 4 KiB page containing
+    /// `page_addr`, returning dirty lines that must be written back.
+    ///
+    /// Hypersec performs this maintenance when it makes a page
+    /// non-cacheable so that stale dirty data cannot shadow future
+    /// bus-visible writes.
+    pub fn clean_invalidate_page(&mut self, page_addr: PhysAddr) -> Vec<Eviction> {
+        let base = page_addr.page_base();
+        let mut out = Vec::new();
+        for offset in (0..crate::addr::PAGE_SIZE).step_by(LINE_SIZE as usize) {
+            let line_addr = base.add(offset);
+            let (set_idx, tag) = self.index(line_addr);
+            if let Some(line) = self.sets[set_idx]
+                .iter_mut()
+                .find(|l| l.valid && l.tag == tag)
+            {
+                if line.dirty {
+                    self.stats.writebacks += 1;
+                    out.push(Eviction {
+                        addr: line_addr,
+                        data: line.data,
+                    });
+                }
+                *line = Line::INVALID;
+            }
+        }
+        out
+    }
+
+    /// Invalidates the whole cache, returning all dirty lines for
+    /// write-back.
+    pub fn clean_invalidate_all(&mut self) -> Vec<Eviction> {
+        let mut out = Vec::new();
+        for set_idx in 0..self.sets.len() {
+            for way in 0..self.ways {
+                let line = self.sets[set_idx][way];
+                if line.valid && line.dirty {
+                    self.stats.writebacks += 1;
+                    out.push(Eviction {
+                        addr: self.reconstruct_addr(set_idx, line.tag),
+                        data: line.data,
+                    });
+                }
+                self.sets[set_idx][way] = Line::INVALID;
+            }
+        }
+        out
+    }
+
+    /// Discards (invalidates without write-back) every line of the 4 KiB
+    /// page containing `page_addr`. Used when a frame is recycled and its
+    /// old contents are dead — stale dirty lines must not resurface.
+    pub fn discard_page(&mut self, page_addr: PhysAddr) {
+        let base = page_addr.page_base();
+        for offset in (0..crate::addr::PAGE_SIZE).step_by(LINE_SIZE as usize) {
+            let line_addr = base.add(offset);
+            let (set_idx, tag) = self.index(line_addr);
+            if let Some(line) = self.sets[set_idx]
+                .iter_mut()
+                .find(|l| l.valid && l.tag == tag)
+            {
+                *line = Line::INVALID;
+            }
+        }
+    }
+
+    /// Returns `true` if the line containing `addr` is resident.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(cache: &mut DataCache, addr: PhysAddr) {
+        match cache.probe(addr) {
+            CachePlan::Hit => {}
+            CachePlan::Refill { line, .. } => cache.install(line, [0; LINE_WORDS]),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut cache = DataCache::new(16, 2);
+        let pa = PhysAddr::new(0x1000);
+        assert!(matches!(cache.probe(pa), CachePlan::Refill { .. }));
+        cache.install(pa, [9; LINE_WORDS]);
+        assert_eq!(cache.probe(pa), CachePlan::Hit);
+        assert_eq!(cache.read_word(pa.add(16)), 9);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_carries_data() {
+        // 1 set x 1 way: second distinct line always evicts the first.
+        let mut cache = DataCache::new(1, 1);
+        let a = PhysAddr::new(0x0);
+        let b = PhysAddr::new(0x40);
+        fill(&mut cache, a);
+        cache.write_word(a, 0xAA);
+        match cache.probe(b) {
+            CachePlan::Refill { line, evict } => {
+                assert_eq!(line, b);
+                let ev = evict.expect("dirty victim");
+                assert_eq!(ev.addr, a);
+                assert_eq!(ev.data[0], 0xAA);
+            }
+            CachePlan::Hit => panic!("must miss"),
+        }
+        assert_eq!(cache.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut cache = DataCache::new(1, 1);
+        fill(&mut cache, PhysAddr::new(0));
+        match cache.probe(PhysAddr::new(0x40)) {
+            CachePlan::Refill { evict, .. } => assert!(evict.is_none()),
+            CachePlan::Hit => panic!("must miss"),
+        }
+    }
+
+    #[test]
+    fn lru_replacement_order() {
+        let mut cache = DataCache::new(1, 2);
+        let a = PhysAddr::new(0x000);
+        let b = PhysAddr::new(0x040);
+        let c = PhysAddr::new(0x080);
+        fill(&mut cache, a);
+        fill(&mut cache, b);
+        // Touch `a` so `b` becomes LRU.
+        assert_eq!(cache.probe(a), CachePlan::Hit);
+        fill(&mut cache, c);
+        assert!(cache.contains(a));
+        assert!(!cache.contains(b));
+        assert!(cache.contains(c));
+    }
+
+    #[test]
+    fn page_maintenance_flushes_dirty_lines() {
+        let mut cache = DataCache::new(128, 4);
+        let page = PhysAddr::new(0x3000);
+        fill(&mut cache, page);
+        fill(&mut cache, page.add(0x80));
+        cache.write_word(page, 1);
+        cache.write_word(page.add(0x80), 2);
+        // A line in a different page stays.
+        fill(&mut cache, PhysAddr::new(0x9000));
+        let evictions = cache.clean_invalidate_page(page);
+        assert_eq!(evictions.len(), 2);
+        assert!(!cache.contains(page));
+        assert!(cache.contains(PhysAddr::new(0x9000)));
+    }
+
+    #[test]
+    fn full_flush_returns_every_dirty_line() {
+        let mut cache = DataCache::new(4, 2);
+        for i in 0..4u64 {
+            let a = PhysAddr::new(i * 0x40);
+            fill(&mut cache, a);
+            cache.write_word(a, i);
+        }
+        let mut evs = cache.clean_invalidate_all();
+        evs.sort_by_key(|e| e.addr);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[2].data[0], 2);
+        assert!(!cache.contains(PhysAddr::new(0)));
+    }
+
+    #[test]
+    fn eviction_address_reconstruction() {
+        let mut cache = DataCache::new(64, 2);
+        let a = PhysAddr::new(0xAB_CDC0); // arbitrary line-aligned address
+        fill(&mut cache, a);
+        cache.write_word(a, 5);
+        let evs = cache.clean_invalidate_all();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].addr, a);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut cache = DataCache::new(16, 2);
+        assert!(cache.stats().hit_rate().is_none());
+        fill(&mut cache, PhysAddr::new(0));
+        cache.probe(PhysAddr::new(0));
+        assert_eq!(cache.stats().hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn capacity() {
+        assert_eq!(DataCache::new(128, 4).capacity(), 32 * 1024);
+    }
+}

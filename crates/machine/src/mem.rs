@@ -1,0 +1,316 @@
+//! Sparse physical memory backing store.
+//!
+//! [`PhysMemory`] models the DRAM of the simulated platform. It is sparse:
+//! pages are allocated lazily on first touch so a multi-gigabyte address
+//! space costs only what the workload actually uses. All accesses are raw —
+//! translation, permissions, caching and bus visibility are handled by the
+//! layers above ([`crate::machine::Machine`]).
+
+use std::collections::HashMap;
+
+use crate::addr::{PhysAddr, PAGE_SIZE};
+
+/// Error returned when an access falls outside the populated DRAM range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessOutOfRangeError {
+    /// The faulting physical address.
+    pub addr: PhysAddr,
+    /// The size of DRAM in bytes.
+    pub dram_size: u64,
+}
+
+impl std::fmt::Display for AccessOutOfRangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "physical access at {} outside DRAM of {} bytes",
+            self.addr, self.dram_size
+        )
+    }
+}
+
+impl std::error::Error for AccessOutOfRangeError {}
+
+/// Sparse byte-addressable physical memory.
+///
+/// ```
+/// use hypernel_machine::addr::PhysAddr;
+/// use hypernel_machine::mem::PhysMemory;
+///
+/// let mut mem = PhysMemory::new(1 << 20);
+/// mem.write_u64(PhysAddr::new(0x100), 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x100)), 0xDEAD_BEEF);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    size: u64,
+}
+
+impl PhysMemory {
+    /// Creates a DRAM of `size` bytes (rounded up to a whole page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "DRAM size must be non-zero");
+        let size = (size + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
+        Self {
+            pages: HashMap::new(),
+            size,
+        }
+    }
+
+    /// Total DRAM size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of pages lazily materialized so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns `true` if `addr..addr+len` lies inside DRAM.
+    pub fn contains(&self, addr: PhysAddr, len: u64) -> bool {
+        addr.raw().checked_add(len).is_some_and(|end| end <= self.size)
+    }
+
+    fn page(&mut self, frame: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(frame)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    fn check(&self, addr: PhysAddr, len: u64) {
+        assert!(
+            self.contains(addr, len),
+            "physical access at {addr} (+{len}) outside DRAM of {} bytes",
+            self.size
+        );
+    }
+
+    /// Checked variant of the bounds test used by fallible callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessOutOfRangeError`] if the range escapes DRAM.
+    pub fn try_check(&self, addr: PhysAddr, len: u64) -> Result<(), AccessOutOfRangeError> {
+        if self.contains(addr, len) {
+            Ok(())
+        } else {
+            Err(AccessOutOfRangeError {
+                addr,
+                dram_size: self.size,
+            })
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside DRAM.
+    pub fn read_u8(&mut self, addr: PhysAddr) -> u8 {
+        self.check(addr, 1);
+        self.page(addr.page_index())[addr.page_offset() as usize]
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside DRAM.
+    pub fn write_u8(&mut self, addr: PhysAddr, value: u8) {
+        self.check(addr, 1);
+        self.page(addr.page_index())[addr.page_offset() as usize] = value;
+    }
+
+    /// Reads a little-endian 64-bit word. The access may straddle a page
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any byte of the word is outside DRAM.
+    pub fn read_u64(&mut self, addr: PhysAddr) -> u64 {
+        self.check(addr, 8);
+        if addr.page_offset() <= PAGE_SIZE - 8 {
+            let page = self.page(addr.page_index());
+            let off = addr.page_offset() as usize;
+            u64::from_le_bytes(page[off..off + 8].try_into().expect("8-byte slice"))
+        } else {
+            let mut bytes = [0u8; 8];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.add(i as u64));
+            }
+            u64::from_le_bytes(bytes)
+        }
+    }
+
+    /// Writes a little-endian 64-bit word. The access may straddle a page
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any byte of the word is outside DRAM.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) {
+        self.check(addr, 8);
+        if addr.page_offset() <= PAGE_SIZE - 8 {
+            let off = addr.page_offset() as usize;
+            self.page(addr.page_index())[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.add(i as u64), *b);
+            }
+        }
+    }
+
+    /// Copies `buf.len()` bytes out of DRAM starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside DRAM.
+    pub fn read_bytes(&mut self, addr: PhysAddr, buf: &mut [u8]) {
+        self.check(addr, buf.len() as u64);
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.add(i as u64));
+        }
+    }
+
+    /// Copies `buf` into DRAM starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside DRAM.
+    pub fn write_bytes(&mut self, addr: PhysAddr, buf: &[u8]) {
+        self.check(addr, buf.len() as u64);
+        for (i, b) in buf.iter().enumerate() {
+            self.write_u8(addr.add(i as u64), *b);
+        }
+    }
+
+    /// Fills `len` bytes starting at `addr` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside DRAM.
+    pub fn fill(&mut self, addr: PhysAddr, len: u64, value: u8) {
+        self.check(addr, len);
+        let mut cur = addr;
+        let end = addr.add(len);
+        while cur < end {
+            let in_page = (PAGE_SIZE - cur.page_offset()).min(end.offset_from(cur));
+            let page = self.page(cur.page_index());
+            let off = cur.page_offset() as usize;
+            page[off..off + in_page as usize].fill(value);
+            cur = cur.add(in_page);
+        }
+    }
+}
+
+impl PartialEq for PhysMemory {
+    fn eq(&self, other: &Self) -> bool {
+        // Two memories are equal if every *resident* page matches and absent
+        // pages (implicitly zero) compare equal to zero-filled pages.
+        if self.size != other.size {
+            return false;
+        }
+        let zero = [0u8; PAGE_SIZE as usize];
+        let frames: std::collections::HashSet<_> =
+            self.pages.keys().chain(other.pages.keys()).collect();
+        frames.into_iter().all(|f| {
+            let a = self.pages.get(f).map(|p| &p[..]).unwrap_or(&zero);
+            let b = other.pages.get(f).map(|p| &p[..]).unwrap_or(&zero);
+            a == b
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let mut mem = PhysMemory::new(PAGE_SIZE * 4);
+        assert_eq!(mem.read_u64(PhysAddr::new(0)), 0);
+        assert_eq!(mem.read_u8(PhysAddr::new(PAGE_SIZE * 4 - 1)), 0);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut mem = PhysMemory::new(1 << 16);
+        mem.write_u64(PhysAddr::new(0x38), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(PhysAddr::new(0x38)), 0x0102_0304_0506_0708);
+        // Little-endian byte order.
+        assert_eq!(mem.read_u8(PhysAddr::new(0x38)), 0x08);
+        assert_eq!(mem.read_u8(PhysAddr::new(0x3F)), 0x01);
+    }
+
+    #[test]
+    fn straddling_page_boundary() {
+        let mut mem = PhysMemory::new(1 << 16);
+        let addr = PhysAddr::new(PAGE_SIZE - 4);
+        mem.write_u64(addr, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(mem.read_u64(addr), 0xAABB_CCDD_EEFF_0011);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut mem = PhysMemory::new(1 << 16);
+        let data = [1u8, 2, 3, 4, 5];
+        mem.write_bytes(PhysAddr::new(100), &data);
+        let mut out = [0u8; 5];
+        mem.read_bytes(PhysAddr::new(100), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fill_spans_pages() {
+        let mut mem = PhysMemory::new(1 << 16);
+        mem.fill(PhysAddr::new(PAGE_SIZE - 16), 32, 0xAB);
+        for i in 0..32 {
+            assert_eq!(mem.read_u8(PhysAddr::new(PAGE_SIZE - 16 + i)), 0xAB);
+        }
+        assert_eq!(mem.read_u8(PhysAddr::new(PAGE_SIZE - 17)), 0);
+        assert_eq!(mem.read_u8(PhysAddr::new(PAGE_SIZE + 16)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside DRAM")]
+    fn out_of_range_panics() {
+        let mut mem = PhysMemory::new(PAGE_SIZE);
+        mem.read_u64(PhysAddr::new(PAGE_SIZE - 4));
+    }
+
+    #[test]
+    fn try_check_reports_error() {
+        let mem = PhysMemory::new(PAGE_SIZE);
+        let err = mem.try_check(PhysAddr::new(PAGE_SIZE), 8).unwrap_err();
+        assert_eq!(err.addr, PhysAddr::new(PAGE_SIZE));
+        assert!(err.to_string().contains("outside DRAM"));
+        assert!(mem.try_check(PhysAddr::new(0), PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn size_rounds_to_page() {
+        let mem = PhysMemory::new(100);
+        assert_eq!(mem.size(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn sparse_equality() {
+        let mut a = PhysMemory::new(1 << 16);
+        let mut b = PhysMemory::new(1 << 16);
+        assert_eq!(a, b);
+        a.write_u8(PhysAddr::new(5), 7);
+        assert_ne!(a, b);
+        b.write_u8(PhysAddr::new(5), 7);
+        assert_eq!(a, b);
+        // Touching a page with zeroes keeps equality with an untouched one.
+        a.write_u8(PhysAddr::new(PAGE_SIZE * 3), 0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,233 @@
+//! System registers and exception levels.
+//!
+//! Only the registers the Hypernel design actually manipulates are
+//! modeled (paper §3, §6.1): the EL1 translation-control group that
+//! `HCR_EL2.TVM` traps, plus the EL2 configuration Hypersec initializes
+//! during boot.
+
+/// AArch64 exception levels (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExceptionLevel {
+    /// User applications.
+    El0,
+    /// The OS kernel.
+    El1,
+    /// The hypervisor / Hypersec secure space.
+    El2,
+}
+
+impl std::fmt::Display for ExceptionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::El0 => write!(f, "EL0"),
+            Self::El1 => write!(f, "EL1"),
+            Self::El2 => write!(f, "EL2"),
+        }
+    }
+}
+
+/// System registers whose writes can be trapped or that configure
+/// translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(non_camel_case_types)]
+pub enum SysReg {
+    /// Stage-1 table base for the lower (user) VA half.
+    TTBR0_EL1,
+    /// Stage-1 table base for the upper (kernel) VA half.
+    TTBR1_EL1,
+    /// EL1 system control (MMU enable bit, among others).
+    SCTLR_EL1,
+    /// EL1 translation control.
+    TCR_EL1,
+    /// EL1 memory attribute indirection.
+    MAIR_EL1,
+    /// EL1 exception vector base.
+    VBAR_EL1,
+    /// Hypervisor configuration (TVM bit etc.). EL2-only.
+    HCR_EL2,
+    /// Stage-2 table base. EL2-only.
+    VTTBR_EL2,
+    /// EL2 stage-1 (Hypersec's own) table base. EL2-only.
+    TTBR0_EL2,
+    /// EL2 exception vector base. EL2-only.
+    VBAR_EL2,
+    /// EL2 stack pointer. EL2-only.
+    SP_EL2,
+}
+
+impl SysReg {
+    /// Registers in the "virtual memory" group trapped by `HCR_EL2.TVM`
+    /// (the paper's §5.2.2 / §6.1 mechanism).
+    pub fn is_vm_group(self) -> bool {
+        matches!(
+            self,
+            Self::TTBR0_EL1 | Self::TTBR1_EL1 | Self::SCTLR_EL1 | Self::TCR_EL1 | Self::MAIR_EL1
+        )
+    }
+
+    /// Registers only writable from EL2.
+    pub fn is_el2_only(self) -> bool {
+        matches!(
+            self,
+            Self::HCR_EL2 | Self::VTTBR_EL2 | Self::TTBR0_EL2 | Self::VBAR_EL2 | Self::SP_EL2
+        )
+    }
+}
+
+impl std::fmt::Display for SysReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Bit definitions for [`SysReg::HCR_EL2`].
+pub mod hcr {
+    /// Trap writes to virtual-memory control registers to EL2.
+    pub const TVM: u64 = 1 << 26;
+    /// Enable stage-2 translation (nested paging).
+    pub const VM: u64 = 1 << 0;
+}
+
+/// Bit definitions for [`SysReg::SCTLR_EL1`].
+pub mod sctlr {
+    /// Stage-1 MMU enable.
+    pub const M: u64 = 1 << 0;
+}
+
+/// The architectural system-register file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SysRegs {
+    ttbr0_el1: u64,
+    ttbr1_el1: u64,
+    sctlr_el1: u64,
+    tcr_el1: u64,
+    mair_el1: u64,
+    vbar_el1: u64,
+    hcr_el2: u64,
+    vttbr_el2: u64,
+    ttbr0_el2: u64,
+    vbar_el2: u64,
+    sp_el2: u64,
+}
+
+impl SysRegs {
+    /// Creates a register file with everything zeroed (MMU off, no traps).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a register's raw value.
+    pub fn read(&self, reg: SysReg) -> u64 {
+        match reg {
+            SysReg::TTBR0_EL1 => self.ttbr0_el1,
+            SysReg::TTBR1_EL1 => self.ttbr1_el1,
+            SysReg::SCTLR_EL1 => self.sctlr_el1,
+            SysReg::TCR_EL1 => self.tcr_el1,
+            SysReg::MAIR_EL1 => self.mair_el1,
+            SysReg::VBAR_EL1 => self.vbar_el1,
+            SysReg::HCR_EL2 => self.hcr_el2,
+            SysReg::VTTBR_EL2 => self.vttbr_el2,
+            SysReg::TTBR0_EL2 => self.ttbr0_el2,
+            SysReg::VBAR_EL2 => self.vbar_el2,
+            SysReg::SP_EL2 => self.sp_el2,
+        }
+    }
+
+    /// Writes a register's raw value. This is the *architectural* write —
+    /// trap checking happens in the machine front-end before it reaches
+    /// here.
+    pub fn write(&mut self, reg: SysReg, value: u64) {
+        match reg {
+            SysReg::TTBR0_EL1 => self.ttbr0_el1 = value,
+            SysReg::TTBR1_EL1 => self.ttbr1_el1 = value,
+            SysReg::SCTLR_EL1 => self.sctlr_el1 = value,
+            SysReg::TCR_EL1 => self.tcr_el1 = value,
+            SysReg::MAIR_EL1 => self.mair_el1 = value,
+            SysReg::VBAR_EL1 => self.vbar_el1 = value,
+            SysReg::HCR_EL2 => self.hcr_el2 = value,
+            SysReg::VTTBR_EL2 => self.vttbr_el2 = value,
+            SysReg::TTBR0_EL2 => self.ttbr0_el2 = value,
+            SysReg::VBAR_EL2 => self.vbar_el2 = value,
+            SysReg::SP_EL2 => self.sp_el2 = value,
+        }
+    }
+
+    /// Is the EL1 stage-1 MMU enabled?
+    pub fn stage1_enabled(&self) -> bool {
+        self.sctlr_el1 & sctlr::M != 0
+    }
+
+    /// Is stage-2 (nested paging) enabled?
+    pub fn stage2_enabled(&self) -> bool {
+        self.hcr_el2 & hcr::VM != 0
+    }
+
+    /// Are VM-register writes from EL1 trapped to EL2?
+    pub fn tvm_enabled(&self) -> bool {
+        self.hcr_el2 & hcr::TVM != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_every_register() {
+        let regs = [
+            SysReg::TTBR0_EL1,
+            SysReg::TTBR1_EL1,
+            SysReg::SCTLR_EL1,
+            SysReg::TCR_EL1,
+            SysReg::MAIR_EL1,
+            SysReg::VBAR_EL1,
+            SysReg::HCR_EL2,
+            SysReg::VTTBR_EL2,
+            SysReg::TTBR0_EL2,
+            SysReg::VBAR_EL2,
+            SysReg::SP_EL2,
+        ];
+        let mut file = SysRegs::new();
+        for (i, r) in regs.iter().enumerate() {
+            file.write(*r, 0x1000 + i as u64);
+        }
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(file.read(*r), 0x1000 + i as u64, "register {r}");
+        }
+    }
+
+    #[test]
+    fn vm_group_membership() {
+        assert!(SysReg::TTBR1_EL1.is_vm_group());
+        assert!(SysReg::SCTLR_EL1.is_vm_group());
+        assert!(!SysReg::VBAR_EL1.is_vm_group());
+        assert!(!SysReg::HCR_EL2.is_vm_group());
+    }
+
+    #[test]
+    fn el2_only_membership() {
+        assert!(SysReg::HCR_EL2.is_el2_only());
+        assert!(SysReg::SP_EL2.is_el2_only());
+        assert!(!SysReg::TTBR0_EL1.is_el2_only());
+    }
+
+    #[test]
+    fn feature_bits() {
+        let mut file = SysRegs::new();
+        assert!(!file.stage1_enabled());
+        assert!(!file.stage2_enabled());
+        assert!(!file.tvm_enabled());
+        file.write(SysReg::SCTLR_EL1, sctlr::M);
+        file.write(SysReg::HCR_EL2, hcr::VM | hcr::TVM);
+        assert!(file.stage1_enabled());
+        assert!(file.stage2_enabled());
+        assert!(file.tvm_enabled());
+    }
+
+    #[test]
+    fn exception_level_ordering() {
+        assert!(ExceptionLevel::El0 < ExceptionLevel::El1);
+        assert!(ExceptionLevel::El1 < ExceptionLevel::El2);
+        assert_eq!(ExceptionLevel::El2.to_string(), "EL2");
+    }
+}

@@ -1,0 +1,389 @@
+//! Translation lookaside buffer model.
+//!
+//! Two structures mirror a modern ARM core:
+//!
+//! * the **main TLB** caches *completed* translations — VA page → final PA
+//!   page with combined stage-1 (and, under nested paging, stage-2)
+//!   permissions. Entries are tagged by [`Regime`] and ASID so a context
+//!   switch need not flush.
+//! * the **stage-2 TLB** caches IPA page → PA page mappings used while
+//!   nested walks resolve stage-1 table accesses. It only fills when a
+//!   hypervisor enables stage-2 translation.
+//!
+//! Both are finite and FIFO-replaced; misses are what make nested paging
+//! expensive, so the sizes matter for reproducing the paper's KVM numbers.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::pagetable::PagePerms;
+
+/// Translation regime a main-TLB entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// EL0/EL1 stage-1 (plus stage-2 when nested paging is on).
+    El1 {
+        /// Address-space identifier of the owning process; `None` marks a
+        /// global (kernel) mapping shared by all ASIDs.
+        asid: Option<u16>,
+    },
+    /// The EL2 (Hypersec) translation regime.
+    El2,
+}
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Final physical page base.
+    pub pa_page: PhysAddr,
+    /// Combined effective permissions.
+    pub perms: PagePerms,
+    /// Number of stage-1 + stage-2 table accesses a walk for this entry
+    /// cost when it was filled (replayed as the TLB-miss penalty).
+    pub walk_accesses: u32,
+}
+
+/// Main-TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries discarded by capacity replacement.
+    pub evictions: u64,
+    /// Entries discarded by explicit invalidation.
+    pub flushes: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in `[0, 1]`; `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    regime: Regime,
+    va_page: u64,
+}
+
+/// Finite, FIFO-replaced TLB.
+///
+/// ```
+/// use hypernel_machine::addr::{PhysAddr, VirtAddr};
+/// use hypernel_machine::pagetable::PagePerms;
+/// use hypernel_machine::tlb::{Regime, Tlb, TlbEntry};
+///
+/// let mut tlb = Tlb::new(64, 64);
+/// let regime = Regime::El1 { asid: Some(1) };
+/// let va = VirtAddr::new(0x1000);
+/// assert!(tlb.lookup(regime, va).is_none());
+/// tlb.insert(regime, va, TlbEntry {
+///     pa_page: PhysAddr::new(0x8000),
+///     perms: PagePerms::USER_DATA,
+///     walk_accesses: 4,
+/// });
+/// assert!(tlb.lookup(regime, va).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    main: HashMap<Key, TlbEntry>,
+    main_order: VecDeque<Key>,
+    main_capacity: usize,
+    stage2: HashMap<u64, TlbEntry>,
+    stage2_order: VecDeque<u64>,
+    stage2_capacity: usize,
+    stats: TlbStats,
+    s2_stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given main and stage-2 capacities (entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(main_capacity: usize, stage2_capacity: usize) -> Self {
+        assert!(main_capacity > 0 && stage2_capacity > 0, "capacities must be non-zero");
+        Self {
+            main: HashMap::new(),
+            main_order: VecDeque::new(),
+            main_capacity,
+            stage2: HashMap::new(),
+            stage2_order: VecDeque::new(),
+            stage2_capacity,
+            stats: TlbStats::default(),
+            s2_stats: TlbStats::default(),
+        }
+    }
+
+    /// Main-TLB statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Stage-2 TLB statistics.
+    pub fn stage2_stats(&self) -> TlbStats {
+        self.s2_stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+        self.s2_stats = TlbStats::default();
+    }
+
+    /// Number of live main-TLB entries.
+    pub fn len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Returns `true` if the main TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.main.is_empty()
+    }
+
+    /// Looks up `va` in `regime`, recording a hit or miss. Global (kernel)
+    /// entries match any ASID of the same EL1 regime.
+    pub fn lookup(&mut self, regime: Regime, va: VirtAddr) -> Option<TlbEntry> {
+        let va_page = va.page_index();
+        let direct = self.main.get(&Key { regime, va_page }).copied();
+        let entry = direct.or_else(|| {
+            // Global kernel entries are stored with asid: None and hit for
+            // any EL1 ASID.
+            if let Regime::El1 { asid: Some(_) } = regime {
+                self.main
+                    .get(&Key {
+                        regime: Regime::El1 { asid: None },
+                        va_page,
+                    })
+                    .copied()
+            } else {
+                None
+            }
+        });
+        match entry {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed translation, evicting the oldest entry if full.
+    pub fn insert(&mut self, regime: Regime, va: VirtAddr, entry: TlbEntry) {
+        let key = Key {
+            regime,
+            va_page: va.page_index(),
+        };
+        if self.main.insert(key, entry).is_none() {
+            self.main_order.push_back(key);
+            if self.main.len() > self.main_capacity {
+                while let Some(old) = self.main_order.pop_front() {
+                    if self.main.remove(&old).is_some() {
+                        self.stats.evictions += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Looks up an IPA page in the stage-2 TLB.
+    pub fn lookup_stage2(&mut self, ipa_page: u64) -> Option<TlbEntry> {
+        match self.stage2.get(&ipa_page).copied() {
+            Some(e) => {
+                self.s2_stats.hits += 1;
+                Some(e)
+            }
+            None => {
+                self.s2_stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a stage-2 translation.
+    pub fn insert_stage2(&mut self, ipa_page: u64, entry: TlbEntry) {
+        if self.stage2.insert(ipa_page, entry).is_none() {
+            self.stage2_order.push_back(ipa_page);
+            if self.stage2.len() > self.stage2_capacity {
+                while let Some(old) = self.stage2_order.pop_front() {
+                    if self.stage2.remove(&old).is_some() {
+                        self.s2_stats.evictions += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invalidates everything (`TLBI VMALLS12`, roughly).
+    pub fn flush_all(&mut self) {
+        self.stats.flushes += self.main.len() as u64;
+        self.s2_stats.flushes += self.stage2.len() as u64;
+        self.main.clear();
+        self.main_order.clear();
+        self.stage2.clear();
+        self.stage2_order.clear();
+    }
+
+    /// Invalidates every main-TLB entry of one ASID (`TLBI ASID`).
+    pub fn flush_asid(&mut self, asid: u16) {
+        let before = self.main.len();
+        self.main.retain(|k, _| {
+            !matches!(
+                k.regime,
+                Regime::El1 { asid: Some(a) } if a == asid
+            )
+        });
+        self.stats.flushes += (before - self.main.len()) as u64;
+    }
+
+    /// Invalidates the main-TLB entry covering `va` in every ASID of the
+    /// regime class (`TLBI VAE1`, conservatively broad).
+    pub fn flush_va(&mut self, va: VirtAddr) {
+        let page = va.page_index();
+        let before = self.main.len();
+        self.main.retain(|k, _| k.va_page != page);
+        self.stats.flushes += (before - self.main.len()) as u64;
+    }
+
+    /// Invalidates stage-2 entries (and, because the main TLB may hold
+    /// combined translations, the whole main TLB — as `TLBI IPAS2` plus
+    /// `VMALLE1` would).
+    pub fn flush_stage2(&mut self) {
+        self.flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pa: u64) -> TlbEntry {
+        TlbEntry {
+            pa_page: PhysAddr::new(pa),
+            perms: PagePerms::KERNEL_DATA,
+            walk_accesses: 4,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut tlb = Tlb::new(8, 8);
+        let r = Regime::El1 { asid: Some(1) };
+        assert!(tlb.lookup(r, VirtAddr::new(0x1000)).is_none());
+        tlb.insert(r, VirtAddr::new(0x1000), entry(0x8000));
+        assert_eq!(
+            tlb.lookup(r, VirtAddr::new(0x1FFF)).unwrap().pa_page,
+            PhysAddr::new(0x8000)
+        );
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn global_entries_hit_any_asid() {
+        let mut tlb = Tlb::new(8, 8);
+        tlb.insert(Regime::El1 { asid: None }, VirtAddr::new(0x2000), entry(0x9000));
+        assert!(tlb
+            .lookup(Regime::El1 { asid: Some(7) }, VirtAddr::new(0x2000))
+            .is_some());
+        assert!(tlb
+            .lookup(Regime::El1 { asid: Some(9) }, VirtAddr::new(0x2000))
+            .is_some());
+        // But not the EL2 regime.
+        assert!(tlb.lookup(Regime::El2, VirtAddr::new(0x2000)).is_none());
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut tlb = Tlb::new(8, 8);
+        tlb.insert(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x2000), entry(0x9000));
+        assert!(tlb
+            .lookup(Regime::El1 { asid: Some(2) }, VirtAddr::new(0x2000))
+            .is_none());
+    }
+
+    #[test]
+    fn capacity_eviction_is_fifo() {
+        let mut tlb = Tlb::new(2, 2);
+        let r = Regime::El1 { asid: Some(1) };
+        tlb.insert(r, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(r, VirtAddr::new(0x2000), entry(0x2000));
+        tlb.insert(r, VirtAddr::new(0x3000), entry(0x3000));
+        assert_eq!(tlb.len(), 2);
+        assert!(tlb.lookup(r, VirtAddr::new(0x1000)).is_none());
+        assert!(tlb.lookup(r, VirtAddr::new(0x2000)).is_some());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn flush_asid_spares_globals() {
+        let mut tlb = Tlb::new(8, 8);
+        tlb.insert(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(Regime::El1 { asid: None }, VirtAddr::new(0x2000), entry(0x2000));
+        tlb.flush_asid(1);
+        assert!(tlb
+            .lookup(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x1000))
+            .is_none());
+        assert!(tlb
+            .lookup(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x2000))
+            .is_some());
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn flush_va_hits_all_asids() {
+        let mut tlb = Tlb::new(8, 8);
+        tlb.insert(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(Regime::El1 { asid: Some(2) }, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.flush_va(VirtAddr::new(0x1234));
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn stage2_roundtrip_and_flush() {
+        let mut tlb = Tlb::new(4, 4);
+        assert!(tlb.lookup_stage2(5).is_none());
+        tlb.insert_stage2(5, entry(0x5000));
+        assert!(tlb.lookup_stage2(5).is_some());
+        tlb.flush_stage2();
+        assert!(tlb.lookup_stage2(5).is_none());
+        assert_eq!(tlb.stage2_stats().hits, 1);
+        assert_eq!(tlb.stage2_stats().misses, 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_grow_order_queue() {
+        let mut tlb = Tlb::new(2, 2);
+        let r = Regime::El2;
+        for _ in 0..10 {
+            tlb.insert(r, VirtAddr::new(0x1000), entry(0x1000));
+        }
+        tlb.insert(r, VirtAddr::new(0x2000), entry(0x2000));
+        tlb.insert(r, VirtAddr::new(0x3000), entry(0x3000));
+        // 0x1000 was oldest; exactly one eviction happened at capacity.
+        assert_eq!(tlb.len(), 2);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut tlb = Tlb::new(4, 4);
+        let r = Regime::El2;
+        assert!(tlb.stats().hit_rate().is_none());
+        tlb.lookup(r, VirtAddr::new(0));
+        tlb.insert(r, VirtAddr::new(0), entry(0));
+        tlb.lookup(r, VirtAddr::new(0));
+        assert_eq!(tlb.stats().hit_rate(), Some(0.5));
+    }
+}

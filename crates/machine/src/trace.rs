@@ -1,0 +1,161 @@
+//! Architectural event tracing.
+//!
+//! A bounded ring of recent privilege-boundary events (hypercalls,
+//! traps, faults, interrupts, maintenance), cycle-stamped. Disabled by
+//! default and free when off; enable it to answer "what did the machine
+//! do between these two points?" — invaluable when a verification denial
+//! or an unexpected overhead needs a post-mortem.
+
+use crate::addr::{IntermAddr, VirtAddr};
+use crate::irq::IrqLine;
+use crate::machine::AccessKind;
+use crate::regs::SysReg;
+
+/// One traced architectural event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `HVC` executed (call number recorded).
+    Hypercall {
+        /// The call number.
+        call: u64,
+    },
+    /// A VM-register write trapped to EL2.
+    SysregTrap {
+        /// The register.
+        reg: SysReg,
+        /// The attempted value.
+        value: u64,
+    },
+    /// A stage-2 fault was routed to the hypervisor.
+    Stage2Fault {
+        /// Faulting IPA.
+        ipa: IntermAddr,
+        /// Access kind.
+        kind: AccessKind,
+    },
+    /// A stage-1 data abort was delivered to EL1.
+    DataAbort {
+        /// Faulting VA.
+        va: VirtAddr,
+        /// Access kind.
+        kind: AccessKind,
+        /// Permission (vs translation) fault.
+        permission: bool,
+    },
+    /// An interrupt line was asserted.
+    IrqRaised {
+        /// The line.
+        line: IrqLine,
+    },
+    /// `WFI` executed.
+    Wfi,
+    /// An SGI (IPI) was sent.
+    Sgi,
+    /// A TLB invalidation instruction executed.
+    TlbMaintenance,
+}
+
+/// A cycle-stamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle counter at the event.
+    pub cycles: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Bounded ring of trace records (oldest evicted first).
+///
+/// ```
+/// use hypernel_machine::trace::{TraceBuffer, TraceEvent};
+///
+/// let mut buf = TraceBuffer::new(2);
+/// buf.record(10, TraceEvent::Wfi);
+/// buf.record(20, TraceEvent::Sgi);
+/// buf.record(30, TraceEvent::TlbMaintenance);
+/// let events: Vec<_> = buf.iter().map(|r| r.cycles).collect();
+/// assert_eq!(events, vec![20, 30]); // oldest evicted
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    records: std::collections::VecDeque<TraceRecord>,
+    capacity: usize,
+    recorded_total: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Self {
+            records: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            recorded_total: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn record(&mut self, cycles: u64, event: TraceEvent) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord { cycles, event });
+        self.recorded_total += 1;
+    }
+
+    /// Iterates records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing has been recorded (or all evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total events recorded over the buffer's lifetime, including the
+    /// evicted ones.
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded_total
+    }
+
+    /// Clears the buffer (not the lifetime counter).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_semantics() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.record(i, TraceEvent::Wfi);
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.recorded_total(), 5);
+        let stamps: Vec<u64> = buf.iter().map(|r| r.cycles).collect();
+        assert_eq!(stamps, vec![2, 3, 4]);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.recorded_total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        TraceBuffer::new(0);
+    }
+}

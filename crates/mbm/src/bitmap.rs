@@ -1,0 +1,287 @@
+//! The word-granularity watch bitmap.
+//!
+//! "The monitored region is represented at the word granularity through a
+//! bitmap which maps one word (8 bytes) to one bit" (paper §5.3). The
+//! bitmap itself lives in the secure region of DRAM — the kernel cannot
+//! reach it; only Hypersec writes it and only the MBM reads it.
+//!
+//! [`BitmapLayout`] is pure geometry: it tells both producers (Hypersec)
+//! and the consumer (the MBM's bitmap translator) where the bit for a
+//! given monitored physical word lives. It performs no memory access
+//! itself.
+
+use hypernel_machine::addr::{PhysAddr, WORD_SIZE};
+use hypernel_machine::mem::PhysMemory;
+
+/// Geometry of the watch bitmap: which window of physical memory it
+/// covers and where in the secure region its backing words live.
+///
+/// ```
+/// use hypernel_machine::addr::PhysAddr;
+/// use hypernel_mbm::bitmap::BitmapLayout;
+///
+/// // Monitor the first 1 MiB of DRAM; bitmap stored at 64 MiB.
+/// let layout = BitmapLayout::new(PhysAddr::new(0), 1 << 20, PhysAddr::new(64 << 20));
+/// let (word, mask) = layout.locate(PhysAddr::new(0x40)).unwrap();
+/// assert_eq!(word, PhysAddr::new(64 << 20));
+/// assert_eq!(mask, 1 << 8); // 0x40 is the 8th word of the window
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitmapLayout {
+    window_base: PhysAddr,
+    window_len: u64,
+    bitmap_base: PhysAddr,
+}
+
+impl BitmapLayout {
+    /// Creates a layout covering `window_len` bytes of physical memory
+    /// starting at `window_base`, with bitmap storage at `bitmap_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window_base`/`window_len` are word-aligned and the
+    /// window does not overlap the bitmap storage (the MBM must never
+    /// monitor its own state).
+    pub fn new(window_base: PhysAddr, window_len: u64, bitmap_base: PhysAddr) -> Self {
+        assert!(window_base.is_word_aligned(), "window base must be word-aligned");
+        assert!(window_len.is_multiple_of(WORD_SIZE), "window length must be word-aligned");
+        assert!(window_len > 0, "window must be non-empty");
+        let layout = Self {
+            window_base,
+            window_len,
+            bitmap_base,
+        };
+        let bm_end = bitmap_base.raw() + layout.bitmap_bytes();
+        let overlap = window_base.raw() < bm_end
+            && bitmap_base.raw() < window_base.raw() + window_len;
+        assert!(!overlap, "bitmap storage must not be inside the monitored window");
+        layout
+    }
+
+    /// Base of the monitored physical window.
+    pub fn window_base(&self) -> PhysAddr {
+        self.window_base
+    }
+
+    /// Length of the monitored physical window in bytes.
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// Base of the bitmap storage in the secure region.
+    pub fn bitmap_base(&self) -> PhysAddr {
+        self.bitmap_base
+    }
+
+    /// Number of bytes of bitmap storage required: one bit per 8-byte
+    /// word, i.e. `window_len / 64`, rounded up to a whole word.
+    pub fn bitmap_bytes(&self) -> u64 {
+        let bits = self.window_len / WORD_SIZE;
+        bits.div_ceil(64) * 8
+    }
+
+    /// Returns `true` if `pa` lies inside the monitored window.
+    pub fn covers(&self, pa: PhysAddr) -> bool {
+        pa >= self.window_base && pa.raw() < self.window_base.raw() + self.window_len
+    }
+
+    /// Returns `true` if `pa` lies inside the bitmap storage itself (the
+    /// MBM snoops these writes to keep its bitmap cache coherent).
+    pub fn in_bitmap_storage(&self, pa: PhysAddr) -> bool {
+        pa >= self.bitmap_base && pa.raw() < self.bitmap_base.raw() + self.bitmap_bytes()
+    }
+
+    /// Locates the bitmap bit guarding the monitored word containing
+    /// `pa`: returns the word-aligned physical address of the bitmap word
+    /// and the single-bit mask within it, or `None` if `pa` is outside the
+    /// window.
+    pub fn locate(&self, pa: PhysAddr) -> Option<(PhysAddr, u64)> {
+        if !self.covers(pa) {
+            return None;
+        }
+        let word_index = (pa.raw() - self.window_base.raw()) / WORD_SIZE;
+        let bitmap_word = self.bitmap_base.add((word_index / 64) * 8);
+        let mask = 1u64 << (word_index % 64);
+        Some((bitmap_word, mask))
+    }
+
+    /// Computes the bitmap-word updates that set (`watch = true`) or clear
+    /// the bits covering `len` bytes starting at `base`. Updates are
+    /// coalesced per bitmap word so a large region costs one write per 64
+    /// monitored words.
+    ///
+    /// The returned operations are *read-modify-write* deltas: the caller
+    /// (Hypersec) applies each as `word = (word & !clear) | set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any part of the range is outside the window or the range
+    /// is not word-aligned.
+    pub fn plan_update(&self, base: PhysAddr, len: u64, watch: bool) -> Vec<BitmapUpdate> {
+        assert!(base.is_word_aligned() && len.is_multiple_of(WORD_SIZE), "range must be word-aligned");
+        assert!(
+            self.covers(base) && (len == 0 || self.covers(PhysAddr::new(base.raw() + len - 1))),
+            "range must lie inside the monitored window"
+        );
+        let mut updates: Vec<BitmapUpdate> = Vec::new();
+        let mut addr = base;
+        let end = base.add(len);
+        while addr < end {
+            let (word, mask) = self.locate(addr).expect("covered by assertion above");
+            match updates.last_mut() {
+                Some(u) if u.word == word => u.mask |= mask,
+                _ => updates.push(BitmapUpdate {
+                    word,
+                    mask,
+                    watch,
+                }),
+            }
+            addr = addr.add(WORD_SIZE);
+        }
+        updates
+    }
+
+    /// Reads the watch bit for the monitored word containing `pa`
+    /// directly from backing memory (bypassing the MBM's bitmap cache —
+    /// used by verification code and tests).
+    pub fn is_watched(&self, mem: &mut PhysMemory, pa: PhysAddr) -> bool {
+        match self.locate(pa) {
+            Some((word, mask)) => mem.read_u64(word) & mask != 0,
+            None => false,
+        }
+    }
+}
+
+/// One coalesced read-modify-write of a bitmap word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitmapUpdate {
+    /// Physical address of the bitmap word.
+    pub word: PhysAddr,
+    /// Bits to set (when watching) or clear (when unwatching).
+    pub mask: u64,
+    /// `true` to set the bits, `false` to clear them.
+    pub watch: bool,
+}
+
+impl BitmapUpdate {
+    /// Applies the update to `current`, returning the new word value.
+    pub fn apply_to(&self, current: u64) -> u64 {
+        if self.watch {
+            current | self.mask
+        } else {
+            current & !self.mask
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> BitmapLayout {
+        BitmapLayout::new(PhysAddr::new(0), 1 << 20, PhysAddr::new(0x4000_0000))
+    }
+
+    #[test]
+    fn bitmap_size_is_one_bit_per_word() {
+        let l = layout();
+        // 1 MiB window = 131072 words = 131072 bits = 16 KiB.
+        assert_eq!(l.bitmap_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn locate_first_and_last_words() {
+        let l = layout();
+        let (w0, m0) = l.locate(PhysAddr::new(0)).unwrap();
+        assert_eq!(w0, l.bitmap_base());
+        assert_eq!(m0, 1);
+        let (wl, ml) = l.locate(PhysAddr::new((1 << 20) - 8)).unwrap();
+        assert_eq!(wl, l.bitmap_base().add(16 * 1024 - 8));
+        assert_eq!(ml, 1 << 63);
+        assert!(l.locate(PhysAddr::new(1 << 20)).is_none());
+    }
+
+    #[test]
+    fn locate_uses_word_not_byte_granularity() {
+        let l = layout();
+        // Two addresses within the same word share a bit.
+        let a = l.locate(PhysAddr::new(0x100)).unwrap();
+        let b = l.locate(PhysAddr::new(0x107)).unwrap();
+        assert_eq!(a, b);
+        // The next word gets the next bit.
+        let c = l.locate(PhysAddr::new(0x108)).unwrap();
+        assert_eq!(c.0, a.0);
+        assert_eq!(c.1, a.1 << 1);
+    }
+
+    #[test]
+    fn plan_update_coalesces_per_bitmap_word() {
+        let l = layout();
+        // 128 words = 1 KiB spanning exactly two bitmap words.
+        let ups = l.plan_update(PhysAddr::new(0), 1024, true);
+        assert_eq!(ups.len(), 2);
+        assert_eq!(ups[0].mask, u64::MAX);
+        assert_eq!(ups[1].mask, u64::MAX);
+        assert_eq!(ups[1].word, l.bitmap_base().add(8));
+    }
+
+    #[test]
+    fn plan_update_partial_word() {
+        let l = layout();
+        let ups = l.plan_update(PhysAddr::new(16), 24, true);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].mask, 0b11100);
+    }
+
+    #[test]
+    fn apply_set_then_clear() {
+        let up_set = BitmapUpdate {
+            word: PhysAddr::new(0),
+            mask: 0b1010,
+            watch: true,
+        };
+        let up_clr = BitmapUpdate {
+            word: PhysAddr::new(0),
+            mask: 0b0010,
+            watch: false,
+        };
+        let v = up_set.apply_to(0b0001);
+        assert_eq!(v, 0b1011);
+        assert_eq!(up_clr.apply_to(v), 0b1001);
+    }
+
+    #[test]
+    fn is_watched_roundtrip() {
+        let l = BitmapLayout::new(PhysAddr::new(0), 1 << 16, PhysAddr::new(0x10_0000));
+        let mut mem = PhysMemory::new(0x20_0000);
+        assert!(!l.is_watched(&mut mem, PhysAddr::new(0x40)));
+        for u in l.plan_update(PhysAddr::new(0x40), 8, true) {
+            let cur = mem.read_u64(u.word);
+            mem.write_u64(u.word, u.apply_to(cur));
+        }
+        assert!(l.is_watched(&mut mem, PhysAddr::new(0x40)));
+        assert!(l.is_watched(&mut mem, PhysAddr::new(0x47)));
+        assert!(!l.is_watched(&mut mem, PhysAddr::new(0x48)));
+    }
+
+    #[test]
+    fn storage_region_identification() {
+        let l = layout();
+        assert!(l.in_bitmap_storage(l.bitmap_base()));
+        assert!(l.in_bitmap_storage(l.bitmap_base().add(l.bitmap_bytes() - 1)));
+        assert!(!l.in_bitmap_storage(l.bitmap_base().add(l.bitmap_bytes())));
+        assert!(!l.in_bitmap_storage(PhysAddr::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be inside")]
+    fn window_overlapping_bitmap_rejected() {
+        BitmapLayout::new(PhysAddr::new(0), 1 << 20, PhysAddr::new(0x8000));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the monitored window")]
+    fn plan_outside_window_rejected() {
+        layout().plan_update(PhysAddr::new((1 << 20) - 8), 16, true);
+    }
+}

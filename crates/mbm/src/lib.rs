@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # hypernel-mbm
+//!
+//! The **Memory Bus Monitor (MBM)** of the [Hypernel (DAC 2018)][paper]
+//! reproduction: an external hardware module that eavesdrops on the
+//! CPU↔DRAM bus and enforces *word-granularity* write monitoring — the
+//! paper's answer to the protection-granularity gap that makes
+//! page-granularity (nested-paging) kernel monitors so expensive.
+//!
+//! The device mirrors the paper's Fig. 5 microarchitecture: a bus traffic
+//! snooper feeding a [FIFO](fifo), a [bitmap translator](bitmap) backed by
+//! a read-allocate [bitmap cache](cache), and a decision unit that records
+//! matching events in an output [ring buffer](ring) and interrupts the
+//! host CPU. One bitmap bit guards one 8-byte word.
+//!
+//! The MBM is pure hardware: it has no notion of virtual addresses or
+//! kernel objects. Hypersec (crate `hypernel-hypersec`) supplies the
+//! processor-internal knowledge — translating monitored virtual regions
+//! into the physical bitmap and keeping monitored pages non-cacheable so
+//! every write is bus-visible.
+//!
+//! ## Example
+//!
+//! ```
+//! use hypernel_machine::addr::PhysAddr;
+//! use hypernel_machine::machine::{Machine, MachineConfig};
+//! use hypernel_mbm::monitor::{Mbm, MbmConfig};
+//!
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let config = MbmConfig::standard(
+//!     PhysAddr::new(0),
+//!     1 << 30,                     // monitor the first 1 GiB
+//!     PhysAddr::new(0x7000_0000),  // bitmap in the secure region
+//!     PhysAddr::new(0x7800_0000),  // ring buffer in the secure region
+//!     1024,
+//! );
+//! machine.bus_mut().attach(Box::new(Mbm::new(config)));
+//! assert!(machine.bus().snooper::<Mbm>().is_some());
+//! ```
+//!
+//! [paper]: https://doi.org/10.1145/3195970.3196061
+
+pub mod bitmap;
+pub mod cache;
+pub mod fifo;
+pub mod monitor;
+pub mod ring;
+
+pub use bitmap::{BitmapLayout, BitmapUpdate};
+pub use monitor::{Mbm, MbmConfig, MbmStats};
+pub use ring::{RingLayout, WriteEvent};

@@ -1,0 +1,214 @@
+//! The output ring buffer shared by the MBM (producer) and Hypersec
+//! (consumer).
+//!
+//! "The MBM records the information of the event (address, value) in a
+//! ring buffer and raises an interrupt to notify Hypersec" (paper §5.3).
+//! The ring lives in the secure region, so the kernel can neither read
+//! monitoring results nor suppress them.
+//!
+//! On-memory layout (all values little-endian u64):
+//!
+//! ```text
+//! base + 0   head  — next index the consumer will read (Hypersec writes)
+//! base + 8   tail  — next index the producer will write (MBM writes)
+//! base + 16  entry[0]  { addr: u64, value: u64 }           (16 bytes)
+//! base + 32  entry[1]  ...
+//! ```
+//!
+//! Indices are monotonically increasing and wrapped modulo the capacity on
+//! access, so `tail - head` is always the number of unread events.
+
+use hypernel_machine::addr::PhysAddr;
+use hypernel_machine::mem::PhysMemory;
+
+/// A monitored-write event as recorded by the MBM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriteEvent {
+    /// Word-aligned physical address of the monitored write.
+    pub addr: PhysAddr,
+    /// The value written.
+    pub value: u64,
+}
+
+/// Geometry and access protocol of the output ring buffer.
+///
+/// Both sides use this layout against their own view of memory: the MBM
+/// writes through its device port (raw [`PhysMemory`]), Hypersec reads
+/// through its non-cacheable EL2 mapping (which, being linear, resolves to
+/// the same physical words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingLayout {
+    base: PhysAddr,
+    capacity: u64,
+}
+
+impl RingLayout {
+    /// Header bytes before the first entry.
+    pub const HEADER_BYTES: u64 = 16;
+    /// Bytes per event entry.
+    pub const ENTRY_BYTES: u64 = 16;
+
+    /// Creates a ring of `capacity` entries at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is a non-zero power of two and `base` is
+    /// word-aligned.
+    pub fn new(base: PhysAddr, capacity: u64) -> Self {
+        assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
+        assert!(base.is_word_aligned(), "ring base must be word-aligned");
+        Self { base, capacity }
+    }
+
+    /// Base physical address.
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total bytes of secure memory the ring occupies.
+    pub fn bytes(&self) -> u64 {
+        Self::HEADER_BYTES + self.capacity * Self::ENTRY_BYTES
+    }
+
+    /// Address of the head (consumer) index word.
+    pub fn head_addr(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// Address of the tail (producer) index word.
+    pub fn tail_addr(&self) -> PhysAddr {
+        self.base.add(8)
+    }
+
+    /// Address of the entry slot for monotonic index `index`.
+    pub fn entry_addr(&self, index: u64) -> PhysAddr {
+        self.base
+            .add(Self::HEADER_BYTES + (index % self.capacity) * Self::ENTRY_BYTES)
+    }
+
+    /// Number of unread events.
+    pub fn len(&self, mem: &mut PhysMemory) -> u64 {
+        let head = mem.read_u64(self.head_addr());
+        let tail = mem.read_u64(self.tail_addr());
+        tail.wrapping_sub(head)
+    }
+
+    /// Returns `true` if no events are waiting.
+    pub fn is_empty(&self, mem: &mut PhysMemory) -> bool {
+        self.len(mem) == 0
+    }
+
+    /// Producer side: appends an event. Returns `false` if the ring is
+    /// full (the event is lost — the overflow is the caller's to count).
+    pub fn push(&self, mem: &mut PhysMemory, event: WriteEvent) -> bool {
+        let head = mem.read_u64(self.head_addr());
+        let tail = mem.read_u64(self.tail_addr());
+        if tail.wrapping_sub(head) >= self.capacity {
+            return false;
+        }
+        let at = self.entry_addr(tail);
+        mem.write_u64(at, event.addr.raw());
+        mem.write_u64(at.add(8), event.value);
+        mem.write_u64(self.tail_addr(), tail.wrapping_add(1));
+        true
+    }
+
+    /// Consumer side: removes and returns the oldest event, if any.
+    pub fn pop(&self, mem: &mut PhysMemory) -> Option<WriteEvent> {
+        let head = mem.read_u64(self.head_addr());
+        let tail = mem.read_u64(self.tail_addr());
+        if tail == head {
+            return None;
+        }
+        let at = self.entry_addr(head);
+        let event = WriteEvent {
+            addr: PhysAddr::new(mem.read_u64(at)),
+            value: mem.read_u64(at.add(8)),
+        };
+        mem.write_u64(self.head_addr(), head.wrapping_add(1));
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig() -> (RingLayout, PhysMemory) {
+        (
+            RingLayout::new(PhysAddr::new(0x1000), 4),
+            PhysMemory::new(1 << 16),
+        )
+    }
+
+    fn ev(addr: u64) -> WriteEvent {
+        WriteEvent {
+            addr: PhysAddr::new(addr),
+            value: addr + 1,
+        }
+    }
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let (ring, mut mem) = rig();
+        assert!(ring.is_empty(&mut mem));
+        assert!(ring.push(&mut mem, ev(0x10)));
+        assert!(ring.push(&mut mem, ev(0x20)));
+        assert_eq!(ring.len(&mut mem), 2);
+        assert_eq!(ring.pop(&mut mem), Some(ev(0x10)));
+        assert_eq!(ring.pop(&mut mem), Some(ev(0x20)));
+        assert_eq!(ring.pop(&mut mem), None);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let (ring, mut mem) = rig();
+        for i in 0..4 {
+            assert!(ring.push(&mut mem, ev(i * 8)));
+        }
+        assert!(!ring.push(&mut mem, ev(0x100)));
+        // Draining one slot frees space.
+        ring.pop(&mut mem);
+        assert!(ring.push(&mut mem, ev(0x100)));
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (ring, mut mem) = rig();
+        for i in 0..100u64 {
+            assert!(ring.push(&mut mem, ev(i * 8)));
+            assert_eq!(ring.pop(&mut mem), Some(ev(i * 8)));
+        }
+        assert!(ring.is_empty(&mut mem));
+    }
+
+    #[test]
+    fn layout_geometry() {
+        let ring = RingLayout::new(PhysAddr::new(0x1000), 8);
+        assert_eq!(ring.bytes(), 16 + 8 * 16);
+        assert_eq!(ring.head_addr(), PhysAddr::new(0x1000));
+        assert_eq!(ring.tail_addr(), PhysAddr::new(0x1008));
+    }
+
+    #[test]
+    fn state_is_entirely_in_memory() {
+        // A second RingLayout over the same memory sees the same queue —
+        // the protocol has no hidden state, which is what lets the MBM and
+        // Hypersec share it.
+        let (ring, mut mem) = rig();
+        ring.push(&mut mem, ev(0x30));
+        let alias = RingLayout::new(PhysAddr::new(0x1000), 4);
+        assert_eq!(alias.pop(&mut mem), Some(ev(0x30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        RingLayout::new(PhysAddr::new(0), 3);
+    }
+}

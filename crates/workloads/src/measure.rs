@@ -1,0 +1,59 @@
+//! Measurement primitives shared by all workloads.
+
+use hypernel_machine::cost::CostModel;
+
+/// Cycles spent over a number of iterations of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Total cycles across all iterations.
+    pub total_cycles: u64,
+    /// Number of iterations measured.
+    pub iterations: u64,
+}
+
+impl Measurement {
+    /// Mean cycles per iteration.
+    pub fn cycles_per_iter(&self) -> f64 {
+        self.total_cycles as f64 / self.iterations.max(1) as f64
+    }
+
+    /// Mean microseconds per iteration at the modeled 1.15 GHz clock.
+    pub fn micros_per_iter(&self) -> f64 {
+        CostModel::cycles_to_us(self.total_cycles) / self.iterations.max(1) as f64
+    }
+
+    /// Overhead of `self` relative to `baseline` as a fraction
+    /// (`0.05` = 5 % slower).
+    pub fn overhead_vs(&self, baseline: &Measurement) -> f64 {
+        self.cycles_per_iter() / baseline.cycles_per_iter() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_iter_math() {
+        let base = Measurement {
+            total_cycles: 1000,
+            iterations: 10,
+        };
+        let slower = Measurement {
+            total_cycles: 1150,
+            iterations: 10,
+        };
+        assert_eq!(base.cycles_per_iter(), 100.0);
+        assert!((slower.overhead_vs(&base) - 0.15).abs() < 1e-12);
+        assert!((base.micros_per_iter() - 100.0 / 1150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_iterations_does_not_divide_by_zero() {
+        let m = Measurement {
+            total_cycles: 100,
+            iterations: 0,
+        };
+        assert_eq!(m.cycles_per_iter(), 100.0);
+    }
+}

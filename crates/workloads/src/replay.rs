@@ -1,0 +1,462 @@
+//! Trace-driven workload replay.
+//!
+//! A tiny line-oriented script format so custom workloads can be written
+//! as text and replayed against any system configuration (the CLI's
+//! `replay` command consumes it):
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! fork                 # fork a child and switch to it
+//! exec /bin/sh         # execve in the current child
+//! create /tmp/a        # create a file
+//! write /tmp/a 4096    # write bytes
+//! read /tmp/a 4096     # read bytes
+//! stat /bin/sh
+//! rename /tmp/a /tmp/b
+//! unlink /tmp/b
+//! mmap 16              # map a 16-page region (named by its index)
+//! touch 0 3            # touch page 3 of region 0
+//! munmap 0             # unmap region 0
+//! pipe 64              # pipe round trip with the last forked child
+//! signal 7             # install + deliver signal 7
+//! compute 50000 32     # user compute: cycles + memory ops
+//! exit                 # exit the current child, back to init
+//! irqs                 # service pending interrupts
+//! ```
+
+use hypernel_kernel::kernel::{Kernel, KernelError};
+use hypernel_kernel::task::Pid;
+use hypernel_machine::addr::{VirtAddr, PAGE_SIZE};
+use hypernel_machine::machine::{Hyp, Machine};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::measure::Measurement;
+
+/// One parsed replay statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// Fork and switch to the child.
+    Fork,
+    /// `execve` the given binary in the current task.
+    Exec(String),
+    /// Create a file.
+    Create(String),
+    /// Write `bytes` to a file.
+    Write(String, u64),
+    /// Read `bytes` from a file.
+    Read(String, u64),
+    /// Stat a path.
+    Stat(String),
+    /// Rename a path.
+    Rename(String, String),
+    /// Unlink a path.
+    Unlink(String),
+    /// Map a region of `pages` pages.
+    Mmap(u64),
+    /// Touch page `page` of mapped region `region`.
+    Touch(usize, u64),
+    /// Unmap region `region`.
+    Munmap(usize),
+    /// Pipe round trip of `bytes` with the most recent child (forking a
+    /// peer if none exists).
+    Pipe(u64),
+    /// Install and deliver a signal.
+    Signal(u64),
+    /// User compute: cycles and memory operations.
+    Compute(u64, u64),
+    /// Exit the current child and return to init.
+    Exit,
+    /// Service pending interrupts.
+    Irqs,
+}
+
+/// Error produced while parsing a replay script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScriptError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseScriptError {}
+
+/// Parses a replay script.
+///
+/// # Errors
+///
+/// Returns [`ParseScriptError`] with the offending line on any malformed
+/// statement.
+///
+/// ```
+/// use hypernel_workloads::replay::{parse, Statement};
+///
+/// let script = "fork\nexec /bin/sh\nwrite /tmp/x 512\nexit\n";
+/// let stmts = parse(script)?;
+/// assert_eq!(stmts.len(), 4);
+/// assert_eq!(stmts[0], Statement::Fork);
+/// # Ok::<(), hypernel_workloads::replay::ParseScriptError>(())
+/// ```
+pub fn parse(script: &str) -> Result<Vec<Statement>, ParseScriptError> {
+    let mut out = Vec::new();
+    for (i, raw) in script.lines().enumerate() {
+        let line = i + 1;
+        let err = |message: String| ParseScriptError { line, message };
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let verb = parts.next().expect("non-empty line");
+        let mut arg = |name: &str| {
+            parts
+                .next()
+                .map(str::to_string)
+                .ok_or_else(|| err(format!("'{verb}' needs {name}")))
+        };
+        let stmt = match verb {
+            "fork" => Statement::Fork,
+            "exec" => Statement::Exec(arg("a path")?),
+            "create" => Statement::Create(arg("a path")?),
+            "write" => {
+                let path = arg("a path")?;
+                let bytes = arg("a byte count")?;
+                Statement::Write(path, bytes.parse().map_err(|e| err(format!("bytes: {e}")))?)
+            }
+            "read" => {
+                let path = arg("a path")?;
+                let bytes = arg("a byte count")?;
+                Statement::Read(path, bytes.parse().map_err(|e| err(format!("bytes: {e}")))?)
+            }
+            "stat" => Statement::Stat(arg("a path")?),
+            "rename" => Statement::Rename(arg("a source")?, arg("a destination")?),
+            "unlink" => Statement::Unlink(arg("a path")?),
+            "mmap" => Statement::Mmap(
+                arg("a page count")?
+                    .parse()
+                    .map_err(|e| err(format!("pages: {e}")))?,
+            ),
+            "touch" => Statement::Touch(
+                arg("a region index")?
+                    .parse()
+                    .map_err(|e| err(format!("region: {e}")))?,
+                arg("a page index")?
+                    .parse()
+                    .map_err(|e| err(format!("page: {e}")))?,
+            ),
+            "munmap" => Statement::Munmap(
+                arg("a region index")?
+                    .parse()
+                    .map_err(|e| err(format!("region: {e}")))?,
+            ),
+            "pipe" => Statement::Pipe(
+                arg("a byte count")?
+                    .parse()
+                    .map_err(|e| err(format!("bytes: {e}")))?,
+            ),
+            "signal" => Statement::Signal(
+                arg("a signal number")?
+                    .parse()
+                    .map_err(|e| err(format!("signal: {e}")))?,
+            ),
+            "compute" => Statement::Compute(
+                arg("cycles")?
+                    .parse()
+                    .map_err(|e| err(format!("cycles: {e}")))?,
+                arg("memory ops")?
+                    .parse()
+                    .map_err(|e| err(format!("ops: {e}")))?,
+            ),
+            "exit" => Statement::Exit,
+            "irqs" => Statement::Irqs,
+            other => return Err(err(format!("unknown verb '{other}'"))),
+        };
+        if let Some(extra) = parts.next() {
+            return Err(err(format!("unexpected trailing token '{extra}'")));
+        }
+        out.push(stmt);
+    }
+    Ok(out)
+}
+
+/// Error produced while replaying a script.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// A statement referenced a region that does not exist.
+    NoSuchRegion {
+        /// The statement index (0-based).
+        statement: usize,
+        /// The referenced region index.
+        region: usize,
+    },
+    /// The kernel rejected an operation.
+    Kernel {
+        /// The statement index (0-based).
+        statement: usize,
+        /// The underlying error.
+        source: KernelError,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSuchRegion { statement, region } => {
+                write!(f, "statement {statement}: no mapped region {region}")
+            }
+            Self::Kernel { statement, source } => {
+                write!(f, "statement {statement}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Kernel { source, .. } => Some(source),
+            Self::NoSuchRegion { .. } => None,
+        }
+    }
+}
+
+/// Replays parsed statements against a kernel, returning the cycle cost.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] with the failing statement's index.
+pub fn replay(
+    kernel: &mut Kernel,
+    m: &mut Machine,
+    hyp: &mut dyn Hyp,
+    statements: &[Statement],
+    seed: u64,
+) -> Result<Measurement, ReplayError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut regions: Vec<Option<VirtAddr>> = Vec::new();
+    let mut child: Option<Pid> = None;
+    let start = m.cycles();
+    let kernel_err = |statement: usize| move |source: KernelError| ReplayError::Kernel {
+        statement,
+        source,
+    };
+    for (i, stmt) in statements.iter().enumerate() {
+        match stmt {
+            Statement::Fork => {
+                let pid = kernel.sys_fork(m, hyp).map_err(kernel_err(i))?;
+                kernel.switch_to(m, hyp, pid).map_err(kernel_err(i))?;
+                child = Some(pid);
+            }
+            Statement::Exec(path) => {
+                kernel.sys_execve(m, hyp, path).map_err(kernel_err(i))?;
+            }
+            Statement::Create(path) => {
+                kernel.sys_create(m, hyp, path).map_err(kernel_err(i))?;
+            }
+            Statement::Write(path, bytes) => {
+                kernel
+                    .sys_write_file(m, hyp, path, *bytes)
+                    .map_err(kernel_err(i))?;
+            }
+            Statement::Read(path, bytes) => {
+                kernel
+                    .sys_read_file(m, hyp, path, *bytes)
+                    .map_err(kernel_err(i))?;
+            }
+            Statement::Stat(path) => {
+                kernel.sys_stat(m, hyp, path).map_err(kernel_err(i))?;
+            }
+            Statement::Rename(from, to) => {
+                kernel.sys_rename(m, hyp, from, to).map_err(kernel_err(i))?;
+            }
+            Statement::Unlink(path) => {
+                kernel.sys_unlink(m, hyp, path).map_err(kernel_err(i))?;
+            }
+            Statement::Mmap(pages) => {
+                let base = kernel
+                    .sys_mmap(m, hyp, *pages as usize)
+                    .map_err(kernel_err(i))?;
+                regions.push(Some(base));
+            }
+            Statement::Touch(region, page) => {
+                let base = regions
+                    .get(*region)
+                    .copied()
+                    .flatten()
+                    .ok_or(ReplayError::NoSuchRegion {
+                        statement: i,
+                        region: *region,
+                    })?;
+                kernel
+                    .user_touch(m, hyp, base.add(page * PAGE_SIZE))
+                    .map_err(kernel_err(i))?;
+            }
+            Statement::Munmap(region) => {
+                let slot = regions
+                    .get_mut(*region)
+                    .ok_or(ReplayError::NoSuchRegion {
+                        statement: i,
+                        region: *region,
+                    })?;
+                let base = slot.take().ok_or(ReplayError::NoSuchRegion {
+                    statement: i,
+                    region: *region,
+                })?;
+                kernel.sys_munmap(m, hyp, base).map_err(kernel_err(i))?;
+            }
+            Statement::Pipe(bytes) => {
+                // The pipe peer is transient: fork, round-trip, reap.
+                let me = kernel.current();
+                let peer = kernel.sys_fork(m, hyp).map_err(kernel_err(i))?;
+                kernel
+                    .sys_pipe_roundtrip(m, hyp, peer, *bytes)
+                    .map_err(kernel_err(i))?;
+                kernel.sys_exit(m, hyp, peer, me).map_err(kernel_err(i))?;
+            }
+            Statement::Signal(sig) => {
+                kernel
+                    .sys_signal_install(m, hyp, *sig)
+                    .map_err(kernel_err(i))?;
+                kernel
+                    .sys_signal_deliver(m, hyp, *sig)
+                    .map_err(kernel_err(i))?;
+            }
+            Statement::Compute(cycles, ops) => {
+                crate::apps::user_compute_public(kernel, m, hyp, *cycles, *ops, &mut rng)
+                    .map_err(kernel_err(i))?;
+            }
+            Statement::Exit => {
+                if let Some(pid) = child.take() {
+                    kernel
+                        .sys_exit(m, hyp, pid, Pid(1))
+                        .map_err(kernel_err(i))?;
+                }
+            }
+            Statement::Irqs => {
+                kernel.poll_irqs(m, hyp).map_err(kernel_err(i))?;
+            }
+        }
+    }
+    // Reap any dangling child so scripts cannot leak processes.
+    if let Some(pid) = child {
+        if kernel.task(pid).is_some() {
+            kernel
+                .sys_exit(m, hyp, pid, Pid(1))
+                .map_err(|source| ReplayError::Kernel {
+                    statement: statements.len(),
+                    source,
+                })?;
+        }
+    }
+    Ok(Measurement {
+        total_cycles: m.cycles() - start,
+        iterations: statements.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypernel_kernel::kernel::KernelConfig;
+    use hypernel_kernel::layout;
+    use hypernel_machine::machine::{MachineConfig, NullHyp};
+
+    fn boot() -> (Machine, NullHyp, Kernel) {
+        let mut m = Machine::new(MachineConfig {
+            dram_size: layout::DRAM_SIZE,
+            ..MachineConfig::default()
+        });
+        let mut hyp = NullHyp;
+        let k = Kernel::boot(&mut m, &mut hyp, KernelConfig::native()).expect("boot");
+        (m, hyp, k)
+    }
+
+    const SCRIPT: &str = "\
+# an untar-flavoured mini workload
+fork
+exec /bin/sh
+create /tmp/r1
+write /tmp/r1 4096
+read /tmp/r1 4096
+stat /tmp/r1
+rename /tmp/r1 /tmp/r2
+mmap 8
+touch 0 2
+munmap 0
+pipe 64
+signal 9
+compute 10000 16
+unlink /tmp/r2
+irqs
+exit
+";
+
+    #[test]
+    fn parse_full_vocabulary() {
+        let stmts = parse(SCRIPT).expect("parses");
+        assert_eq!(stmts.len(), 16);
+        assert_eq!(stmts[6], Statement::Rename("/tmp/r1".into(), "/tmp/r2".into()));
+        assert_eq!(stmts[8], Statement::Touch(0, 2));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("fork\nwrite /tmp/x\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("byte count"));
+        let err = parse("florp\n").unwrap_err();
+        assert!(err.message.contains("unknown verb"));
+        let err = parse("exit now\n").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = parse("mmap eight\n").unwrap_err();
+        assert!(err.message.contains("pages"));
+    }
+
+    #[test]
+    fn replay_runs_and_balances() {
+        let (mut m, mut hyp, mut k) = boot();
+        let stmts = parse(SCRIPT).expect("parses");
+        let meas = replay(&mut k, &mut m, &mut hyp, &stmts, 7).expect("replays");
+        assert!(meas.total_cycles > 0);
+        assert_eq!(k.pids(), vec![Pid(1)], "children reaped");
+        assert!(k.dentry_of("/tmp/r2").is_none(), "file unlinked");
+    }
+
+    #[test]
+    fn replay_reports_the_failing_statement() {
+        let (mut m, mut hyp, mut k) = boot();
+        let stmts = parse("stat /no/such/file\n").expect("parses");
+        let err = replay(&mut k, &mut m, &mut hyp, &stmts, 7).unwrap_err();
+        assert!(matches!(err, ReplayError::Kernel { statement: 0, .. }));
+        let stmts = parse("touch 3 0\n").expect("parses");
+        let err = replay(&mut k, &mut m, &mut hyp, &stmts, 7).unwrap_err();
+        assert!(matches!(err, ReplayError::NoSuchRegion { region: 3, .. }));
+    }
+
+    #[test]
+    fn dangling_children_are_reaped() {
+        let (mut m, mut hyp, mut k) = boot();
+        let stmts = parse("fork\nexec /bin/sh\n").expect("parses");
+        replay(&mut k, &mut m, &mut hyp, &stmts, 7).expect("replays");
+        assert_eq!(k.pids(), vec![Pid(1)]);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let run = || {
+            let (mut m, mut hyp, mut k) = boot();
+            let stmts = parse(SCRIPT).expect("parses");
+            replay(&mut k, &mut m, &mut hyp, &stmts, 99)
+                .expect("replays")
+                .total_cycles
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,76 @@
+//! The address translation redirection attack (ATRA) and why Hypernel
+//! resists it where bare hardware monitors do not (paper §2, §5.3).
+//!
+//! ATRA relocates a monitored kernel object by remapping the virtual
+//! address that the kernel uses for it: the object's *physical* address —
+//! the only thing a bus-level monitor knows — stops receiving the writes.
+//! Hypersec closes the semantic gap: every kernel page-table update is
+//! verified, and the linear map must stay identity, so the remap itself
+//! is refused.
+//!
+//! ```sh
+//! cargo run --release -p hypernel --example atra_defense
+//! ```
+
+use hypernel::kernel::kernel::{KernelError, MonitorHooks, MonitorMode};
+use hypernel::kernel::kobj::CredField;
+use hypernel::kernel::layout;
+use hypernel::kernel::task::Pid;
+use hypernel::{Mode, System};
+
+fn main() -> Result<(), KernelError> {
+    // --- Act 1: the attack works on an unprotected kernel -------------
+    println!("Act 1 — native kernel (no Hypersec):\n");
+    let mut native = System::boot(Mode::Native)?;
+    let target = native.kernel().task(Pid(1)).expect("init").cred;
+    println!("  victim: init's cred object at {target}");
+    {
+        let (kernel, machine, hyp) = native.parts();
+        let (outcome, shadow) = kernel.attack_atra(machine, hyp, target)?;
+        println!("  ATRA remap of the linear-map page: {outcome}");
+        // The attacker now forges "euid = 0" through the normal VA…
+        let va = layout::kva(target.add(CredField::Euid.byte_offset()));
+        machine.write_u64(va, 0, hyp)?;
+        let off = target.offset_from(target.page_base()) + CredField::Euid.byte_offset();
+        println!(
+            "  write via the kernel VA landed in the shadow frame {} (value {})",
+            shadow,
+            machine.debug_read_phys(shadow.add(off))
+        );
+        println!(
+            "  the real object still reads euid = {} — any monitor watching",
+            machine.debug_read_phys(target.add(CredField::Euid.byte_offset()))
+        );
+        println!("  the original physical address saw nothing. Monitor blinded.\n");
+    }
+
+    // --- Act 2: Hypernel refuses the remap ----------------------------
+    println!("Act 2 — Hypernel:\n");
+    let mut protected = System::boot(Mode::Hypernel)?;
+    {
+        let (kernel, machine, hyp) = protected.parts();
+        kernel.arm_monitor_hooks(
+            machine,
+            hyp,
+            MonitorHooks {
+                mode: MonitorMode::SensitiveFields,
+            },
+        )?;
+    }
+    let target = protected.kernel().task(Pid(1)).expect("init").cred;
+    {
+        let (kernel, machine, hyp) = protected.parts();
+        let (outcome, _) = kernel.attack_atra(machine, hyp, target)?;
+        println!("  ATRA remap attempt: {outcome}");
+        assert!(!outcome.succeeded());
+        // With the translation intact, the direct attack is still seen:
+        kernel.attack_cred_escalation(machine, hyp, Pid(1))?;
+    }
+    protected.service_interrupts()?;
+    let detections = protected.hypersec().unwrap().detections().len();
+    println!("  fallback direct escalation attempt: detected ({detections} verdicts)\n");
+    println!("Hypersec's page-table verification (kernel linear map must stay");
+    println!("identity) removes the monitor's semantic gap — the MBM always");
+    println!("watches the physical addresses the kernel is actually using.");
+    Ok(())
+}

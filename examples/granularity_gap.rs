@@ -1,0 +1,64 @@
+//! The protection-granularity gap, made visible: run the same
+//! file-churn workload twice on Hypernel — once monitoring only the
+//! sensitive fields of each kernel object (word granularity), once
+//! monitoring whole objects (the paper's estimator for page-granularity
+//! schemes) — and compare how many trap events each scheme pays.
+//!
+//! This is a miniature of the paper's Table 2.
+//!
+//! ```sh
+//! cargo run --release -p hypernel --example granularity_gap
+//! ```
+
+use hypernel::kernel::kernel::{KernelError, MonitorHooks, MonitorMode};
+use hypernel::{Mode, System};
+
+fn churn(system: &mut System, files: usize) -> Result<(), KernelError> {
+    let (kernel, machine, hyp) = system.parts();
+    for i in 0..files {
+        let path = format!("/tmp/gap{i}");
+        kernel.sys_create(machine, hyp, &path)?;
+        for _ in 0..4 {
+            kernel.sys_write_file(machine, hyp, &path, 1024)?;
+        }
+        kernel.sys_stat(machine, hyp, &path)?;
+        kernel.sys_read_file(machine, hyp, &path, 4096)?;
+    }
+    kernel.poll_irqs(machine, hyp)?;
+    Ok(())
+}
+
+fn run(mode: MonitorMode) -> Result<u64, KernelError> {
+    let mut system = System::boot(Mode::Hypernel)?;
+    {
+        let (kernel, machine, hyp) = system.parts();
+        kernel.arm_monitor_hooks(machine, hyp, MonitorHooks { mode })?;
+    }
+    system.reset_mbm_stats();
+    churn(&mut system, 200)?;
+    Ok(system.mbm_stats().expect("mbm").events_matched)
+}
+
+fn main() -> Result<(), KernelError> {
+    println!("The protection-granularity gap (paper §1, §7.2)\n");
+    println!("Workload: create 200 files, write each 4x, stat and read them.");
+    println!("Monitored objects: every cred and dentry in the kernel.\n");
+
+    let word = run(MonitorMode::SensitiveFields)?;
+    let object = run(MonitorMode::WholeObject)?;
+
+    println!("trap events, word-granularity bitmap (sensitive fields): {word:>8}");
+    println!("trap events, whole-object monitoring (page-gran proxy):  {object:>8}");
+    println!(
+        "\nthe word-granularity monitor needed only {:.1}% of the traps",
+        word as f64 / object as f64 * 100.0
+    );
+    println!("(the paper measures ~6.2% across its five benchmarks — Table 2)");
+    println!(
+        "\n{} redundant traps eliminated: every one of those would have been",
+        object - word
+    );
+    println!("a world-switch + fault in a nested-paging design, paid on refcount");
+    println!("bumps and LRU rotations that no security policy cares about.");
+    Ok(())
+}

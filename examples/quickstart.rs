@@ -1,0 +1,62 @@
+//! Quickstart: boot the three system configurations, run the same kernel
+//! operation on each, and compare what the machine did under the hood.
+//!
+//! ```sh
+//! cargo run --release -p hypernel --example quickstart
+//! ```
+
+use hypernel::kernel::kernel::KernelError;
+use hypernel::kernel::task::Pid;
+use hypernel::machine::cost::CostModel;
+use hypernel::{Mode, RunReport, System};
+
+fn main() -> Result<(), KernelError> {
+    println!("Hypernel quickstart: fork+exit under three configurations\n");
+    for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+        let mut system = System::boot(mode)?;
+        let boot_cycles = system.cycles();
+
+        // Run ten fork+exit pairs — the kernel operation that stresses
+        // page-table management the most.
+        {
+            let (kernel, machine, hyp) = system.parts();
+            for _ in 0..10 {
+                let child = kernel.sys_fork(machine, hyp)?;
+                kernel.switch_to(machine, hyp, child)?;
+                kernel.sys_exit(machine, hyp, child, Pid(1))?;
+            }
+        }
+
+        let report = RunReport::capture(&system);
+        let work = report.cycles - boot_cycles;
+        println!("== {mode} ==");
+        println!(
+            "  10x fork+exit: {work} cycles ({:.1} us at 1.15 GHz)",
+            CostModel::cycles_to_us(work)
+        );
+        println!(
+            "  hypercalls: {:<6} sysreg traps: {:<6} stage-2 faults: {}",
+            report.machine.hypercalls, report.machine.sysreg_traps, report.machine.stage2_faults
+        );
+        println!(
+            "  nested paging: {}",
+            if system.machine().regs().stage2_enabled() {
+                "ON  (every TLB miss pays two-stage walks)"
+            } else {
+                "off (Hypernel's whole point)"
+            }
+        );
+        if let Some(mbm) = report.mbm {
+            println!(
+                "  MBM attached: {} bus writes seen, {} matched",
+                mbm.bus_writes_seen, mbm.events_matched
+            );
+        }
+        println!();
+    }
+    println!("Note how Hypernel routes page-table updates through verified");
+    println!("hypercalls (no stage-2 faults), while the KVM guest pays lazy");
+    println!("stage-2 faults and nested walks — the contrast the paper's");
+    println!("Table 1 quantifies.");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Rootkit detection walkthrough: arm the paper's security solution
+//! (cred + dentry integrity monitors at word granularity), run benign
+//! workload, then launch two classic rootkit payloads and watch the
+//! MBM → Hypersec → application pipeline flag them.
+//!
+//! ```sh
+//! cargo run --release -p hypernel --example rootkit_detection
+//! ```
+
+use hypernel::kernel::kernel::{KernelError, MonitorHooks, MonitorMode};
+use hypernel::kernel::task::Pid;
+use hypernel::{Mode, System};
+
+fn main() -> Result<(), KernelError> {
+    let mut system = System::boot(Mode::Hypernel)?;
+    println!("Booted the Hypernel configuration (Hypersec at EL2, MBM on the bus).");
+
+    // Arm the security solution: sweep existing creds/dentries into the
+    // monitor and hook future allocations.
+    {
+        let (kernel, machine, hyp) = system.parts();
+        kernel.arm_monitor_hooks(
+            machine,
+            hyp,
+            MonitorHooks {
+                mode: MonitorMode::SensitiveFields,
+            },
+        )?;
+    }
+    let hs = system.hypersec().expect("hypersec installed");
+    println!(
+        "Armed word-granularity monitoring: {} regions live, {} tables verified.\n",
+        hs.stats().regions_live,
+        hs.stats().tables_registered
+    );
+
+    // Phase 1: benign activity — process churn, file churn.
+    {
+        let (kernel, machine, hyp) = system.parts();
+        for i in 0..5 {
+            let child = kernel.sys_fork(machine, hyp)?;
+            kernel.switch_to(machine, hyp, child)?;
+            kernel.sys_execve(machine, hyp, "/bin/sh")?;
+            let path = format!("/tmp/job{i}");
+            kernel.sys_create(machine, hyp, &path)?;
+            kernel.sys_write_file(machine, hyp, &path, 4096)?;
+            kernel.sys_unlink(machine, hyp, &path)?;
+            kernel.sys_exit(machine, hyp, child, Pid(1))?;
+        }
+    }
+    system.service_interrupts()?;
+    let events = system.mbm_stats().expect("mbm").events_matched;
+    let detections = system.hypersec().unwrap().detections().len();
+    println!("Phase 1 — benign workload:");
+    println!("  {events} monitored writes observed, {detections} flagged (expected 0).\n");
+    assert_eq!(detections, 0, "no false positives");
+
+    // Phase 2: the rootkit strikes.
+    println!("Phase 2 — rootkit payloads:");
+    {
+        let (kernel, machine, hyp) = system.parts();
+        let o1 = kernel.attack_cred_escalation(machine, hyp, Pid(1))?;
+        println!("  cred escalation (euid -> 0, caps -> ~0): {o1}");
+        let o2 = kernel.attack_dentry_hijack(machine, hyp, "/bin/sh", 0x666)?;
+        println!("  dentry hijack   (/bin/sh inode forged):  {o2}");
+    }
+    system.service_interrupts()?;
+
+    println!("\nDetections raised by the security applications:");
+    for d in system.hypersec().unwrap().detections() {
+        println!(
+            "  [sid {}] write of {:#x} at {} — {}",
+            d.sid, d.event.value, d.event.pa, d.reason
+        );
+    }
+    let n = system.hypersec().unwrap().detections().len();
+    assert!(n >= 2, "both payloads flagged");
+    println!("\n{n} malicious writes caught; the writes themselves were word-exact:");
+    println!("no page-granularity trap storm, no nested paging — the paper's pitch.");
+    Ok(())
+}

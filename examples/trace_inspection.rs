@@ -1,0 +1,75 @@
+//! Trace inspection: enable the machine's architectural event tracer,
+//! run one `fork`, and print the exact sequence of privilege-boundary
+//! events it caused — the hypercall-per-descriptor pattern that explains
+//! Hypernel's Table 1 fork overhead at a glance.
+//!
+//! ```sh
+//! cargo run --release -p hypernel --example trace_inspection
+//! ```
+
+use hypernel::kernel::abi::call;
+use hypernel::kernel::kernel::KernelError;
+use hypernel::kernel::task::Pid;
+use hypernel::machine::trace::TraceEvent;
+use hypernel::{Mode, System};
+
+fn main() -> Result<(), KernelError> {
+    let mut system = System::boot(Mode::Hypernel)?;
+    system.machine_mut().enable_trace(4096);
+
+    let start = system.cycles();
+    {
+        let (kernel, machine, hyp) = system.parts();
+        let child = kernel.sys_fork(machine, hyp)?;
+        kernel.switch_to(machine, hyp, child)?;
+        kernel.sys_exit(machine, hyp, child, Pid(1))?;
+    }
+    let end = system.cycles();
+
+    let trace = system.machine().trace().expect("tracing enabled");
+    println!(
+        "one fork+exit under Hypernel: {} cycles, {} traced events\n",
+        end - start,
+        trace.len()
+    );
+
+    // Histogram by event kind / hypercall number.
+    let mut pt_writes = 0u64;
+    let mut registrations = 0u64;
+    let mut retirements = 0u64;
+    let mut other_hvc = 0u64;
+    let mut ttbr_traps = 0u64;
+    let mut tlb_ops = 0u64;
+    for rec in trace.iter() {
+        match rec.event {
+            TraceEvent::Hypercall { call: c } if c == call::PT_WRITE => pt_writes += 1,
+            TraceEvent::Hypercall { call: c } if c == call::PT_REGISTER_TABLE => {
+                registrations += 1
+            }
+            TraceEvent::Hypercall { call: c } if c == call::PT_UNREGISTER_TABLE => {
+                retirements += 1
+            }
+            TraceEvent::Hypercall { .. } => other_hvc += 1,
+            TraceEvent::SysregTrap { .. } => ttbr_traps += 1,
+            TraceEvent::TlbMaintenance => tlb_ops += 1,
+            _ => {}
+        }
+    }
+    println!("privilege-boundary breakdown:");
+    println!("  PT_WRITE hypercalls (verified descriptor stores): {pt_writes}");
+    println!("  PT_REGISTER_TABLE   (fresh tables adopted):       {registrations}");
+    println!("  PT_UNREGISTER_TABLE (address space retired):      {retirements}");
+    println!("  other hypercalls:                                 {other_hvc}");
+    println!("  TVM traps (TTBR0 context-switch validation):      {ttbr_traps}");
+    println!("  TLB maintenance:                                  {tlb_ops}");
+
+    println!("\nfirst ten events:");
+    for rec in trace.iter().take(10) {
+        println!("  @{:>8} {:?}", rec.cycles, rec.event);
+    }
+    println!("\nEach PT_WRITE is one verified page-table descriptor — fork copies");
+    println!("the parent's user mappings into the child's fresh tables, which is");
+    println!("exactly why fork carries Hypernel's largest Table 1 overhead while");
+    println!("a plain syscall carries none.");
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! The address translation redirection attack (ATRA, Jang et al.
+//! CCS'14) — the known bypass of bare hardware-based external monitors
+//! that the paper's §5.3 claims Hypernel resists "because Hypersec can
+//! provide the internal state of a processor".
+//!
+//! Three scenarios:
+//! 1. a **bare external monitor** (MBM wired to a machine with no
+//!    Hypersec) is blinded by ATRA — reproducing the attack paper's
+//!    result;
+//! 2. under **Hypernel**, the remap that ATRA needs is rejected by
+//!    Hypersec's linear-identity verification;
+//! 3. a native kernel performs the remap freely (the attack surface
+//!    exists; only the protection differs).
+
+use hypernel::kernel::kernel::{MonitorHooks, MonitorMode};
+use hypernel::kernel::kobj::CredField;
+use hypernel::kernel::layout;
+use hypernel::kernel::task::Pid;
+use hypernel::machine::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
+use hypernel::machine::machine::{Machine, MachineConfig, NullHyp};
+use hypernel::machine::pagetable::{apply_entry_write, plan_map, PagePerms};
+use hypernel::machine::regs::{sctlr, ExceptionLevel, SysReg};
+use hypernel::mbm::{Mbm, MbmConfig};
+use hypernel::{Mode, System};
+
+/// A machine with an MBM but *no Hypersec* — the bare external monitor
+/// of Vigilare/KI-Mon, configured (out of band) to watch one word.
+struct BareMonitorRig {
+    machine: Machine,
+    root: PhysAddr,
+    next_table: u64,
+    hyp: NullHyp,
+}
+
+const OBJ_PA: u64 = 0x20_0000;
+const OBJ_VA: u64 = 0x20_0000; // identity for simplicity
+const BITMAP: u64 = 0x400_0000;
+const RING: u64 = 0x500_0000;
+
+impl BareMonitorRig {
+    fn new() -> Self {
+        let mut machine = Machine::new(MachineConfig {
+            dram_size: 0x600_0000,
+            ..MachineConfig::default()
+        });
+        let config = MbmConfig::standard(
+            PhysAddr::new(0),
+            0x400_0000,
+            PhysAddr::new(BITMAP),
+            PhysAddr::new(RING),
+            256,
+        );
+        machine.bus_mut().attach(Box::new(Mbm::new(config)));
+        let mut rig = Self {
+            machine,
+            root: PhysAddr::new(0x100_0000),
+            next_table: 0x110_0000,
+            hyp: NullHyp,
+        };
+        // Identity-map the object page, non-cacheable so the bus (and the
+        // monitor) see every write; plus a normal page for the shadow.
+        rig.map(OBJ_VA, OBJ_PA, PagePerms::KERNEL_DATA_NC);
+        rig.map(0x30_0000, 0x30_0000, PagePerms::KERNEL_DATA_NC);
+        rig.machine.el2_write_sysreg(SysReg::TTBR0_EL1, rig.root.raw());
+        rig.machine.el2_write_sysreg(SysReg::TTBR1_EL1, rig.root.raw());
+        rig.machine.el2_write_sysreg(SysReg::SCTLR_EL1, sctlr::M);
+        rig.machine.set_el(ExceptionLevel::El1);
+        // The monitor vendor programs the bitmap with the object's
+        // *physical* address — all a bus-level device can know.
+        let layout = hypernel::mbm::BitmapLayout::new(
+            PhysAddr::new(0),
+            0x400_0000,
+            PhysAddr::new(BITMAP),
+        );
+        for update in layout.plan_update(PhysAddr::new(OBJ_PA), 8, true) {
+            let cur = rig.machine.debug_read_phys(update.word);
+            rig.machine.debug_write_phys(update.word, update.apply_to(cur));
+        }
+        rig
+    }
+
+    fn map(&mut self, va: u64, pa: u64, perms: PagePerms) {
+        let next = &mut self.next_table;
+        let plan = plan_map(
+            self.machine.mem_mut(),
+            self.root,
+            va,
+            PhysAddr::new(pa),
+            perms,
+            3,
+            &mut || {
+                let t = *next;
+                *next += PAGE_SIZE;
+                Some(PhysAddr::new(t))
+            },
+        )
+        .expect("plan");
+        for w in &plan.writes {
+            apply_entry_write(self.machine.mem_mut(), *w);
+        }
+    }
+
+    fn events(&self) -> u64 {
+        self.machine.bus().snooper::<Mbm>().unwrap().stats().events_matched
+    }
+}
+
+#[test]
+fn bare_external_monitor_works_until_atra() {
+    let mut rig = BareMonitorRig::new();
+    // Phase 1: the monitor catches a direct malicious write.
+    rig.machine
+        .write_u64(VirtAddr::new(OBJ_VA), 0xE7, &mut rig.hyp)
+        .expect("write");
+    assert_eq!(rig.events(), 1, "monitor sees the attack");
+
+    // Phase 2: ATRA. The kernel-level attacker rewrites its own page
+    // table — nothing stops it on this machine — pointing the object's VA
+    // at a shadow page.
+    rig.map(OBJ_VA, 0x30_0000, PagePerms::KERNEL_DATA_NC);
+    rig.machine.tlbi_all();
+
+    // Phase 3: the same malicious write, via the same virtual address,
+    // now lands in the shadow frame. The monitor — knowing only physical
+    // addresses — is blind.
+    rig.machine
+        .write_u64(VirtAddr::new(OBJ_VA), 0xBAD, &mut rig.hyp)
+        .expect("redirected write");
+    assert_eq!(rig.events(), 1, "no event for the redirected write: bypassed");
+    assert_eq!(rig.machine.debug_read_phys(PhysAddr::new(0x30_0000)), 0xBAD);
+}
+
+#[test]
+fn hypernel_rejects_the_atra_remap() {
+    let mut sys = System::boot(Mode::Hypernel).expect("boot");
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        kernel
+            .arm_monitor_hooks(machine, hyp, MonitorHooks {
+                mode: MonitorMode::SensitiveFields,
+            })
+            .expect("arm");
+    }
+    let target = sys.kernel().task(Pid(1)).unwrap().cred;
+    let (kernel, machine, hyp) = sys.parts();
+    let (outcome, _shadow) = kernel.attack_atra(machine, hyp, target).expect("attack runs");
+    assert!(!outcome.succeeded(), "Hypersec must reject the remap: {outcome}");
+    assert!(
+        outcome.to_string().contains("identity"),
+        "rejected by the linear-identity rule: {outcome}"
+    );
+    // And the monitor still sees subsequent attacks.
+    kernel
+        .attack_cred_escalation(machine, hyp, Pid(1))
+        .expect("attack runs");
+    sys.service_interrupts().expect("irqs");
+    assert!(!sys.hypersec().unwrap().detections().is_empty());
+}
+
+#[test]
+fn native_kernel_performs_atra_freely() {
+    let mut sys = System::boot(Mode::Native).expect("boot");
+    let target = sys.kernel().task(Pid(1)).unwrap().cred;
+    let (kernel, machine, hyp) = sys.parts();
+    let (outcome, shadow) = kernel.attack_atra(machine, hyp, target).expect("attack runs");
+    assert!(outcome.succeeded(), "{outcome}");
+    // The attacker now manipulates the shadow object through the
+    // original virtual address.
+    let va = layout::kva(target.add(CredField::Euid.byte_offset()));
+    machine.write_u64(va, 0, hyp).expect("redirected write");
+    let off = target.offset_from(target.page_base()) + CredField::Euid.byte_offset();
+    assert_eq!(machine.debug_read_phys(shadow.add(off)), 0);
+}

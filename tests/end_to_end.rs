@@ -1,0 +1,169 @@
+//! Whole-system runs across all three configurations: the paper's
+//! workloads execute unmodified under Native, KVM-guest and Hypernel,
+//! produce consistent results, and show the expected cost ordering.
+
+use hypernel::workloads::{apps, lmbench, AppBenchmark, LmbenchOp};
+use hypernel::{Mode, RunReport, System};
+
+#[test]
+fn lmbench_suite_runs_in_every_mode() {
+    for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+        let mut sys = System::boot(mode).expect("boot");
+        let (kernel, machine, hyp) = sys.parts();
+        for &op in LmbenchOp::ALL {
+            let m = lmbench::run_op(kernel, machine, hyp, op, 5).expect("op runs");
+            assert!(m.total_cycles > 0, "{mode}/{op} consumed no cycles");
+        }
+    }
+}
+
+#[test]
+fn fork_cost_ordering_matches_the_paper() {
+    // Paper Table 1: native < Hypernel < KVM for the fork family.
+    let mut results = Vec::new();
+    for mode in [Mode::Native, Mode::Hypernel, Mode::KvmGuest] {
+        let mut sys = System::boot(mode).expect("boot");
+        let (kernel, machine, hyp) = sys.parts();
+        let m = lmbench::run_op(kernel, machine, hyp, LmbenchOp::ForkExit, 20).expect("fork");
+        results.push((mode, m.cycles_per_iter()));
+    }
+    assert!(
+        results[0].1 < results[1].1 && results[1].1 < results[2].1,
+        "expected native < hypernel < kvm, got {results:?}"
+    );
+}
+
+#[test]
+fn null_syscall_is_free_of_hypernel_overhead() {
+    // Paper: "syscall stat" is essentially unchanged — operations without
+    // privileged side effects pay nothing.
+    let cost = |mode| {
+        let mut sys = System::boot(mode).expect("boot");
+        let (kernel, machine, hyp) = sys.parts();
+        lmbench::run_op(kernel, machine, hyp, LmbenchOp::SyscallStat, 50)
+            .expect("stat")
+            .cycles_per_iter()
+    };
+    let native = cost(Mode::Native);
+    let hypernel = cost(Mode::Hypernel);
+    assert!(
+        (hypernel - native).abs() / native < 0.02,
+        "stat should be within 2%: native {native}, hypernel {hypernel}"
+    );
+}
+
+#[test]
+fn hypernel_never_enables_nested_paging() {
+    let mut sys = System::boot(Mode::Hypernel).expect("boot");
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        apps::prepare(kernel, machine, hyp, AppBenchmark::Iozone).expect("prepare");
+        apps::run(kernel, machine, hyp, AppBenchmark::Iozone, 1, 9).expect("run");
+    }
+    assert!(!sys.machine().regs().stage2_enabled());
+    assert_eq!(sys.machine().stats().stage2_faults, 0);
+    // The framework works through hypercalls and traps instead.
+    assert!(sys.machine().stats().hypercalls > 0);
+    assert!(sys.machine().stats().sysreg_traps > 0);
+}
+
+#[test]
+fn kvm_guest_pays_in_stage2_faults_not_hypercalls() {
+    let mut sys = System::boot(Mode::KvmGuest).expect("boot");
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        apps::prepare(kernel, machine, hyp, AppBenchmark::Iozone).expect("prepare");
+        apps::run(kernel, machine, hyp, AppBenchmark::Iozone, 1, 9).expect("run");
+    }
+    assert!(sys.machine().regs().stage2_enabled());
+    assert!(sys.machine().stats().stage2_faults > 0);
+    assert_eq!(sys.machine().stats().hypercalls, 0);
+    assert!(sys.kvm().unwrap().stats().pages_mapped > 0);
+}
+
+#[test]
+fn runs_are_deterministic_within_a_mode() {
+    let run = || {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        let (kernel, machine, hyp) = sys.parts();
+        apps::prepare(kernel, machine, hyp, AppBenchmark::Whetstone).expect("prepare");
+        apps::run(kernel, machine, hyp, AppBenchmark::Whetstone, 1, 123)
+            .expect("run")
+            .total_cycles
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn report_captures_everything() {
+    let mut sys = System::boot(Mode::Hypernel).expect("boot");
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        lmbench::run_op(kernel, machine, hyp, LmbenchOp::ForkExit, 3).expect("fork");
+    }
+    let report = RunReport::capture(&sys);
+    assert_eq!(report.mode, Mode::Hypernel);
+    assert!(report.cycles > 0);
+    assert!(report.micros() > 0.0);
+    assert!(report.kernel.forks >= 3);
+    assert!(report.machine.hypercalls > 0);
+    assert!(report.mbm.is_some());
+    assert!(report.tlb.hits > 0);
+    assert!(report.cache.hits > 0);
+}
+
+#[test]
+fn long_mixed_workload_survives_every_mode() {
+    // A longer soak: process churn, file churn, sockets, demand paging —
+    // interleaved — must run to completion with balanced bookkeeping.
+    for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+        let mut sys = System::boot(mode).expect("boot");
+        let (kernel, machine, hyp) = sys.parts();
+        let init = hypernel::kernel::task::Pid(1);
+        for round in 0..10 {
+            let child = kernel.sys_fork(machine, hyp).expect("fork");
+            kernel.switch_to(machine, hyp, child).expect("switch");
+            kernel.sys_execve(machine, hyp, "/bin/sh").expect("exec");
+            let p = format!("/tmp/soak{round}");
+            kernel.sys_create(machine, hyp, &p).expect("create");
+            kernel.sys_write_file(machine, hyp, &p, 8192).expect("write");
+            kernel.sys_read_file(machine, hyp, &p, 8192).expect("read");
+            let region = kernel.sys_mmap(machine, hyp, 8).expect("mmap");
+            kernel.user_touch(machine, hyp, region).expect("touch");
+            kernel.sys_munmap(machine, hyp, region).expect("munmap");
+            kernel.sys_pipe_roundtrip(machine, hyp, child, 128).expect("pipe");
+            kernel.sys_unlink(machine, hyp, &p).expect("unlink");
+            kernel.sys_exit(machine, hyp, child, init).expect("exit");
+            kernel.poll_irqs(machine, hyp).expect("irqs");
+        }
+        assert_eq!(kernel.pids(), vec![init], "all children reaped under {mode}");
+    }
+}
+
+#[test]
+fn preemptive_scheduling_pays_ttbr_traps_under_hypernel() {
+    use hypernel::kernel::sched::Scheduler;
+    let mut sys = System::boot(Mode::Hypernel).expect("boot");
+    let (kernel, machine, hyp) = sys.parts();
+    let a = kernel.sys_fork(machine, hyp).expect("fork");
+    let b = kernel.sys_fork(machine, hyp).expect("fork");
+    let mut sched = Scheduler::new(1);
+    sched.enqueue(a);
+    sched.enqueue(b);
+    let traps0 = machine.stats().sysreg_traps;
+    for _ in 0..12 {
+        sched.tick(kernel, machine, hyp).expect("tick");
+    }
+    assert_eq!(sched.stats().preemptions, 12);
+    assert_eq!(
+        machine.stats().sysreg_traps - traps0,
+        12,
+        "every preemption's TTBR0 load is verified by Hypersec"
+    );
+    // Drain the rotation back to init and clean up.
+    while kernel.current() != hypernel::kernel::task::Pid(1) {
+        sched.tick(kernel, machine, hyp).expect("tick");
+    }
+    kernel.sys_exit(machine, hyp, a, hypernel::kernel::task::Pid(1)).expect("exit a");
+    kernel.sys_exit(machine, hyp, b, hypernel::kernel::task::Pid(1)).expect("exit b");
+}

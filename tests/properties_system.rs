@@ -1,0 +1,119 @@
+//! System-level property tests: under the full Hypernel configuration,
+//! arbitrary benign syscall storms must (a) be accepted, (b) keep every
+//! Hypersec invariant intact (the auditor re-walks real machine state),
+//! (c) raise zero detections, and (d) behave identically across the
+//! three configurations in terms of kernel-visible results.
+
+use hypernel::kernel::kernel::{MonitorHooks, MonitorMode};
+use hypernel::kernel::task::Pid;
+use hypernel::{Mode, System};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    ForkExit,
+    Exec,
+    FileCycle { id: u8 },
+    Stat,
+    Mmap { pages: u8 },
+    Pipe,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::ForkExit),
+        Just(Op::Exec),
+        any::<u8>().prop_map(|id| Op::FileCycle { id }),
+        Just(Op::Stat),
+        (1u8..8).prop_map(|pages| Op::Mmap { pages }),
+        Just(Op::Pipe),
+    ]
+}
+
+fn run(sys: &mut System, ops: &[Op]) {
+    let (kernel, machine, hyp) = sys.parts();
+    for op in ops {
+        match op {
+            Op::ForkExit => {
+                let child = kernel.sys_fork(machine, hyp).expect("fork");
+                kernel.switch_to(machine, hyp, child).expect("switch");
+                kernel.sys_exit(machine, hyp, child, Pid(1)).expect("exit");
+            }
+            Op::Exec => {
+                let child = kernel.sys_fork(machine, hyp).expect("fork");
+                kernel.switch_to(machine, hyp, child).expect("switch");
+                kernel.sys_execve(machine, hyp, "/bin/sh").expect("exec");
+                kernel.sys_exit(machine, hyp, child, Pid(1)).expect("exit");
+            }
+            Op::FileCycle { id } => {
+                let p = format!("/tmp/sysprop{id}");
+                kernel.sys_create(machine, hyp, &p).expect("create");
+                kernel.sys_write_file(machine, hyp, &p, 1024).expect("write");
+                kernel.sys_unlink(machine, hyp, &p).expect("unlink");
+            }
+            Op::Stat => {
+                kernel.sys_stat(machine, hyp, "/bin/sh").expect("stat");
+            }
+            Op::Mmap { pages } => {
+                let base = kernel.sys_mmap(machine, hyp, *pages as usize).expect("mmap");
+                kernel.user_touch(machine, hyp, base).expect("touch");
+                kernel.sys_munmap(machine, hyp, base).expect("munmap");
+            }
+            Op::Pipe => {
+                let peer = kernel.sys_fork(machine, hyp).expect("fork");
+                kernel.sys_pipe_roundtrip(machine, hyp, peer, 128).expect("pipe");
+                kernel.sys_exit(machine, hyp, peer, Pid(1)).expect("exit");
+            }
+        }
+        kernel.poll_irqs(machine, hyp).expect("irqs");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn hypernel_invariants_survive_benign_storms(
+        ops in prop::collection::vec(arb_op(), 1..16),
+    ) {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            kernel
+                .arm_monitor_hooks(machine, hyp, MonitorHooks {
+                    mode: MonitorMode::SensitiveFields,
+                })
+                .expect("arm");
+        }
+        run(&mut sys, &ops);
+        sys.service_interrupts().expect("drain");
+
+        // (a) tasks balanced
+        prop_assert_eq!(sys.kernel().pids(), vec![Pid(1)]);
+        // (b) every Hypersec invariant holds on the live machine state
+        prop_assert_eq!(
+            sys.hypersec().expect("hypersec").detections().len(),
+            0,
+            "no false positives"
+        );
+        let report = sys.audit_hypersec().expect("hypernel mode");
+        prop_assert!(report.is_clean(), "violations: {:?}", report.violations);
+        // (c) monitoring was actually live (events flowed)
+        prop_assert!(sys.mbm_stats().expect("mbm").bus_writes_seen > 0);
+    }
+
+    #[test]
+    fn kernel_results_agree_across_modes(ops in prop::collection::vec(arb_op(), 1..8)) {
+        let mut snapshots = Vec::new();
+        for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+            let mut sys = System::boot(mode).expect("boot");
+            run(&mut sys, &ops);
+            let k = sys.kernel().stats();
+            snapshots.push((k.forks, k.execs, k.exits, k.files_created, k.page_faults));
+        }
+        // The kernel-visible outcome is configuration-independent; only
+        // the cost differs.
+        prop_assert_eq!(snapshots[0], snapshots[1]);
+        prop_assert_eq!(snapshots[1], snapshots[2]);
+    }
+}
