@@ -47,7 +47,9 @@ fn run(cache_words: Option<usize>) -> (u64, u64, Option<f64>) {
         for i in 0..400 {
             let path = format!("/tmp/bc{i}");
             kernel.sys_create(machine, hyp, &path).expect("create");
-            kernel.sys_write_file(machine, hyp, &path, 1024).expect("write");
+            kernel
+                .sys_write_file(machine, hyp, &path, 1024)
+                .expect("write");
             kernel.sys_stat(machine, hyp, &path).expect("stat");
             if i % 64 == 63 {
                 kernel.poll_irqs(machine, hyp).expect("irqs");

@@ -37,7 +37,9 @@ fn run(sections: bool) -> Outcome {
         kernel.switch_to(machine, hyp, child).expect("switch");
         let path = format!("/tmp/s{i}");
         kernel.sys_create(machine, hyp, &path).expect("create");
-        kernel.sys_write_file(machine, hyp, &path, 8192).expect("write");
+        kernel
+            .sys_write_file(machine, hyp, &path, 8192)
+            .expect("write");
         kernel.sys_exit(machine, hyp, child, Pid(1)).expect("exit");
     }
     Outcome {

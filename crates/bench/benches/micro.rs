@@ -52,9 +52,13 @@ fn bench_translation(c: &mut Criterion) {
     group.bench_function("tlb_hit_read", |b| {
         let mut m = stage1_machine();
         let mut hyp = NullHyp;
-        m.read_u64(VirtAddr::new(0x20_0000), &mut hyp).expect("warm");
+        m.read_u64(VirtAddr::new(0x20_0000), &mut hyp)
+            .expect("warm");
         b.iter(|| {
-            black_box(m.read_u64(black_box(VirtAddr::new(0x20_0000)), &mut hyp).expect("read"))
+            black_box(
+                m.read_u64(black_box(VirtAddr::new(0x20_0000)), &mut hyp)
+                    .expect("read"),
+            )
         });
     });
     group.bench_function("stage1_miss_walk", |b| {
@@ -62,7 +66,10 @@ fn bench_translation(c: &mut Criterion) {
         let mut hyp = NullHyp;
         b.iter(|| {
             m.tlbi_all();
-            black_box(m.read_u64(black_box(VirtAddr::new(0x20_0000)), &mut hyp).expect("read"))
+            black_box(
+                m.read_u64(black_box(VirtAddr::new(0x20_0000)), &mut hyp)
+                    .expect("read"),
+            )
         });
     });
     group.bench_function("nested_miss_walk", |b| {
@@ -96,7 +103,10 @@ fn bench_translation(c: &mut Criterion) {
         let mut hyp = NullHyp;
         b.iter(|| {
             m.tlbi_all();
-            black_box(m.read_u64(black_box(VirtAddr::new(0x20_0000)), &mut hyp).expect("read"))
+            black_box(
+                m.read_u64(black_box(VirtAddr::new(0x20_0000)), &mut hyp)
+                    .expect("read"),
+            )
         });
     });
     group.bench_function("raw_walk_4_levels", |b| {
@@ -138,6 +148,7 @@ fn bench_mbm(c: &mut Criterion) {
                 mem: &mut mem,
                 irq: &mut irq,
                 extra_mem_accesses: &mut extra,
+                cycles: 0,
             };
             mbm.on_transaction(black_box(&txn), &mut ctx);
         });
@@ -160,6 +171,7 @@ fn bench_mbm(c: &mut Criterion) {
                 mem: &mut mem,
                 irq: &mut irq,
                 extra_mem_accesses: &mut extra,
+                cycles: 0,
             };
             mbm.on_transaction(black_box(&txn), &mut ctx);
             // Drain the ring so it never fills.

@@ -15,8 +15,8 @@
 //! Run with `cargo bench -p hypernel-bench --bench nc_penalty`.
 
 use hypernel::kernel::kernel::{MonitorHooks, MonitorMode};
-use hypernel::kernel::layout;
 use hypernel::kernel::kobj::DentryField;
+use hypernel::kernel::layout;
 use hypernel::{Mode, System};
 use hypernel_bench::rule;
 
@@ -40,7 +40,9 @@ fn churn(sys: &mut System, files: usize) -> u64 {
     for i in 0..files {
         let p = format!("/tmp/nc{i}");
         kernel.sys_create(machine, hyp, &p).expect("create");
-        kernel.sys_write_file(machine, hyp, &p, 2048).expect("write");
+        kernel
+            .sys_write_file(machine, hyp, &p, 2048)
+            .expect("write");
         kernel.sys_stat(machine, hyp, &p).expect("stat");
         kernel.sys_unlink(machine, hyp, &p).expect("unlink");
         kernel.poll_irqs(machine, hyp).expect("irqs");
@@ -56,15 +58,21 @@ fn main() {
     let mut sys = System::boot(Mode::Hypernel).expect("boot");
     {
         let (kernel, machine, hyp) = sys.parts();
-        kernel.sys_create(machine, hyp, "/tmp/probe").expect("create");
+        kernel
+            .sys_create(machine, hyp, "/tmp/probe")
+            .expect("create");
     }
     let cached = write_burst(&mut sys, "/tmp/probe", 256);
     {
         let (kernel, machine, hyp) = sys.parts();
         kernel
-            .arm_monitor_hooks(machine, hyp, MonitorHooks {
-                mode: MonitorMode::SensitiveFields,
-            })
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::SensitiveFields,
+                },
+            )
             .expect("arm");
     }
     let monitored = write_burst(&mut sys, "/tmp/probe", 256);
@@ -86,9 +94,13 @@ fn main() {
         let mut sys = System::boot(Mode::Hypernel).expect("boot");
         let (kernel, machine, hyp) = sys.parts();
         kernel
-            .arm_monitor_hooks(machine, hyp, MonitorHooks {
-                mode: MonitorMode::SensitiveFields,
-            })
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::SensitiveFields,
+                },
+            )
             .expect("arm");
         churn(&mut sys, 200)
     };
@@ -96,9 +108,13 @@ fn main() {
         let mut sys = System::boot(Mode::Hypernel).expect("boot");
         let (kernel, machine, hyp) = sys.parts();
         kernel
-            .arm_monitor_hooks(machine, hyp, MonitorHooks {
-                mode: MonitorMode::WholeObject,
-            })
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::WholeObject,
+                },
+            )
             .expect("arm");
         churn(&mut sys, 200)
     };

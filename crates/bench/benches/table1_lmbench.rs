@@ -17,8 +17,17 @@ fn main() {
     rule(118);
     println!(
         "{:<15} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
-        "test", "native", "kvm", "hyperN", "p:native", "p:kvm", "p:hyperN", "kvm ovh", "p:kvm",
-        "hyp ovh", "p:hyp"
+        "test",
+        "native",
+        "kvm",
+        "hyperN",
+        "p:native",
+        "p:kvm",
+        "p:hyperN",
+        "kvm ovh",
+        "p:kvm",
+        "hyp ovh",
+        "p:hyp"
     );
     rule(118);
 

@@ -14,8 +14,12 @@
 use std::process::ExitCode;
 
 use hypernel::kernel::kernel::{MonitorHooks, MonitorMode};
+use hypernel::telemetry::export;
 use hypernel::workloads::{apps, lmbench, AppBenchmark, LmbenchOp};
-use hypernel::{Mode, RunReport, System};
+use hypernel::{Mode, RunReport, System, SystemBuilder, DEFAULT_TELEMETRY_CAPACITY};
+
+/// Modeled core clock: 1.15 GHz, i.e. cycles per trace microsecond.
+const CYCLES_PER_US: f64 = 1150.0;
 
 const HELP: &str = "\
 hypernel-sim — drive the Hypernel (DAC 2018) full-system simulation
@@ -43,6 +47,13 @@ OPTIONS:
     --granularity <word|object>    monitoring policy (default: word)
     --script <path>                replay script file
     --markdown                     print the machine report as markdown
+    --trace-out <path>             write the telemetry event stream to a file
+    --trace-format <jsonl|chrome>  trace file format (default: chrome; the
+                                   chrome format loads in Perfetto and
+                                   chrome://tracing)
+    --histograms                   print span latency histograms
+                                   (p50/p95/p99/max, in cycles)
+    --report-json <path>           write the full run report as JSON
 ";
 
 fn parse_mode(s: &str) -> Result<Mode, String> {
@@ -79,6 +90,17 @@ struct Options {
     granularity: Option<String>,
     script: Option<String>,
     markdown: bool,
+    trace_out: Option<String>,
+    trace_format: Option<String>,
+    histograms: bool,
+    report_json: Option<String>,
+}
+
+impl Options {
+    /// Whether any flag needs the telemetry pipeline installed.
+    fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some() || self.histograms || self.report_json.is_some()
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -104,6 +126,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--granularity" => opts.granularity = Some(take("--granularity")?),
             "--script" => opts.script = Some(take("--script")?),
             "--markdown" => opts.markdown = true,
+            "--trace-out" => opts.trace_out = Some(take("--trace-out")?),
+            "--trace-format" => opts.trace_format = Some(take("--trace-format")?),
+            "--histograms" => opts.histograms = true,
+            "--report-json" => opts.report_json = Some(take("--report-json")?),
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -139,15 +165,73 @@ fn run_workload(sys: &mut System, opts: &Options) -> Result<f64, String> {
     }
 }
 
+/// Boots `mode`, with telemetry installed when any output flag needs it.
+fn boot(mode: Mode, opts: &Options) -> Result<System, String> {
+    let mut builder = SystemBuilder::new(mode);
+    if opts.wants_telemetry() {
+        builder = builder.telemetry(DEFAULT_TELEMETRY_CAPACITY);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Writes the trace/histogram/report artifacts requested by `opts`.
+fn export_telemetry(sys: &System, opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let events = sys.telemetry_events().ok_or("telemetry is not enabled")?;
+        let text = match opts.trace_format.as_deref().unwrap_or("chrome") {
+            "jsonl" => export::write_jsonl(&events),
+            "chrome" => export::write_chrome_trace(&events, CYCLES_PER_US),
+            other => return Err(format!("unknown trace format '{other}' (jsonl|chrome)")),
+        };
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        let dropped = sys.telemetry_dropped().unwrap_or(0);
+        if dropped > 0 {
+            eprintln!("warning: ring full, {dropped} oldest events not in the trace");
+        }
+        println!("trace: {} events -> {path}", events.len());
+    }
+    if opts.histograms {
+        let snap = sys.telemetry_snapshot().ok_or("telemetry is not enabled")?;
+        println!("\nspan latencies (cycles):");
+        println!(
+            "  {:<18} {:<5} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "span", "track", "count", "p50", "p95", "p99", "max"
+        );
+        for ((track, span), s) in &snap.spans {
+            println!(
+                "  {:<18} {:<5} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                span.name(),
+                track.name(),
+                s.count,
+                s.p50,
+                s.p95,
+                s.p99,
+                s.max
+            );
+        }
+        if snap.open_spans > 0 {
+            println!("  ({} span(s) still open)", snap.open_spans);
+        }
+    }
+    if let Some(path) = &opts.report_json {
+        let report = RunReport::capture(sys);
+        std::fs::write(path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("report: {path}");
+    }
+    Ok(())
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let mode = parse_mode(opts.mode.as_deref().unwrap_or("hypernel"))?;
-    let mut sys = System::boot(mode).map_err(|e| e.to_string())?;
+    let mut sys = boot(mode, opts)?;
     println!("booted: {mode}");
     run_workload(&mut sys, opts)?;
+    sys.service_interrupts().map_err(|e| e.to_string())?;
     if opts.markdown {
         println!("\n{}", RunReport::capture(&sys).to_markdown());
     }
-    Ok(())
+    export_telemetry(&sys, opts)
 }
 
 fn cmd_compare(opts: &Options) -> Result<(), String> {
@@ -171,7 +255,7 @@ fn cmd_monitor(opts: &Options) -> Result<(), String> {
         "object" | "page" => MonitorMode::WholeObject,
         other => return Err(format!("unknown granularity '{other}' (word|object)")),
     };
-    let mut sys = System::boot(Mode::Hypernel).map_err(|e| e.to_string())?;
+    let mut sys = boot(Mode::Hypernel, opts)?;
     {
         let (kernel, machine, hyp) = sys.parts();
         kernel
@@ -190,16 +274,19 @@ fn cmd_monitor(opts: &Options) -> Result<(), String> {
     for d in hs.detections() {
         println!("    [sid {}] {}", d.sid, d.reason);
     }
-    Ok(())
+    export_telemetry(&sys, opts)
 }
 
 fn cmd_replay(opts: &Options) -> Result<(), String> {
     use hypernel::workloads::replay;
-    let path = opts.script.as_deref().ok_or("replay needs --script <path>")?;
+    let path = opts
+        .script
+        .as_deref()
+        .ok_or("replay needs --script <path>")?;
     let script = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let statements = replay::parse(&script).map_err(|e| format!("{path}: {e}"))?;
     let mode = parse_mode(opts.mode.as_deref().unwrap_or("hypernel"))?;
-    let mut sys = System::boot(mode).map_err(|e| e.to_string())?;
+    let mut sys = boot(mode, opts)?;
     let m = {
         let (kernel, machine, hyp) = sys.parts();
         replay::replay(kernel, machine, hyp, &statements, 42).map_err(|e| e.to_string())?
@@ -208,12 +295,12 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
         "{mode}: {} statements, {} cycles ({:.2} us modeled)",
         statements.len(),
         m.total_cycles,
-        m.total_cycles as f64 / 1150.0
+        m.total_cycles as f64 / CYCLES_PER_US
     );
     if opts.markdown {
         println!("\n{}", RunReport::capture(&sys).to_markdown());
     }
-    Ok(())
+    export_telemetry(&sys, opts)
 }
 
 fn cmd_audit() -> Result<(), String> {
@@ -221,16 +308,26 @@ fn cmd_audit() -> Result<(), String> {
     {
         let (kernel, machine, hyp) = sys.parts();
         kernel
-            .arm_monitor_hooks(machine, hyp, MonitorHooks {
-                mode: MonitorMode::SensitiveFields,
-            })
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::SensitiveFields,
+                },
+            )
             .map_err(|e| e.to_string())?;
         for i in 0..8 {
             let child = kernel.sys_fork(machine, hyp).map_err(|e| e.to_string())?;
-            kernel.switch_to(machine, hyp, child).map_err(|e| e.to_string())?;
-            kernel.sys_execve(machine, hyp, "/bin/sh").map_err(|e| e.to_string())?;
+            kernel
+                .switch_to(machine, hyp, child)
+                .map_err(|e| e.to_string())?;
+            kernel
+                .sys_execve(machine, hyp, "/bin/sh")
+                .map_err(|e| e.to_string())?;
             let p = format!("/tmp/audit{i}");
-            kernel.sys_create(machine, hyp, &p).map_err(|e| e.to_string())?;
+            kernel
+                .sys_create(machine, hyp, &p)
+                .map_err(|e| e.to_string())?;
             kernel
                 .sys_exit(machine, hyp, child, hypernel::kernel::task::Pid(1))
                 .map_err(|e| e.to_string())?;

@@ -46,7 +46,7 @@ pub mod report;
 pub mod system;
 
 pub use report::{Latency, RunDelta, RunReport};
-pub use system::{Mode, System, SystemBuilder};
+pub use system::{Mode, System, SystemBuilder, DEFAULT_TELEMETRY_CAPACITY};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
@@ -55,4 +55,5 @@ pub use hypernel_hypervisor as hypervisor;
 pub use hypernel_kernel as kernel;
 pub use hypernel_machine as machine;
 pub use hypernel_mbm as mbm;
+pub use hypernel_telemetry as telemetry;
 pub use hypernel_workloads as workloads;

@@ -1,4 +1,5 @@
-//! Run reports: consolidated statistics snapshots and latency helpers.
+//! Run reports: consolidated statistics snapshots, latency summaries
+//! and machine-readable (JSON) run artifacts.
 
 use hypernel_kernel::kernel::KernelStats;
 use hypernel_machine::cache::CacheStats;
@@ -6,11 +7,13 @@ use hypernel_machine::cost::CostModel;
 use hypernel_machine::machine::MachineStats;
 use hypernel_machine::tlb::TlbStats;
 use hypernel_mbm::MbmStats;
+use hypernel_telemetry::json::Json;
+use hypernel_telemetry::{HistogramSummary, Snapshot};
 
 use crate::system::{Mode, System};
 
 /// A consolidated statistics snapshot of a [`System`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Which configuration produced it.
     pub mode: Mode,
@@ -26,6 +29,9 @@ pub struct RunReport {
     pub cache: CacheStats,
     /// MBM statistics (Hypernel mode only).
     pub mbm: Option<MbmStats>,
+    /// Telemetry aggregates (only when the system has telemetry
+    /// enabled): latency histograms per span and point-event counters.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl RunReport {
@@ -39,6 +45,7 @@ impl RunReport {
             tlb: system.machine().tlb().stats(),
             cache: system.machine().data_cache().stats(),
             mbm: system.mbm_stats(),
+            telemetry: system.telemetry_snapshot(),
         }
     }
 
@@ -59,9 +66,11 @@ impl RunReport {
             self.cycles,
             self.micros()
         ));
-        out.push_str("| counter | value |
+        out.push_str(
+            "| counter | value |
 |---|---|
-");
+",
+        );
         let rows: &[(&str, u64)] = &[
             ("memory reads", self.machine.reads),
             ("memory writes", self.machine.writes),
@@ -81,16 +90,145 @@ impl RunReport {
             ("cache misses", self.cache.misses),
         ];
         for (name, value) in rows {
-            out.push_str(&format!("| {name} | {value} |
-"));
+            out.push_str(&format!(
+                "| {name} | {value} |
+"
+            ));
         }
         if let Some(mbm) = self.mbm {
-            out.push_str(&format!("| MBM events matched | {} |
-", mbm.events_matched));
-            out.push_str(&format!("| MBM IRQs raised | {} |
-", mbm.irqs_raised));
+            out.push_str(&format!(
+                "| MBM events matched | {} |
+",
+                mbm.events_matched
+            ));
+            out.push_str(&format!(
+                "| MBM IRQs raised | {} |
+",
+                mbm.irqs_raised
+            ));
+        }
+        if let Some(snap) = &self.telemetry {
+            if !snap.spans.is_empty() {
+                out.push_str(
+                    "
+#### Span latencies (cycles)
+
+| span | track | count | p50 | p95 | p99 | max |
+|---|---|---|---|---|---|---|
+",
+                );
+                for ((track, span), s) in &snap.spans {
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {} | {} | {} | {} |
+",
+                        span.name(),
+                        track.name(),
+                        s.count,
+                        s.p50,
+                        s.p95,
+                        s.p99,
+                        s.max
+                    ));
+                }
+            }
+            if snap.open_spans > 0 || snap.unmatched_ends > 0 {
+                out.push_str(&format!(
+                    "
+{} span(s) still open, {} unmatched end(s).
+",
+                    snap.open_spans, snap.unmatched_ends
+                ));
+            }
         }
         out
+    }
+
+    /// Serializes the full report as a JSON object — the machine-readable
+    /// run artifact. Counters mirror [`RunReport::to_markdown`]; when
+    /// telemetry is enabled, a `latencies` array carries per-span
+    /// summaries (count/min/max/mean/p50/p95/p99 in cycles) and a
+    /// `points` array the point-event counts.
+    pub fn to_json(&self) -> Json {
+        fn summary(track: &str, span: &str, s: &HistogramSummary) -> Json {
+            Json::obj(vec![
+                ("span", Json::str(span)),
+                ("track", Json::str(track)),
+                ("count", Json::UInt(s.count)),
+                ("min", Json::UInt(s.min)),
+                ("max", Json::UInt(s.max)),
+                ("mean", Json::UInt(s.mean)),
+                ("p50", Json::UInt(s.p50)),
+                ("p95", Json::UInt(s.p95)),
+                ("p99", Json::UInt(s.p99)),
+            ])
+        }
+        let mut fields = vec![
+            ("mode", Json::str(&self.mode.to_string())),
+            ("cycles", Json::UInt(self.cycles)),
+            ("micros", Json::Float(self.micros())),
+            (
+                "counters",
+                Json::obj(vec![
+                    ("memory_reads", Json::UInt(self.machine.reads)),
+                    ("memory_writes", Json::UInt(self.machine.writes)),
+                    (
+                        "uncached_accesses",
+                        Json::UInt(self.machine.uncached_accesses),
+                    ),
+                    ("hypercalls", Json::UInt(self.machine.hypercalls)),
+                    ("sysreg_traps", Json::UInt(self.machine.sysreg_traps)),
+                    ("stage2_faults", Json::UInt(self.machine.stage2_faults)),
+                    ("el1_aborts", Json::UInt(self.machine.el1_aborts)),
+                    ("irqs_delivered", Json::UInt(self.machine.irqs_delivered)),
+                    ("syscalls", Json::UInt(self.kernel.syscalls)),
+                    ("forks", Json::UInt(self.kernel.forks)),
+                    ("context_switches", Json::UInt(self.kernel.context_switches)),
+                    ("page_faults", Json::UInt(self.kernel.page_faults)),
+                    ("tlb_hits", Json::UInt(self.tlb.hits)),
+                    ("tlb_misses", Json::UInt(self.tlb.misses)),
+                    ("cache_hits", Json::UInt(self.cache.hits)),
+                    ("cache_misses", Json::UInt(self.cache.misses)),
+                ]),
+            ),
+        ];
+        if let Some(mbm) = self.mbm {
+            fields.push((
+                "mbm",
+                Json::obj(vec![
+                    ("events_matched", Json::UInt(mbm.events_matched)),
+                    ("irqs_raised", Json::UInt(mbm.irqs_raised)),
+                    ("fifo_dropped", Json::UInt(mbm.fifo_dropped)),
+                ]),
+            ));
+        }
+        if let Some(snap) = &self.telemetry {
+            let latencies: Vec<Json> = snap
+                .spans
+                .iter()
+                .map(|((track, span), s)| summary(track.name(), span.name(), s))
+                .collect();
+            let points: Vec<Json> = snap
+                .counters
+                .iter()
+                .map(|((track, point), n)| {
+                    Json::obj(vec![
+                        ("point", Json::str(point.name())),
+                        ("track", Json::str(track.name())),
+                        ("count", Json::UInt(*n)),
+                    ])
+                })
+                .collect();
+            fields.push((
+                "telemetry",
+                Json::obj(vec![
+                    ("latencies", Json::Array(latencies)),
+                    ("points", Json::Array(points)),
+                    ("open_spans", Json::UInt(snap.open_spans)),
+                    ("unmatched_ends", Json::UInt(snap.unmatched_ends)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Deltas of the headline counters versus an earlier snapshot of the
@@ -204,6 +342,62 @@ mod tests {
         assert!(md.contains("| hypercalls |"));
         assert!(md.contains("| MBM events matched |"));
         assert!(md.starts_with("###"));
+    }
+
+    #[test]
+    fn json_report_includes_span_percentiles() {
+        use crate::system::SystemBuilder;
+        let mut sys = SystemBuilder::new(Mode::Hypernel)
+            .telemetry(1 << 14)
+            .build()
+            .expect("boot");
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            let child = kernel.sys_fork(machine, hyp).expect("fork");
+            kernel.switch_to(machine, hyp, child).expect("switch");
+            kernel
+                .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                .expect("exit");
+        }
+        let report = RunReport::capture(&sys);
+        let text = report.to_json().to_string();
+        // The artifact must survive a parse round-trip…
+        let doc = Json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("mode").and_then(Json::as_str), Some("Hypernel"));
+        let counters = doc.get("counters").expect("counters");
+        assert!(counters.get("hypercalls").and_then(Json::as_u64).unwrap() > 0);
+        // …and carry p50/p95/p99 for the headline spans.
+        let latencies = doc
+            .get("telemetry")
+            .and_then(|t| t.get("latencies"))
+            .and_then(Json::as_array)
+            .expect("latencies");
+        let find = |name: &str| {
+            latencies
+                .iter()
+                .find(|l| l.get("span").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("no {name} summary"))
+        };
+        for span in ["hypercall-verify", "stage2-check", "sysreg-verify"] {
+            let s = find(span);
+            let p50 = s.get("p50").and_then(Json::as_u64).expect("p50");
+            let p95 = s.get("p95").and_then(Json::as_u64).expect("p95");
+            let p99 = s.get("p99").and_then(Json::as_u64).expect("p99");
+            assert!(p50 <= p95 && p95 <= p99, "{span} quantiles out of order");
+            assert!(s.get("count").and_then(Json::as_u64).unwrap() > 0);
+        }
+        // Markdown mirrors the latency table.
+        let md = report.to_markdown();
+        assert!(md.contains("#### Span latencies"));
+        assert!(md.contains("| hypercall-verify |"));
+    }
+
+    #[test]
+    fn json_report_without_telemetry_omits_it() {
+        let sys = System::boot(Mode::Native).expect("boot");
+        let doc = Json::parse(&RunReport::capture(&sys).to_json().to_string()).unwrap();
+        assert!(doc.get("telemetry").is_none());
+        assert!(doc.get("mbm").is_none());
     }
 
     #[test]

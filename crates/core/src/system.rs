@@ -16,6 +16,50 @@ use hypernel_kernel::layout;
 use hypernel_machine::addr::PhysAddr;
 use hypernel_machine::machine::{Hyp, Machine, MachineConfig, NullHyp};
 use hypernel_mbm::{Mbm, MbmConfig, MbmStats};
+use hypernel_telemetry::{Event, FanoutSink, RingSink, SharedSink, Snapshot, Telemetry};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default event-ring capacity used by [`SystemBuilder::telemetry`] and
+/// [`System::enable_telemetry`] callers that have no better number:
+/// large enough to hold a full lmbench table run without eviction.
+pub const DEFAULT_TELEMETRY_CAPACITY: usize = 1 << 16;
+
+/// The shared sinks behind an enabled telemetry pipeline: one ring
+/// buffer keeping the raw event stream for export, one [`Telemetry`]
+/// registry aggregating latencies and counters, and the fan-out that
+/// feeds them both.
+struct TelemetryHandles {
+    ring: Rc<RefCell<RingSink>>,
+    registry: Rc<RefCell<Telemetry>>,
+    fanout: SharedSink,
+}
+
+impl TelemetryHandles {
+    fn new(ring_capacity: usize) -> Self {
+        let ring = Rc::new(RefCell::new(RingSink::new(ring_capacity)));
+        let registry = Rc::new(RefCell::new(Telemetry::new()));
+        let ring_dyn: SharedSink = ring.clone();
+        let registry_dyn: SharedSink = registry.clone();
+        let fanout: SharedSink = Rc::new(RefCell::new(
+            FanoutSink::new().with(ring_dyn).with(registry_dyn),
+        ));
+        Self {
+            ring,
+            registry,
+            fanout,
+        }
+    }
+
+    /// Installs the fan-out into the machine and (if attached) the MBM,
+    /// so CPU-side and bus-side events land in the same stream.
+    fn install(&self, machine: &mut Machine) {
+        machine.set_telemetry_sink(Some(self.fanout.clone()));
+        if let Some(mbm) = machine.bus_mut().snooper_mut::<Mbm>() {
+            mbm.set_telemetry_sink(Some(self.fanout.clone()));
+        }
+    }
+}
 
 /// The three evaluated system configurations (paper §7.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,6 +116,7 @@ pub struct SystemBuilder {
     extra_apps: Vec<Box<dyn SecurityApp>>,
     section_linear_map: bool,
     mbm_config: Option<MbmConfig>,
+    telemetry_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -97,6 +142,7 @@ impl SystemBuilder {
             extra_apps: Vec::new(),
             section_linear_map: false,
             mbm_config: None,
+            telemetry_capacity: None,
         }
     }
 
@@ -132,6 +178,14 @@ impl SystemBuilder {
     /// Overrides the MBM configuration (Hypernel mode only).
     pub fn mbm_config(mut self, config: MbmConfig) -> Self {
         self.mbm_config = Some(config);
+        self
+    }
+
+    /// Enables telemetry from the very first boot cycle, buffering up to
+    /// `ring_capacity` raw events (see [`DEFAULT_TELEMETRY_CAPACITY`]).
+    /// Use [`System::enable_telemetry`] instead to skip boot noise.
+    pub fn telemetry(mut self, ring_capacity: usize) -> Self {
+        self.telemetry_capacity = Some(ring_capacity);
         self
     }
 
@@ -191,6 +245,13 @@ impl SystemBuilder {
             }
         };
 
+        // Install telemetry before boot (and after the MBM is attached)
+        // so the event stream covers the kernel's own bring-up.
+        let telemetry = self.telemetry_capacity.map(TelemetryHandles::new);
+        if let Some(handles) = &telemetry {
+            handles.install(&mut machine);
+        }
+
         let kernel = Kernel::boot(&mut machine, el2.as_hyp(), kernel_config)?;
 
         // KVM warms stage 2 for boot-time memory so only post-boot
@@ -205,6 +266,7 @@ impl SystemBuilder {
             machine,
             kernel,
             el2,
+            telemetry,
         })
     }
 }
@@ -215,6 +277,7 @@ pub struct System {
     machine: Machine,
     kernel: Kernel,
     el2: El2Software,
+    telemetry: Option<TelemetryHandles>,
 }
 
 impl std::fmt::Debug for System {
@@ -312,6 +375,54 @@ impl System {
         }
     }
 
+    /// Turns telemetry on mid-run (a no-op if already enabled), keeping
+    /// up to `ring_capacity` raw events for export. All events from this
+    /// point on — CPU-side and MBM-side — feed both the ring and the
+    /// aggregating registry.
+    pub fn enable_telemetry(&mut self, ring_capacity: usize) {
+        if self.telemetry.is_some() {
+            return;
+        }
+        let handles = TelemetryHandles::new(ring_capacity);
+        handles.install(&mut self.machine);
+        self.telemetry = Some(handles);
+    }
+
+    /// Detaches the sinks: subsequent events are no longer recorded and
+    /// the emit helpers reduce to a single branch again.
+    pub fn disable_telemetry(&mut self) {
+        self.machine.set_telemetry_sink(None);
+        if let Some(mbm) = self.machine.bus_mut().snooper_mut::<Mbm>() {
+            mbm.set_telemetry_sink(None);
+        }
+        self.telemetry = None;
+    }
+
+    /// Whether a telemetry pipeline is installed.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Freezes the current aggregates (histograms + counters), if
+    /// telemetry is enabled.
+    pub fn telemetry_snapshot(&self) -> Option<Snapshot> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.registry.borrow().snapshot())
+    }
+
+    /// Copies out the buffered raw events, oldest first, if telemetry is
+    /// enabled. Pair with [`System::telemetry_dropped`] to report
+    /// truncation honestly.
+    pub fn telemetry_events(&self) -> Option<Vec<Event>> {
+        self.telemetry.as_ref().map(|t| t.ring.borrow().to_vec())
+    }
+
+    /// Raw events evicted from the ring because it was full.
+    pub fn telemetry_dropped(&self) -> Option<u64> {
+        self.telemetry.as_ref().map(|t| t.ring.borrow().dropped())
+    }
+
     /// Runs Hypersec's invariant auditor against the live machine state
     /// (Hypernel mode only). See [`Hypersec::audit`].
     pub fn audit_hypersec(&mut self) -> Option<hypernel_hypersec::AuditReport> {
@@ -328,11 +439,7 @@ impl System {
     ///
     /// Propagates hypercall denials.
     pub fn service_interrupts(&mut self) -> Result<u64, KernelError> {
-        let (kernel, machine, hyp) = (
-            &mut self.kernel,
-            &mut self.machine,
-            self.el2.as_hyp_raw(),
-        );
+        let (kernel, machine, hyp) = (&mut self.kernel, &mut self.machine, self.el2.as_hyp_raw());
         // SAFETY of the split: fields are disjoint.
         kernel.poll_irqs(machine, hyp)
     }
@@ -390,7 +497,58 @@ mod tests {
             sys.machine().stats().hypercalls > hypercalls_before + 20,
             "fork under Hypernel must issue many PT hypercalls"
         );
-        assert!(sys.machine().stats().sysreg_traps >= 2, "TTBR switches trap");
+        assert!(
+            sys.machine().stats().sysreg_traps >= 2,
+            "TTBR switches trap"
+        );
+    }
+
+    #[test]
+    fn telemetry_captures_cross_el_spans_under_hypernel() {
+        use hypernel_telemetry::{SpanKind, Track};
+        let mut sys = SystemBuilder::new(Mode::Hypernel)
+            .telemetry(DEFAULT_TELEMETRY_CAPACITY)
+            .build()
+            .expect("boot");
+        assert!(sys.telemetry_enabled());
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            let child = kernel.sys_fork(machine, hyp).expect("fork");
+            kernel.switch_to(machine, hyp, child).expect("switch");
+            kernel
+                .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                .expect("exit");
+        }
+        let snap = sys.telemetry_snapshot().expect("snapshot");
+        // Fork under Hypernel routes PT updates through verified
+        // hypercalls: both the EL2 verification span and its inner
+        // stage-2-equivalent check must have fired.
+        let verify = &snap.spans[&(Track::El2, SpanKind::HypercallVerify)];
+        assert!(verify.count > 20, "fork issues many PT hypercalls");
+        assert!(verify.p50 > 0 && verify.p99 >= verify.p50);
+        let check = &snap.spans[&(Track::El2, SpanKind::Stage2Check)];
+        assert!(check.count > 0 && check.count <= verify.count);
+        // TTBR switches trap and are verified at EL2.
+        assert!(snap.spans[&(Track::El2, SpanKind::SysregVerify)].count >= 2);
+        assert!(!sys.telemetry_events().unwrap().is_empty());
+        assert_eq!(sys.telemetry_dropped(), Some(0));
+    }
+
+    #[test]
+    fn telemetry_disabled_records_nothing() {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        assert!(!sys.telemetry_enabled());
+        assert!(sys.telemetry_snapshot().is_none());
+        // Enable, run work, then disable: the stream must stop.
+        sys.enable_telemetry(1024);
+        {
+            let (kernel, machine, _hyp) = sys.parts();
+            kernel.sys_getpid(machine);
+        }
+        let n = sys.telemetry_events().unwrap().len();
+        assert!(n > 0, "enabled telemetry records syscall spans");
+        sys.disable_telemetry();
+        assert!(sys.telemetry_snapshot().is_none());
     }
 
     #[test]
@@ -413,6 +571,9 @@ mod tests {
         let kvm = costs[1].1 as f64;
         let hypernel = costs[2].1 as f64;
         assert!(kvm > native, "KVM fork slower than native: {costs:?}");
-        assert!(hypernel > native, "Hypernel fork slower than native: {costs:?}");
+        assert!(
+            hypernel > native,
+            "Hypernel fork slower than native: {costs:?}"
+        );
     }
 }

@@ -23,13 +23,12 @@ use std::collections::HashMap;
 use hypernel_kernel::abi::Hypercall;
 use hypernel_kernel::layout;
 use hypernel_machine::addr::{IntermAddr, PhysAddr, VirtAddr, PAGE_SIZE, SECTION_SIZE};
-use hypernel_machine::machine::{
-    AccessKind, Hyp, Machine, PolicyViolation, Stage2Outcome,
-};
+use hypernel_machine::machine::{AccessKind, Hyp, Machine, PolicyViolation, Stage2Outcome};
 use hypernel_machine::pagetable::{self, Descriptor, PagePerms};
 use hypernel_machine::regs::{hcr, sctlr, ExceptionLevel, SysReg};
 use hypernel_mbm::bitmap::BitmapLayout;
 use hypernel_mbm::ring::RingLayout;
+use hypernel_telemetry::SpanKind;
 
 use crate::secapp::{MonitorEvent, Region, SecurityApp, Verdict};
 
@@ -176,7 +175,10 @@ impl HypersecConfig {
                 layout::MBM_WINDOW_LEN,
                 PhysAddr::new(layout::MBM_BITMAP_BASE),
             ),
-            ring: RingLayout::new(PhysAddr::new(layout::MBM_RING_BASE), layout::MBM_RING_ENTRIES),
+            ring: RingLayout::new(
+                PhysAddr::new(layout::MBM_RING_BASE),
+                layout::MBM_RING_ENTRIES,
+            ),
             costs: HypersecCosts::default(),
         }
     }
@@ -268,15 +270,23 @@ impl Hypersec {
             let mut fresh = Vec::new();
             let plan = {
                 let mut view = m.pt_view();
-                pagetable::plan_map(&mut view, root, pa, PhysAddr::new(pa), perms, 2, &mut || {
-                    if next + PAGE_SIZE > end {
-                        return None;
-                    }
-                    let t = PhysAddr::new(next);
-                    next += PAGE_SIZE;
-                    fresh.push(t);
-                    Some(t)
-                })
+                pagetable::plan_map(
+                    &mut view,
+                    root,
+                    pa,
+                    PhysAddr::new(pa),
+                    perms,
+                    2,
+                    &mut || {
+                        if next + PAGE_SIZE > end {
+                            return None;
+                        }
+                        let t = PhysAddr::new(next);
+                        next += PAGE_SIZE;
+                        fresh.push(t);
+                        Some(t)
+                    },
+                )
             }
             .expect("EL2 table region too small");
             for t in &fresh {
@@ -374,9 +384,9 @@ impl Hypersec {
                 pagetable::walk(&mut view, kernel_root, layout::kva(table).raw())
             };
             match walked {
-                Ok(res) if res.perms.write => report.violation(format!(
-                    "table page {table} is writable in the kernel view"
-                )),
+                Ok(res) if res.perms.write => {
+                    report.violation(format!("table page {table} is writable in the kernel view"))
+                }
                 Ok(_) => {}
                 Err(_) => report.violation(format!("table page {table} has no kernel mapping")),
             }
@@ -458,9 +468,7 @@ impl Hypersec {
                         && out.raw() + span > layout::KERNEL_IMAGE_BASE
                         && perms.write
                     {
-                        report.violation(format!(
-                            "kernel text writable at va {va:#x}"
-                        ));
+                        report.violation(format!("kernel text writable at va {va:#x}"));
                     }
                 }
             }
@@ -521,15 +529,18 @@ impl Hypersec {
                 if va != out.raw() {
                     return Err(Self::deny(
                         codes::LINEAR_IDENTITY,
-                        format!(
-                            "kernel linear mapping must be identity: va {va:#x} -> {out}"
-                        ),
+                        format!("kernel linear mapping must be identity: va {va:#x} -> {out}"),
                     ));
                 }
                 // Monitored pages must stay non-cacheable.
                 for off in (0..span).step_by(PAGE_SIZE as usize) {
                     let page = PhysAddr::new(out.raw() + off);
-                    if self.nc_refcount.get(&page.page_index()).copied().unwrap_or(0) > 0
+                    if self
+                        .nc_refcount
+                        .get(&page.page_index())
+                        .copied()
+                        .unwrap_or(0)
+                        > 0
                         && perms.cacheable
                     {
                         return Err(Self::deny(
@@ -580,7 +591,9 @@ impl Hypersec {
         };
         if let Some(w) = write {
             m.el2_write_u64(VirtAddr::new(w.addr().raw()), w.value)
-                .map_err(|e| Self::deny(codes::BAD_PHASE, format!("linear map edit failed: {e}")))?;
+                .map_err(|e| {
+                    Self::deny(codes::BAD_PHASE, format!("linear map edit failed: {e}"))
+                })?;
             m.tlbi_va(kva);
         }
         Ok(())
@@ -645,14 +658,16 @@ impl Hypersec {
         Ok(0)
     }
 
-    fn handle_pt_write(
+    /// The stage-2-equivalent check of a single descriptor write: the
+    /// pure verification (and table-linking bookkeeping) with no machine
+    /// side effects, so [`Hypersec::handle_pt_write`] can time it as one
+    /// span regardless of which branch rejects.
+    fn verify_pt_write(
         &mut self,
-        m: &mut Machine,
         table: PhysAddr,
         index: usize,
         value: u64,
-    ) -> Result<u64, PolicyViolation> {
-        m.charge(self.config.costs.pt_verify);
+    ) -> Result<(), PolicyViolation> {
         if index >= pagetable::ENTRIES_PER_TABLE {
             return Err(Self::deny(codes::NOT_A_TABLE, "entry index out of range"));
         }
@@ -667,7 +682,10 @@ impl Hypersec {
             Descriptor::Invalid => {} // unmapping is always allowed
             Descriptor::Table { next } => {
                 if info.level >= 3 {
-                    return Err(Self::deny(codes::NOT_A_TABLE, "table pointer at leaf level"));
+                    return Err(Self::deny(
+                        codes::NOT_A_TABLE,
+                        "table pointer at leaf level",
+                    ));
                 }
                 if self.tables.contains_key(&next.raw()) {
                     return Err(Self::deny(
@@ -694,6 +712,21 @@ impl Hypersec {
                 self.check_leaf(info.space, va, out, perms, info.level, false)?;
             }
         }
+        Ok(())
+    }
+
+    fn handle_pt_write(
+        &mut self,
+        m: &mut Machine,
+        table: PhysAddr,
+        index: usize,
+        value: u64,
+    ) -> Result<u64, PolicyViolation> {
+        m.emit_begin(SpanKind::Stage2Check, table.raw());
+        m.charge(self.config.costs.pt_verify);
+        let verdict = self.verify_pt_write(table, index, value);
+        m.emit_end(SpanKind::Stage2Check, u64::from(verdict.is_err()));
+        verdict?;
         // Apply through the EL2 view (the kernel's own mapping is RO).
         m.el2_write_u64(VirtAddr::new(table.add(index as u64 * 8).raw()), value)
             .map_err(|e| Self::deny(codes::BAD_PHASE, format!("descriptor store failed: {e}")))?;
@@ -764,7 +797,14 @@ impl Hypersec {
         space: Space,
     ) -> Result<Vec<PhysAddr>, PolicyViolation> {
         let mut pages = vec![table];
-        self.tables.insert(table.raw(), TableInfo { level, va_base, space });
+        self.tables.insert(
+            table.raw(),
+            TableInfo {
+                level,
+                va_base,
+                space,
+            },
+        );
         for i in 0..pagetable::ENTRIES_PER_TABLE as u64 {
             let raw = m.debug_read_phys(table.add(i * 8));
             let va = va_base | i << level_shift(level);
@@ -824,7 +864,12 @@ impl Hypersec {
         let mut view = m.pt_view();
         pagetable::walk(&mut view, root, va.raw())
             .map(|r| r.out)
-            .map_err(|e| Self::deny(codes::BAD_MONITOR_REQUEST, format!("translation failed: {e}")))
+            .map_err(|e| {
+                Self::deny(
+                    codes::BAD_MONITOR_REQUEST,
+                    format!("translation failed: {e}"),
+                )
+            })
     }
 
     fn program_bitmap(
@@ -839,8 +884,9 @@ impl Hypersec {
             let cur = m
                 .el2_read_u64(va)
                 .map_err(|e| Self::deny(codes::BAD_MONITOR_REQUEST, format!("bitmap read: {e}")))?;
-            m.el2_write_u64(va, update.apply_to(cur))
-                .map_err(|e| Self::deny(codes::BAD_MONITOR_REQUEST, format!("bitmap write: {e}")))?;
+            m.el2_write_u64(va, update.apply_to(cur)).map_err(|e| {
+                Self::deny(codes::BAD_MONITOR_REQUEST, format!("bitmap write: {e}"))
+            })?;
         }
         Ok(())
     }
@@ -854,7 +900,10 @@ impl Hypersec {
     ) -> Result<u64, PolicyViolation> {
         m.charge(self.config.costs.monitor_register);
         if len == 0 || !len.is_multiple_of(8) || !base.is_word_aligned() {
-            return Err(Self::deny(codes::BAD_MONITOR_REQUEST, "region must be word-aligned"));
+            return Err(Self::deny(
+                codes::BAD_MONITOR_REQUEST,
+                "region must be word-aligned",
+            ));
         }
         if !self.apps.iter().any(|a| a.sid() == sid) {
             return Err(Self::deny(
@@ -870,18 +919,37 @@ impl Hypersec {
             ));
         }
         if layout::is_secure(pa) {
-            return Err(Self::deny(codes::SECURE_MAPPING, "cannot monitor secure memory"));
+            return Err(Self::deny(
+                codes::SECURE_MAPPING,
+                "cannot monitor secure memory",
+            ));
         }
-        let region = Region { sid, base_va: base, pa, len };
-        if self.regions.iter().any(|r| r.sid == sid && r.base_va == base && r.len == len) {
-            return Err(Self::deny(codes::BAD_MONITOR_REQUEST, "region already registered"));
+        let region = Region {
+            sid,
+            base_va: base,
+            pa,
+            len,
+        };
+        if self
+            .regions
+            .iter()
+            .any(|r| r.sid == sid && r.base_va == base && r.len == len)
+        {
+            return Err(Self::deny(
+                codes::BAD_MONITOR_REQUEST,
+                "region already registered",
+            ));
         }
         // 1. Push dirty lines of the page to DRAM *before* arming the
         //    bitmap, so stale write-backs cannot raise events.
         // 2. Make the page non-cacheable so every future write is
         //    bus-visible to the MBM (paper §5.3).
         let page = pa.page_base();
-        let refs = self.nc_refcount.get(&page.page_index()).copied().unwrap_or(0);
+        let refs = self
+            .nc_refcount
+            .get(&page.page_index())
+            .copied()
+            .unwrap_or(0);
         if refs == 0 {
             m.cache_clean_invalidate_page(page);
             self.set_linear_perms(m, page, PagePerms::KERNEL_DATA_NC)?;
@@ -1023,7 +1091,10 @@ impl Hypersec {
         }
         let pa = self.translate_kernel_va(m, va)?;
         if layout::is_secure(pa) {
-            return Err(Self::deny(codes::SECURE_MAPPING, "emulated write into secure region"));
+            return Err(Self::deny(
+                codes::SECURE_MAPPING,
+                "emulated write into secure region",
+            ));
         }
         if self.tables.contains_key(&pa.page_base().raw())
             || self.pending_tables.contains_key(&pa.page_base().raw())
@@ -1057,16 +1128,19 @@ impl Hyp for Hypersec {
         let request = Hypercall::decode(call, args)
             .map_err(|e| Self::deny(codes::UNKNOWN_HYPERCALL, e.to_string()))?;
         let result = match request {
-            Hypercall::PtWrite { table, index, value } => {
-                self.handle_pt_write(machine, table, index, value)
-            }
+            Hypercall::PtWrite {
+                table,
+                index,
+                value,
+            } => self.handle_pt_write(machine, table, index, value),
             Hypercall::PtRegisterTable { table, root } => {
                 self.handle_pt_register(machine, table, root)
             }
             Hypercall::PtUnregisterTable { table } => self.handle_pt_unregister(machine, table),
-            Hypercall::Lock { kernel_root, user_root } => {
-                self.handle_lock(machine, kernel_root, user_root)
-            }
+            Hypercall::Lock {
+                kernel_root,
+                user_root,
+            } => self.handle_lock(machine, kernel_root, user_root),
             Hypercall::MonitorRegister { sid, base, len } => {
                 self.handle_monitor_register(machine, sid, base, len)
             }
@@ -1076,10 +1150,9 @@ impl Hyp for Hypersec {
             Hypercall::IrqNotify => self.handle_irq_notify(machine),
             Hypercall::EmulateWrite { va, value } => self.handle_emulate_write(machine, va, value),
         };
-        if result.is_err()
-            && matches!(request, Hypercall::PtWrite { .. }) {
-                self.stats.pt_denials += 1;
-            }
+        if result.is_err() && matches!(request, Hypercall::PtWrite { .. }) {
+            self.stats.pt_denials += 1;
+        }
         result
     }
 
@@ -1122,7 +1195,10 @@ impl Hyp for Hypersec {
                 if value & sctlr::M != 0 {
                     Ok(())
                 } else {
-                    Err(Self::deny(codes::FROZEN_SYSREG, "the MMU must stay enabled"))
+                    Err(Self::deny(
+                        codes::FROZEN_SYSREG,
+                        "the MMU must stay enabled",
+                    ))
                 }
             }
             SysReg::TCR_EL1 | SysReg::MAIR_EL1 => Err(Self::deny(

@@ -37,7 +37,9 @@
 pub mod hypersec;
 pub mod secapp;
 
-pub use hypersec::{codes, AuditReport, Detection, Hypersec, HypersecConfig, HypersecCosts, HypersecStats};
+pub use hypersec::{
+    codes, AuditReport, Detection, Hypersec, HypersecConfig, HypersecCosts, HypersecStats,
+};
 pub use secapp::{
     CredMonitor, DentryMonitor, MonitorEvent, Region, SecurityApp, ValueWhitelistMonitor, Verdict,
 };

@@ -119,9 +119,7 @@ impl WriteOnce {
         let mut pa = region.pa;
         let end = region.pa.add(region.len);
         while pa < end {
-            let value = machine
-                .el2_read_u64(VirtAddr::new(pa.raw()))
-                .unwrap_or(0);
+            let value = machine.el2_read_u64(VirtAddr::new(pa.raw())).unwrap_or(0);
             if value != 0 {
                 self.writes.insert(pa.raw(), 1);
             }
@@ -294,7 +292,7 @@ mod tests {
     fn cred_first_write_is_commit_second_is_attack() {
         let mut app = CredMonitor::new();
         let r = cred_region(0x8008); // object base 0x8000, run starts at word 1
-        // Euid is word 5 → pa 0x8028.
+                                     // Euid is word 5 → pa 0x8028.
         assert_eq!(app.on_event(&event(r, 0x8028, 1000)), Verdict::Benign);
         let v = app.on_event(&event(r, 0x8028, 0));
         assert!(v.is_malicious());

@@ -22,9 +22,19 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Hostile {
     /// Raw hypercall with semi-structured arguments.
-    Hvc { nr_idx: u8, a0: u64, a1: u64, a2: u64 },
+    Hvc {
+        nr_idx: u8,
+        a0: u64,
+        a1: u64,
+        a2: u64,
+    },
     /// A crafted page-table write against a known table.
-    PtWrite { table_sel: u8, index: u16, desc_kind: u8, out_page: u32 },
+    PtWrite {
+        table_sel: u8,
+        index: u16,
+        desc_kind: u8,
+        out_page: u32,
+    },
     /// Register a page as a table (possibly garbage).
     Register { page: u32, root: bool },
     /// Trapped TTBR/SCTLR write.
@@ -72,7 +82,8 @@ fn boot() -> (Machine, Hypersec, Kernel) {
         PhysAddr::new(layout::MBM_RING_BASE),
         layout::MBM_RING_ENTRIES,
     );
-    m.bus_mut().attach(Box::new(hypernel_mbm::Mbm::new(mbm_config)));
+    m.bus_mut()
+        .attach(Box::new(hypernel_mbm::Mbm::new(mbm_config)));
     let mut hs = Hypersec::install(&mut m, HypersecConfig::standard());
     hs.install_app(Box::new(CredMonitor::new()));
     hs.install_app(Box::new(DentryMonitor::new()));

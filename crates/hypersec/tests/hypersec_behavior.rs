@@ -25,7 +25,8 @@ fn boot() -> (Machine, Hypersec, Kernel) {
         PhysAddr::new(layout::MBM_RING_BASE),
         layout::MBM_RING_ENTRIES,
     );
-    m.bus_mut().attach(Box::new(hypernel_mbm::Mbm::new(mbm_config)));
+    m.bus_mut()
+        .attach(Box::new(hypernel_mbm::Mbm::new(mbm_config)));
     let mut hs = Hypersec::install(&mut m, HypersecConfig::standard());
     hs.install_app(Box::new(CredMonitor::new()));
     hs.install_app(Box::new(DentryMonitor::new()));
@@ -52,7 +53,10 @@ fn boot_locks_and_adopts_the_kernel_tables() {
     let (_m, hs, k) = boot();
     assert!(hs.is_locked());
     let _ = &k;
-    assert!(hs.stats().tables_registered > 0, "LOCK adopted the boot tables");
+    assert!(
+        hs.stats().tables_registered > 0,
+        "LOCK adopted the boot tables"
+    );
     assert!(hs.stats().sysreg_allowed > 0, "boot-phase traps allowed");
     assert_eq!(hs.stats().sysreg_denied, 0);
 }
@@ -61,16 +65,27 @@ fn boot_locks_and_adopts_the_kernel_tables() {
 fn audit_is_clean_after_boot_and_heavy_use() {
     let (mut m, mut hs, mut k) = boot();
     let report = hs.audit(&mut m);
-    assert!(report.is_clean(), "boot violations: {:?}", report.violations);
+    assert!(
+        report.is_clean(),
+        "boot violations: {:?}",
+        report.violations
+    );
     assert!(report.tables_checked > 2);
-    assert!(report.leaves_checked > 1000, "the whole linear map is walked");
+    assert!(
+        report.leaves_checked > 1000,
+        "the whole linear map is walked"
+    );
 
     // Heavy churn: processes, exec, files, monitoring.
     {
         use hypernel_kernel::kernel::{MonitorHooks, MonitorMode};
-        k.arm_monitor_hooks(&mut m, &mut hs, MonitorHooks {
-            mode: MonitorMode::SensitiveFields,
-        })
+        k.arm_monitor_hooks(
+            &mut m,
+            &mut hs,
+            MonitorHooks {
+                mode: MonitorMode::SensitiveFields,
+            },
+        )
         .expect("arm");
         for i in 0..5 {
             let child = k.sys_fork(&mut m, &mut hs).expect("fork");
@@ -84,7 +99,11 @@ fn audit_is_clean_after_boot_and_heavy_use() {
         }
     }
     let report = hs.audit(&mut m);
-    assert!(report.is_clean(), "post-churn violations: {:?}", report.violations);
+    assert!(
+        report.is_clean(),
+        "post-churn violations: {:?}",
+        report.violations
+    );
     assert!(report.regions_checked > 0, "monitored regions audited");
 }
 
@@ -138,9 +157,13 @@ fn audit_catches_rewritable_table_page() {
 fn audit_catches_disarmed_watch_bits() {
     use hypernel_kernel::kernel::{MonitorHooks, MonitorMode};
     let (mut m, mut hs, mut k) = boot();
-    k.arm_monitor_hooks(&mut m, &mut hs, MonitorHooks {
-        mode: MonitorMode::SensitiveFields,
-    })
+    k.arm_monitor_hooks(
+        &mut m,
+        &mut hs,
+        MonitorHooks {
+            mode: MonitorMode::SensitiveFields,
+        },
+    )
     .expect("arm");
     assert!(hs.audit(&mut m).is_clean());
     // Clear the whole bitmap behind Hypersec's back (what a DMA-capable
@@ -167,14 +190,18 @@ fn pt_register_rejects_garbage() {
         root: false,
     }
     .encode();
-    assert!(matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION));
+    assert!(
+        matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION)
+    );
     // In the secure region.
     let (nr, args) = Hypercall::PtRegisterTable {
         table: PhysAddr::new(layout::SECURE_BASE + 0x1000),
         root: false,
     }
     .encode();
-    assert!(matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION));
+    assert!(
+        matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION)
+    );
     // Not zeroed.
     let dirty = k.alloc_raw_frame().expect("frame");
     m.debug_write_phys(dirty.add(64), 0xFF);
@@ -183,7 +210,9 @@ fn pt_register_rejects_garbage() {
         root: false,
     }
     .encode();
-    assert!(matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION));
+    assert!(
+        matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION)
+    );
     // Double registration.
     let fresh = k.alloc_raw_frame().expect("frame");
     m.debug_zero_page(fresh);
@@ -193,7 +222,9 @@ fn pt_register_rejects_garbage() {
     }
     .encode();
     m.hvc(nr, args, &mut hs).expect("first registration");
-    assert!(matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION));
+    assert!(
+        matches!(m.hvc(nr, args, &mut hs), Err(Exception::Denied(v)) if v.code == codes::BAD_TABLE_REGISTRATION)
+    );
 }
 
 #[test]
@@ -206,9 +237,17 @@ fn pt_write_polices_wxorx() {
     let l1 = k.alloc_raw_frame().expect("frame");
     m.debug_zero_page(root);
     m.debug_zero_page(l1);
-    let (nr, args) = Hypercall::PtRegisterTable { table: root, root: true }.encode();
+    let (nr, args) = Hypercall::PtRegisterTable {
+        table: root,
+        root: true,
+    }
+    .encode();
     m.hvc(nr, args, &mut hs).expect("register root");
-    let (nr, args) = Hypercall::PtRegisterTable { table: l1, root: false }.encode();
+    let (nr, args) = Hypercall::PtRegisterTable {
+        table: l1,
+        root: false,
+    }
+    .encode();
     m.hvc(nr, args, &mut hs).expect("register l1");
     let (nr, args) = Hypercall::PtWrite {
         table: root,
@@ -244,7 +283,9 @@ fn kernel_root_cannot_be_retired() {
         table: k.kernel_root(),
     }
     .encode();
-    let err = m.hvc(nr, args, &mut hs).expect_err("kernel root is permanent");
+    let err = m
+        .hvc(nr, args, &mut hs)
+        .expect_err("kernel root is permanent");
     assert!(matches!(err, Exception::Denied(v) if v.code == codes::BAD_TABLE_REGISTRATION));
 }
 
@@ -274,11 +315,16 @@ fn irq_notify_on_empty_ring_is_harmless() {
 fn detections_can_be_drained() {
     use hypernel_kernel::kernel::{MonitorHooks, MonitorMode};
     let (mut m, mut hs, mut k) = boot();
-    k.arm_monitor_hooks(&mut m, &mut hs, MonitorHooks {
-        mode: MonitorMode::SensitiveFields,
-    })
+    k.arm_monitor_hooks(
+        &mut m,
+        &mut hs,
+        MonitorHooks {
+            mode: MonitorMode::SensitiveFields,
+        },
+    )
     .expect("arm");
-    k.attack_cred_escalation(&mut m, &mut hs, Pid(1)).expect("attack");
+    k.attack_cred_escalation(&mut m, &mut hs, Pid(1))
+        .expect("attack");
     k.poll_irqs(&mut m, &mut hs).expect("irqs");
     assert!(!hs.detections().is_empty());
     let taken = hs.take_detections();

@@ -187,8 +187,9 @@ impl KvmHypervisor {
             )
         };
         self.next_table = next;
-        let plan = plan_result
-            .map_err(|e| PolicyViolation::new(codes::HOST_OOM, format!("stage-2 map failed: {e}")))?;
+        let plan = plan_result.map_err(|e| {
+            PolicyViolation::new(codes::HOST_OOM, format!("stage-2 map failed: {e}"))
+        })?;
         for t in &fresh {
             m.debug_zero_page(*t);
         }
@@ -385,7 +386,8 @@ mod tests {
         let (mut m, mut kvm) = rig();
         kvm.prefault(&mut m, PhysAddr::new(16 << 20));
         let before = kvm.stats().stage2_faults;
-        m.write_u64(VirtAddr::new(0x50_0000), 7, &mut kvm).expect("warm");
+        m.write_u64(VirtAddr::new(0x50_0000), 7, &mut kvm)
+            .expect("warm");
         assert_eq!(kvm.stats().stage2_faults, before);
     }
 
@@ -395,10 +397,12 @@ mod tests {
         kvm.prefault(&mut m, PhysAddr::new(16 << 20));
         m.tlbi_all();
         let c0 = m.cycles();
-        m.read_u64(VirtAddr::new(0x51_0000), &mut kvm).expect("read");
+        m.read_u64(VirtAddr::new(0x51_0000), &mut kvm)
+            .expect("read");
         let cold = m.cycles() - c0;
         let c1 = m.cycles();
-        m.read_u64(VirtAddr::new(0x51_0000), &mut kvm).expect("read");
+        m.read_u64(VirtAddr::new(0x51_0000), &mut kvm)
+            .expect("read");
         let warm = m.cycles() - c1;
         assert!(cold > warm * 3, "nested walk cold={cold} warm={warm}");
     }
@@ -410,8 +414,10 @@ mod tests {
         let page = PhysAddr::new(0x60_0000);
         kvm.protect_page(&mut m, page);
         // Writes to ANY word of the page trap — the granularity gap.
-        m.write_u64(VirtAddr::new(0x60_0F00), 0xAA, &mut kvm).expect("emulated");
-        m.write_u64(VirtAddr::new(0x60_0008), 0xBB, &mut kvm).expect("emulated");
+        m.write_u64(VirtAddr::new(0x60_0F00), 0xAA, &mut kvm)
+            .expect("emulated");
+        m.write_u64(VirtAddr::new(0x60_0008), 0xBB, &mut kvm)
+            .expect("emulated");
         assert_eq!(kvm.stats().protection_traps, 2);
         let log = kvm.take_trapped_writes();
         assert_eq!(log.len(), 2);
@@ -419,7 +425,8 @@ mod tests {
         assert_eq!(m.debug_read_phys(PhysAddr::new(0x60_0F00)), 0xAA);
         // Reads do not trap.
         let faults = kvm.stats().stage2_faults;
-        m.read_u64(VirtAddr::new(0x60_0F00), &mut kvm).expect("read ok");
+        m.read_u64(VirtAddr::new(0x60_0F00), &mut kvm)
+            .expect("read ok");
         assert_eq!(kvm.stats().stage2_faults, faults);
     }
 
@@ -430,7 +437,8 @@ mod tests {
         let page = PhysAddr::new(0x60_0000);
         kvm.protect_page(&mut m, page);
         kvm.unprotect_page(&mut m, page);
-        m.write_u64(VirtAddr::new(0x60_0000), 1, &mut kvm).expect("direct");
+        m.write_u64(VirtAddr::new(0x60_0000), 1, &mut kvm)
+            .expect("direct");
         assert_eq!(kvm.stats().protection_traps, 0);
         assert_eq!(kvm.protected_pages(), 0);
     }

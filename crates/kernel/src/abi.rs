@@ -128,18 +128,21 @@ impl Hypercall {
     /// Encodes to the `(call, args)` pair passed through `HVC`.
     pub fn encode(self) -> (u64, [u64; 4]) {
         match self {
-            Self::PtWrite { table, index, value } => {
-                (call::PT_WRITE, [table.raw(), index as u64, value, 0])
-            }
+            Self::PtWrite {
+                table,
+                index,
+                value,
+            } => (call::PT_WRITE, [table.raw(), index as u64, value, 0]),
             Self::PtRegisterTable { table, root } => {
                 (call::PT_REGISTER_TABLE, [table.raw(), root as u64, 0, 0])
             }
             Self::PtUnregisterTable { table } => {
                 (call::PT_UNREGISTER_TABLE, [table.raw(), 0, 0, 0])
             }
-            Self::Lock { kernel_root, user_root } => {
-                (call::LOCK, [kernel_root.raw(), user_root.raw(), 0, 0])
-            }
+            Self::Lock {
+                kernel_root,
+                user_root,
+            } => (call::LOCK, [kernel_root.raw(), user_root.raw(), 0, 0]),
             Self::MonitorRegister { sid, base, len } => {
                 (call::MONITOR_REGISTER, [sid as u64, base.raw(), len, 0])
             }
@@ -147,9 +150,7 @@ impl Hypercall {
                 (call::MONITOR_UNREGISTER, [sid as u64, base.raw(), len, 0])
             }
             Self::IrqNotify => (call::IRQ_NOTIFY, [0, 0, 0, 0]),
-            Self::EmulateWrite { va, value } => {
-                (call::EMULATE_WRITE, [va.raw(), value, 0, 0])
-            }
+            Self::EmulateWrite { va, value } => (call::EMULATE_WRITE, [va.raw(), value, 0, 0]),
         }
     }
 

@@ -72,10 +72,7 @@ impl Kernel {
         hyp: &mut dyn Hyp,
         pid: Pid,
     ) -> Result<AttackOutcome, KernelError> {
-        let cred = self
-            .task(pid)
-            .ok_or(KernelError::NoSuchTask(pid))?
-            .cred;
+        let cred = self.task(pid).ok_or(KernelError::NoSuchTask(pid))?.cred;
         for field in [CredField::Uid, CredField::Euid, CredField::Fsuid] {
             let va = layout::kva(cred.add(field.byte_offset()));
             if let Err(e) = m.write_u64(va, 0, hyp) {
@@ -131,11 +128,9 @@ impl Kernel {
                 .encode();
                 outcome_of(m.hvc(nr, args, hyp).map(|_| ()))
             }
-            PtRoute::Direct => outcome_of(m.write_u64(
-                layout::kva(table.add(index as u64 * 8)),
-                desc,
-                hyp,
-            )),
+            PtRoute::Direct => {
+                outcome_of(m.write_u64(layout::kva(table.add(index as u64 * 8)), desc, hyp))
+            }
         }
     }
 
@@ -278,7 +273,7 @@ impl Kernel {
         let target = PhysAddr::new(layout::KERNEL_IMAGE_BASE + 0x1_0000);
         let va = layout::kva(target);
         let payload = 0x1400_0000u64; // an unconditional branch
-        // Direct store: W^X text mapping aborts it.
+                                      // Direct store: W^X text mapping aborts it.
         if m.write_u64(va, payload, hyp).is_ok() {
             return Ok(AttackOutcome::Succeeded);
         }
@@ -355,7 +350,12 @@ impl Kernel {
         let victim_va = layout::kva(src_page);
         let write = {
             let mut view = m.pt_view();
-            pagetable::plan_protect(&mut view, self.kernel_root(), victim_va.raw(), PagePerms::KERNEL_DATA)
+            pagetable::plan_protect(
+                &mut view,
+                self.kernel_root(),
+                victim_va.raw(),
+                PagePerms::KERNEL_DATA,
+            )
         };
         let Some(mut w) = write else {
             return Ok((
@@ -429,7 +429,9 @@ mod tests {
     #[test]
     fn native_kernel_allows_ttbr_redirect() {
         let (mut m, mut hyp, mut k) = boot();
-        let outcome = k.attack_ttbr_redirect(&mut m, &mut hyp).expect("attack runs");
+        let outcome = k
+            .attack_ttbr_redirect(&mut m, &mut hyp)
+            .expect("attack runs");
         assert!(outcome.succeeded(), "{outcome}");
     }
 
@@ -437,7 +439,9 @@ mod tests {
     fn native_kernel_allows_atra() {
         let (mut m, mut hyp, mut k) = boot();
         let target = k.task(Pid(1)).unwrap().cred;
-        let (outcome, shadow) = k.attack_atra(&mut m, &mut hyp, target).expect("attack runs");
+        let (outcome, shadow) = k
+            .attack_atra(&mut m, &mut hyp, target)
+            .expect("attack runs");
         assert!(outcome.succeeded(), "{outcome}");
         // Writes through the linear VA now land in the shadow frame.
         let va = layout::kva(target.add(CredField::Euid.byte_offset()));
@@ -463,7 +467,9 @@ mod tests {
     #[test]
     fn native_kernel_allows_code_injection_via_remap() {
         let (mut m, mut hyp, mut k) = boot();
-        let outcome = k.attack_code_injection(&mut m, &mut hyp).expect("attack runs");
+        let outcome = k
+            .attack_code_injection(&mut m, &mut hyp)
+            .expect("attack runs");
         assert!(outcome.succeeded(), "{outcome}");
     }
 

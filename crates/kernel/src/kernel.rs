@@ -18,6 +18,7 @@ use hypernel_machine::irq::IrqLine;
 use hypernel_machine::machine::{Exception, Hyp, Machine};
 use hypernel_machine::pagetable::PagePerms;
 use hypernel_machine::regs::{sctlr, ExceptionLevel, SysReg};
+use hypernel_telemetry::SpanKind;
 
 use crate::abi::Hypercall;
 use crate::kobj::{CredField, DentryField, ObjectKind};
@@ -825,7 +826,14 @@ impl Kernel {
         }
         let stack = self.frames.alloc()?;
         self.prep_frame(m, hyp, stack)?;
-        self.map_user_page(m, hyp, &mut task, VirtAddr::new(layout::USER_STACK_TOP), stack, true)?;
+        self.map_user_page(
+            m,
+            hyp,
+            &mut task,
+            VirtAddr::new(layout::USER_STACK_TOP),
+            stack,
+            true,
+        )?;
 
         // Kernel stack + signal table (fresh anonymous frames).
         for _ in 0..2 {
@@ -899,13 +907,23 @@ impl Kernel {
         m.step_devices();
         let mut handled = 0;
         while let Some(line) = m.irq_mut().ack_next() {
+            let mbm = line == IrqLine::MBM;
+            if mbm {
+                m.emit_begin(SpanKind::MbmIrqService, u64::from(line.0));
+            }
             m.charge_irq();
             handled += 1;
-            if line == IrqLine::MBM && self.config.forward_irq {
+            let outcome = if mbm && self.config.forward_irq {
                 self.stats.irqs_forwarded += 1;
                 let (nr, args) = Hypercall::IrqNotify.encode();
-                m.hvc(nr, args, hyp)?;
+                m.hvc(nr, args, hyp).map(|_| ())
+            } else {
+                Ok(())
+            };
+            if mbm {
+                m.emit_end(SpanKind::MbmIrqService, u64::from(outcome.is_err()));
             }
+            outcome?;
         }
         Ok(handled)
     }
@@ -918,11 +936,20 @@ impl Kernel {
         self.stats.syscalls += 1;
         m.charge_syscall();
         m.charge(tuning::SYSCALL_COMPUTE);
+        m.emit_begin(SpanKind::Syscall, self.stats.syscalls);
+    }
+
+    /// Closes the span opened by [`Kernel::syscall_prologue`]. Syscalls
+    /// that abort with an error leave their span open; the telemetry
+    /// registry surfaces those as open spans rather than latencies.
+    fn syscall_epilogue(m: &Machine) {
+        m.emit_end(SpanKind::Syscall, 0);
     }
 
     /// `getpid` — the null syscall.
     pub fn sys_getpid(&mut self, m: &mut Machine) -> Pid {
         self.syscall_prologue(m);
+        Self::syscall_epilogue(m);
         self.current
     }
 
@@ -947,6 +974,7 @@ impl Kernel {
             m.write_u64(sp.add(i * 8), inode + i, hyp)?;
         }
         self.dput(m, hyp, dentry)?;
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -968,6 +996,7 @@ impl Kernel {
         let slot = layout::kva(base.add((sig % 64) * 16));
         self.kwrite(m, hyp, slot, SIGNAL_HANDLER_ADDR)?;
         self.kwrite(m, hyp, slot.add(8), sig)?;
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -998,6 +1027,7 @@ impl Kernel {
         for i in 0..16u64 {
             m.read_u64(sp.add(i * 8), hyp)?;
         }
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1013,7 +1043,10 @@ impl Kernel {
 
         let parent = self.current;
         let (parent_pages, parent_cred) = {
-            let t = self.tasks.get(&parent).ok_or(KernelError::NoSuchTask(parent))?;
+            let t = self
+                .tasks
+                .get(&parent)
+                .ok_or(KernelError::NoSuchTask(parent))?;
             (t.user_pages.clone(), t.cred)
         };
 
@@ -1067,6 +1100,7 @@ impl Kernel {
         // Share the cred.
         self.cred_get(m, hyp, parent_cred)?;
         self.tasks.insert(pid, task);
+        Self::syscall_epilogue(m);
         Ok(pid)
     }
 
@@ -1108,7 +1142,10 @@ impl Kernel {
         // and retire the old tree with a single unregister call — no
         // per-descriptor teardown, as Linux frees a dead mm wholesale.
         let pid = self.current;
-        let mut task = self.tasks.remove(&pid).ok_or(KernelError::NoSuchTask(pid))?;
+        let mut task = self
+            .tasks
+            .remove(&pid)
+            .ok_or(KernelError::NoSuchTask(pid))?;
         let old_root = task.user_root;
         let old_tables = std::mem::take(&mut task.table_pages);
         let old_pages = std::mem::take(&mut task.user_pages);
@@ -1129,20 +1166,27 @@ impl Kernel {
         }
         let stack = self.frames.alloc()?;
         self.prep_frame(m, hyp, stack)?;
-        self.map_user_page(m, hyp, &mut task, VirtAddr::new(layout::USER_STACK_TOP), stack, true)?;
+        self.map_user_page(
+            m,
+            hyp,
+            &mut task,
+            VirtAddr::new(layout::USER_STACK_TOP),
+            stack,
+            true,
+        )?;
 
         // Install the new address space, then retire the old one.
         let ttbr0 = task.user_root.raw() | (task.asid as u64) << 48;
         m.write_sysreg(SysReg::TTBR0_EL1, ttbr0, hyp)?;
         m.tlbi_asid(task.asid);
-        self.pt
-            .retire_address_space(m, hyp, old_root, old_tables)?;
+        self.pt.retire_address_space(m, hyp, old_root, old_tables)?;
         for (_va, frame, owned) in old_pages {
             if owned {
                 self.frames.free(frame);
             }
         }
         self.tasks.insert(pid, task);
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1161,7 +1205,10 @@ impl Kernel {
         self.syscall_prologue(m);
         m.charge(tuning::EXIT_COMPUTE);
         self.stats.exits += 1;
-        let task = self.tasks.remove(&pid).ok_or(KernelError::NoSuchTask(pid))?;
+        let task = self
+            .tasks
+            .remove(&pid)
+            .ok_or(KernelError::NoSuchTask(pid))?;
         // exit_mmap: the whole tree is retired at once (one unregister
         // hypercall under Hypernel); owned anonymous frames are freed,
         // shared/page-cache frames are not.
@@ -1181,6 +1228,7 @@ impl Kernel {
         if self.current == pid {
             self.switch_to(m, hyp, reap_to)?;
         }
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1210,7 +1258,10 @@ impl Kernel {
         let base = VirtAddr::new(self.next_mmap_va);
         self.next_mmap_va += (pages as u64 + 16) * PAGE_SIZE;
         let pid = self.current;
-        let mut task = self.tasks.remove(&pid).ok_or(KernelError::NoSuchTask(pid))?;
+        let mut task = self
+            .tasks
+            .remove(&pid)
+            .ok_or(KernelError::NoSuchTask(pid))?;
         task.vmas.push(Vma {
             base,
             len: pages as u64 * PAGE_SIZE,
@@ -1232,6 +1283,7 @@ impl Kernel {
             task.demand_pages.push((va, frame));
         }
         self.tasks.insert(pid, task);
+        Self::syscall_epilogue(m);
         Ok(base)
     }
 
@@ -1249,7 +1301,10 @@ impl Kernel {
         self.syscall_prologue(m);
         m.charge(tuning::MMAP_COMPUTE / 2);
         let pid = self.current;
-        let mut task = self.tasks.remove(&pid).ok_or(KernelError::NoSuchTask(pid))?;
+        let mut task = self
+            .tasks
+            .remove(&pid)
+            .ok_or(KernelError::NoSuchTask(pid))?;
         let Some(pos) = task.vmas.iter().position(|v| v.base == base) else {
             self.tasks.insert(pid, task);
             return Err(KernelError::NoSuchPath(format!("vma at {base}")));
@@ -1265,12 +1320,16 @@ impl Kernel {
         }
         task.demand_pages = kept;
         self.tasks.insert(pid, task);
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
     fn page_cache_frame(&mut self) -> PhysAddr {
         self.page_cache_cursor += 1;
-        if self.page_cache_cursor.is_multiple_of(tuning::PAGE_CACHE_GROWTH_PERIOD) {
+        if self
+            .page_cache_cursor
+            .is_multiple_of(tuning::PAGE_CACHE_GROWTH_PERIOD)
+        {
             // Page-cache growth: a cold frame joins the pool (first guest
             // touch of it lazily faults stage 2 under KVM).
             if let Ok(fresh) = self.frames.alloc() {
@@ -1306,7 +1365,10 @@ impl Kernel {
                 m.charge(tuning::FAULT_COMPUTE);
                 self.stats.page_faults += 1;
                 let pid = self.current;
-                let mut task = self.tasks.remove(&pid).ok_or(KernelError::NoSuchTask(pid))?;
+                let mut task = self
+                    .tasks
+                    .remove(&pid)
+                    .ok_or(KernelError::NoSuchTask(pid))?;
                 if task.vma_for(va).is_none() {
                     self.tasks.insert(pid, task);
                     return Err(KernelError::Machine(Exception::DataAbort {
@@ -1392,6 +1454,7 @@ impl Kernel {
         }
         self.create_dentry_at(m, hyp, path)?;
         self.stats.files_created += 1;
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1432,6 +1495,7 @@ impl Kernel {
         if new_parent != dentry {
             self.dput(m, hyp, new_parent)?;
         }
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1459,6 +1523,7 @@ impl Kernel {
             self.frames.free(data);
         }
         self.dentries.free(dentry);
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1494,6 +1559,7 @@ impl Kernel {
         // File writes update the *inode* mtime, not the dentry — dentry
         // fields stay untouched on the data path.
         self.dput(m, hyp, dentry)?;
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1520,6 +1586,7 @@ impl Kernel {
             }
         }
         self.dput(m, hyp, dentry)?;
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1538,10 +1605,14 @@ impl Kernel {
         self.syscall_prologue(m);
         let dentry = self.lookup(m, hyp, path)?;
         let pid = self.current;
-        let task = self.tasks.get_mut(&pid).ok_or(KernelError::NoSuchTask(pid))?;
+        let task = self
+            .tasks
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchTask(pid))?;
         let fd = Fd(task.next_fd);
         task.next_fd += 1;
         task.fds.insert(fd, dentry);
+        Self::syscall_epilogue(m);
         Ok(fd)
     }
 
@@ -1558,12 +1629,17 @@ impl Kernel {
     ) -> Result<(), KernelError> {
         self.syscall_prologue(m);
         let pid = self.current;
-        let task = self.tasks.get_mut(&pid).ok_or(KernelError::NoSuchTask(pid))?;
+        let task = self
+            .tasks
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchTask(pid))?;
         let dentry = task
             .fds
             .remove(&fd)
             .ok_or_else(|| KernelError::NoSuchPath(format!("{fd}")))?;
-        self.dput(m, hyp, dentry)
+        self.dput(m, hyp, dentry)?;
+        Self::syscall_epilogue(m);
+        Ok(())
     }
 
     fn fd_dentry(&self, fd: Fd) -> Result<PhysAddr, KernelError> {
@@ -1610,6 +1686,7 @@ impl Kernel {
             let va = layout::kva(data.add((i % (PAGE_SIZE / 8)) * 8));
             self.kwrite(m, hyp, va, i)?;
         }
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1635,6 +1712,7 @@ impl Kernel {
                 self.kread(m, hyp, va)?;
             }
         }
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1663,6 +1741,7 @@ impl Kernel {
         }
         // Wake the peer: cross-CPU IPI (a vGIC trap under KVM).
         m.send_sgi(hyp);
+        Self::syscall_epilogue(m);
         self.switch_to(m, hyp, peer)?;
         // Reader side.
         self.syscall_prologue(m);
@@ -1670,6 +1749,7 @@ impl Kernel {
         for i in 0..words {
             self.kread(m, hyp, layout::kva(buf.add((i % 512) * 8)))?;
         }
+        Self::syscall_epilogue(m);
         // Reply.
         self.syscall_prologue(m);
         m.charge(tuning::PIPE_COMPUTE);
@@ -1677,6 +1757,7 @@ impl Kernel {
             self.kwrite(m, hyp, layout::kva(buf.add((i % 512) * 8)), i + 1)?;
         }
         m.send_sgi(hyp);
+        Self::syscall_epilogue(m);
         self.switch_to(m, hyp, me)?;
         // Original task consumes the reply.
         self.syscall_prologue(m);
@@ -1684,6 +1765,7 @@ impl Kernel {
         for i in 0..words {
             self.kread(m, hyp, layout::kva(buf.add((i % 512) * 8)))?;
         }
+        Self::syscall_epilogue(m);
         Ok(())
     }
 
@@ -1840,8 +1922,10 @@ mod tests {
     fn create_write_read_unlink() {
         let (mut m, mut hyp, mut k) = boot();
         k.sys_create(&mut m, &mut hyp, "/tmp/x").expect("create");
-        k.sys_write_file(&mut m, &mut hyp, "/tmp/x", 4096).expect("write");
-        k.sys_read_file(&mut m, &mut hyp, "/tmp/x", 4096).expect("read");
+        k.sys_write_file(&mut m, &mut hyp, "/tmp/x", 4096)
+            .expect("write");
+        k.sys_read_file(&mut m, &mut hyp, "/tmp/x", 4096)
+            .expect("read");
         let live_before = k.dentry_slab().stats().live;
         k.sys_unlink(&mut m, &mut hyp, "/tmp/x").expect("unlink");
         assert_eq!(k.dentry_slab().stats().live, live_before - 1);
@@ -1853,7 +1937,8 @@ mod tests {
         let (mut m, mut hyp, mut k) = boot();
         let child = k.sys_fork(&mut m, &mut hyp).expect("fork");
         let switches = k.stats().context_switches;
-        k.sys_pipe_roundtrip(&mut m, &mut hyp, child, 512).expect("pipe");
+        k.sys_pipe_roundtrip(&mut m, &mut hyp, child, 512)
+            .expect("pipe");
         assert_eq!(k.stats().context_switches, switches + 2);
         assert_eq!(k.current(), Pid(1));
     }
@@ -1872,7 +1957,10 @@ mod tests {
         let c0 = m.cycles();
         k.sys_stat(&mut m, &mut hyp, "/bin/sh").expect("stat");
         let stat_cost = m.cycles() - c0;
-        assert!(stat_cost > 500, "stat must cost real cycles, got {stat_cost}");
+        assert!(
+            stat_cost > 500,
+            "stat must cost real cycles, got {stat_cost}"
+        );
         let c1 = m.cycles();
         k.sys_fork(&mut m, &mut hyp).expect("fork");
         let fork_cost = m.cycles() - c1;
@@ -1885,11 +1973,13 @@ mod tests {
     #[test]
     fn fd_open_read_write_close() {
         let (mut m, mut hyp, mut k) = boot();
-        k.sys_create(&mut m, &mut hyp, "/tmp/fdtest").expect("create");
+        k.sys_create(&mut m, &mut hyp, "/tmp/fdtest")
+            .expect("create");
         let fd = k.sys_open(&mut m, &mut hyp, "/tmp/fdtest").expect("open");
         assert_eq!(fd, Fd(3), "first fd after the standard streams");
         // Warm the file's data page so both paths run warm.
-        k.sys_write_file(&mut m, &mut hyp, "/tmp/fdtest", 4096).expect("warm");
+        k.sys_write_file(&mut m, &mut hyp, "/tmp/fdtest", 4096)
+            .expect("warm");
         // Descriptor IO skips the path walk entirely.
         let syscalls = k.stats().syscalls;
         let c0 = m.cycles();
@@ -1898,10 +1988,15 @@ mod tests {
         let fd_cost = m.cycles() - c0;
         assert_eq!(k.stats().syscalls, syscalls + 2);
         let c1 = m.cycles();
-        k.sys_write_file(&mut m, &mut hyp, "/tmp/fdtest", 4096).expect("write");
-        k.sys_read_file(&mut m, &mut hyp, "/tmp/fdtest", 4096).expect("read");
+        k.sys_write_file(&mut m, &mut hyp, "/tmp/fdtest", 4096)
+            .expect("write");
+        k.sys_read_file(&mut m, &mut hyp, "/tmp/fdtest", 4096)
+            .expect("read");
         let path_cost = m.cycles() - c1;
-        assert!(fd_cost < path_cost, "fd IO ({fd_cost}) avoids path walks ({path_cost})");
+        assert!(
+            fd_cost < path_cost,
+            "fd IO ({fd_cost}) avoids path walks ({path_cost})"
+        );
         k.sys_close(&mut m, &mut hyp, fd).expect("close");
         let err = k.sys_write_fd(&mut m, &mut hyp, fd, 8).unwrap_err();
         assert!(matches!(err, KernelError::NoSuchPath(_)));
@@ -1910,7 +2005,8 @@ mod tests {
     #[test]
     fn fds_are_per_task() {
         let (mut m, mut hyp, mut k) = boot();
-        k.sys_create(&mut m, &mut hyp, "/tmp/shared").expect("create");
+        k.sys_create(&mut m, &mut hyp, "/tmp/shared")
+            .expect("create");
         let fd = k.sys_open(&mut m, &mut hyp, "/tmp/shared").expect("open");
         let child = k.sys_fork(&mut m, &mut hyp).expect("fork");
         k.switch_to(&mut m, &mut hyp, child).expect("switch");
@@ -1925,22 +2021,27 @@ mod tests {
     fn rename_moves_the_dentry() {
         let (mut m, mut hyp, mut k) = boot();
         k.sys_create(&mut m, &mut hyp, "/tmp/a").expect("create");
-        k.sys_write_file(&mut m, &mut hyp, "/tmp/a", 512).expect("write");
+        k.sys_write_file(&mut m, &mut hyp, "/tmp/a", 512)
+            .expect("write");
         let dentry = k.dentry_of("/tmp/a").unwrap();
-        k.sys_rename(&mut m, &mut hyp, "/tmp/a", "/etc/b").expect("rename");
+        k.sys_rename(&mut m, &mut hyp, "/tmp/a", "/etc/b")
+            .expect("rename");
         assert!(k.dentry_of("/tmp/a").is_none());
         assert_eq!(k.dentry_of("/etc/b"), Some(dentry));
         // New parent recorded.
         let parent = m.debug_read_phys(dentry.add(DentryField::Parent.byte_offset()));
         assert_eq!(parent, k.dentry_of("/etc").unwrap().raw());
         // The file content travels with the dentry.
-        k.sys_read_file(&mut m, &mut hyp, "/etc/b", 512).expect("read");
+        k.sys_read_file(&mut m, &mut hyp, "/etc/b", 512)
+            .expect("read");
     }
 
     #[test]
     fn rename_of_missing_path_fails() {
         let (mut m, mut hyp, mut k) = boot();
-        let err = k.sys_rename(&mut m, &mut hyp, "/tmp/ghost", "/tmp/x").unwrap_err();
+        let err = k
+            .sys_rename(&mut m, &mut hyp, "/tmp/ghost", "/tmp/x")
+            .unwrap_err();
         assert!(matches!(err, KernelError::NoSuchPath(_)));
     }
 

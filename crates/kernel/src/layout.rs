@@ -91,7 +91,10 @@ pub fn kva(pa: PhysAddr) -> VirtAddr {
 pub fn pa_of_kva(va: VirtAddr) -> PhysAddr {
     assert!(va.raw() >= LINEAR_BASE, "not a linear-map address: {va}");
     let pa = va.raw() - LINEAR_BASE;
-    assert!(pa < SECURE_BASE, "linear address {va} escapes the mapped range");
+    assert!(
+        pa < SECURE_BASE,
+        "linear address {va} escapes the mapped range"
+    );
     PhysAddr::new(pa)
 }
 

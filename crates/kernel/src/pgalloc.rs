@@ -46,7 +46,10 @@ impl FrameAllocator {
     /// Panics unless both bounds are page-aligned and the range is
     /// non-empty.
     pub fn new(base: PhysAddr, end: PhysAddr) -> Self {
-        assert!(base.is_page_aligned() && end.is_page_aligned(), "bounds must be page-aligned");
+        assert!(
+            base.is_page_aligned() && end.is_page_aligned(),
+            "bounds must be page-aligned"
+        );
         assert!(base < end, "empty frame pool");
         Self {
             next: base.raw(),
@@ -169,6 +172,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(OutOfFramesError.to_string(), "physical frame pool exhausted");
+        assert_eq!(
+            OutOfFramesError.to_string(),
+            "physical frame pool exhausted"
+        );
     }
 }

@@ -513,7 +513,11 @@ mod tests {
         let info = build_linear_map(&mut m, &mut f, root, LinearMapMode::Sections).unwrap();
         assert_eq!(info.leaves, layout::SECURE_BASE / SECTION_SIZE);
         // Sections need far fewer tables than pages mode.
-        assert!(info.table_pages.len() < 16, "got {}", info.table_pages.len());
+        assert!(
+            info.table_pages.len() < 16,
+            "got {}",
+            info.table_pages.len()
+        );
         let (out, _) = read_leaf(&mut m, root, layout::kva(PhysAddr::new(0x12_3456))).unwrap();
         assert_eq!(out, PhysAddr::new(0x12_3456));
     }
@@ -575,8 +579,16 @@ mod tests {
         let user_root = pt.alloc_table(&mut m, &mut hyp, &mut f, true).unwrap();
         let frame = f.alloc().unwrap();
         let va = VirtAddr::new(0x40_0000);
-        pt.map_page(&mut m, &mut hyp, &mut f, user_root, va, frame, PagePerms::USER_DATA)
-            .unwrap();
+        pt.map_page(
+            &mut m,
+            &mut hyp,
+            &mut f,
+            user_root,
+            va,
+            frame,
+            PagePerms::USER_DATA,
+        )
+        .unwrap();
         assert!(pt
             .protect_page(&mut m, &mut hyp, user_root, va, PagePerms::KERNEL_RO)
             .unwrap());

@@ -108,7 +108,8 @@ impl SlabCache {
     /// the frame allocator (matching slab behaviour under steady churn).
     pub fn free(&mut self, obj: PhysAddr) {
         debug_assert!(
-            obj.offset_from(obj.page_base()).is_multiple_of(self.kind.bytes()),
+            obj.offset_from(obj.page_base())
+                .is_multiple_of(self.kind.bytes()),
             "address is not an object slot boundary"
         );
         self.stats.live -= 1;
@@ -141,7 +142,9 @@ mod tests {
         let mut cache = SlabCache::new(ObjectKind::Cred);
         let per_page = cache.slots_per_page();
         assert_eq!(per_page, 32); // 4096 / 128
-        let objs: Vec<_> = (0..per_page).map(|_| cache.alloc(&mut f).unwrap()).collect();
+        let objs: Vec<_> = (0..per_page)
+            .map(|_| cache.alloc(&mut f).unwrap())
+            .collect();
         assert!(objs.iter().all(|o| o.page_base() == objs[0].page_base()));
         assert_eq!(cache.stats().pages, 1);
         // One more spills to a second page.

@@ -67,8 +67,10 @@ fn run_ops(ops: &[SysOp]) -> (Machine, Kernel) {
                 let path = format!("/tmp/pw{id}");
                 // The file may or may not already exist from CreateKeep.
                 k.sys_create(&mut m, &mut hyp, &path).expect("create");
-                k.sys_write_file(&mut m, &mut hyp, &path, *bytes as u64).expect("write");
-                k.sys_read_file(&mut m, &mut hyp, &path, *bytes as u64).expect("read");
+                k.sys_write_file(&mut m, &mut hyp, &path, *bytes as u64)
+                    .expect("write");
+                k.sys_read_file(&mut m, &mut hyp, &path, *bytes as u64)
+                    .expect("read");
                 k.sys_unlink(&mut m, &mut hyp, &path).expect("unlink");
             }
             SysOp::CreateKeep { id } => {
@@ -82,17 +84,21 @@ fn run_ops(ops: &[SysOp]) -> (Machine, Kernel) {
             }
             SysOp::Pipe => {
                 let peer = k.sys_fork(&mut m, &mut hyp).expect("fork");
-                k.sys_pipe_roundtrip(&mut m, &mut hyp, peer, 64).expect("pipe");
+                k.sys_pipe_roundtrip(&mut m, &mut hyp, peer, 64)
+                    .expect("pipe");
                 k.sys_exit(&mut m, &mut hyp, peer, Pid(1)).expect("exit");
             }
             SysOp::Signal { sig } => {
-                k.sys_signal_install(&mut m, &mut hyp, *sig as u64 % 64).expect("install");
-                k.sys_signal_deliver(&mut m, &mut hyp, *sig as u64 % 64).expect("deliver");
+                k.sys_signal_install(&mut m, &mut hyp, *sig as u64 % 64)
+                    .expect("install");
+                k.sys_signal_deliver(&mut m, &mut hyp, *sig as u64 % 64)
+                    .expect("deliver");
             }
             SysOp::PageFaultRegion => {
                 let base = k.sys_mmap(&mut m, &mut hyp, 8).expect("mmap");
                 for i in 0..8u64 {
-                    k.user_touch(&mut m, &mut hyp, base.add(i * 4096)).expect("touch");
+                    k.user_touch(&mut m, &mut hyp, base.add(i * 4096))
+                        .expect("touch");
                 }
                 k.sys_munmap(&mut m, &mut hyp, base).expect("munmap");
             }

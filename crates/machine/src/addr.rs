@@ -263,9 +263,8 @@ mod tests {
     #[test]
     fn table_indices_cover_va() {
         // VA = L0:1, L1:2, L2:3, L3:4, offset 5
-        let va = VirtAddr::new(
-            (1u64 << (12 + 27)) | (2 << (12 + 18)) | (3 << (12 + 9)) | (4 << 12) | 5,
-        );
+        let va =
+            VirtAddr::new((1u64 << (12 + 27)) | (2 << (12 + 18)) | (3 << (12 + 9)) | (4 << 12) | 5);
         assert_eq!(va.table_index(0), 1);
         assert_eq!(va.table_index(1), 2);
         assert_eq!(va.table_index(2), 3);

@@ -79,6 +79,9 @@ pub struct BusContext<'a> {
     /// Cycle counter the snooper may charge for its own DRAM traffic
     /// (the MBM shares the memory port with the CPU).
     pub extra_mem_accesses: &'a mut u64,
+    /// CPU cycle counter at the moment of the transaction, so snoopers
+    /// can timestamp telemetry on the same clock as the core.
+    pub cycles: u64,
 }
 
 /// A device attached to the memory bus that observes every transaction.
@@ -165,6 +168,7 @@ impl MemoryBus {
         txn: BusTransaction,
         mem: &mut PhysMemory,
         irq: &mut IrqController,
+        cycles: u64,
     ) -> (u64, u64) {
         let mut extra = 0u64;
         let value = match txn {
@@ -194,6 +198,7 @@ impl MemoryBus {
                 mem,
                 irq,
                 extra_mem_accesses: &mut extra,
+                cycles,
             };
             s.on_transaction(&txn, &mut ctx);
         }
@@ -201,13 +206,19 @@ impl MemoryBus {
     }
 
     /// Lets every snooper drain internal queues.
-    pub fn step_snoopers(&mut self, mem: &mut PhysMemory, irq: &mut IrqController) -> u64 {
+    pub fn step_snoopers(
+        &mut self,
+        mem: &mut PhysMemory,
+        irq: &mut IrqController,
+        cycles: u64,
+    ) -> u64 {
         let mut extra = 0u64;
         for s in &mut self.snoopers {
             let mut ctx = BusContext {
                 mem,
                 irq,
                 extra_mem_accesses: &mut extra,
+                cycles,
             };
             s.step(&mut ctx);
         }
@@ -247,7 +258,11 @@ mod tests {
     }
 
     fn rig() -> (MemoryBus, PhysMemory, IrqController) {
-        (MemoryBus::new(), PhysMemory::new(1 << 20), IrqController::new())
+        (
+            MemoryBus::new(),
+            PhysMemory::new(1 << 20),
+            IrqController::new(),
+        )
     }
 
     #[test]
@@ -261,6 +276,7 @@ mod tests {
             },
             &mut mem,
             &mut irq,
+            0,
         );
         assert_eq!(mem.read_u64(PhysAddr::new(0x100)), 42);
         let rec: &Recorder = bus.snooper().unwrap();
@@ -279,6 +295,7 @@ mod tests {
             },
             &mut mem,
             &mut irq,
+            0,
         );
         assert_eq!(v, 77);
         assert_eq!(bus.reads(), 1);
@@ -296,6 +313,7 @@ mod tests {
             },
             &mut mem,
             &mut irq,
+            0,
         );
         for (i, w) in data.iter().enumerate() {
             assert_eq!(mem.read_u64(PhysAddr::new(0x1000 + i as u64 * 8)), *w);
@@ -320,6 +338,7 @@ mod tests {
             },
             &mut mem,
             &mut irq,
+            0,
         );
         let rec: &Recorder = bus.snooper().unwrap();
         assert_eq!(rec.seen.len(), 1);

@@ -118,7 +118,10 @@ impl DataCache {
     ///
     /// Panics if `sets` is not a power of two or either parameter is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         Self {
             sets: vec![vec![Line::INVALID; ways]; sets],
@@ -169,16 +172,13 @@ impl DataCache {
         }
         self.stats.misses += 1;
         // Choose victim: invalid way first, else LRU.
-        let victim = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways > 0")
-            });
+        let victim = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("ways > 0")
+        });
         let victim_line = set[victim];
         let evict = if victim_line.valid && victim_line.dirty {
             self.stats.writebacks += 1;

@@ -20,6 +20,7 @@ use crate::pagetable::{self, PagePerms, WalkFault};
 use crate::regs::{ExceptionLevel, SysReg, SysRegs};
 use crate::tlb::{Regime, Tlb, TlbEntry};
 use crate::trace::{TraceBuffer, TraceEvent};
+use hypernel_telemetry::{Event, PointKind, SharedSink, SpanKind, Track};
 
 /// The kind of memory access being performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,11 +102,19 @@ pub enum Exception {
 impl std::fmt::Display for Exception {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::DataAbort { va, kind, permission } => write!(
+            Self::DataAbort {
+                va,
+                kind,
+                permission,
+            } => write!(
                 f,
                 "{} abort at {va} ({})",
                 kind,
-                if *permission { "permission" } else { "translation" }
+                if *permission {
+                    "permission"
+                } else {
+                    "translation"
+                }
             ),
             Self::Denied(v) => write!(f, "{v}"),
             Self::Stage2Abort { ipa, kind } => write!(f, "unhandled stage-2 {kind} abort at {ipa}"),
@@ -311,6 +320,7 @@ pub struct Machine {
     cost: CostModel,
     stats: MachineStats,
     trace: Option<TraceBuffer>,
+    sink: Option<SharedSink>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -340,6 +350,7 @@ impl Machine {
             cost: config.cost,
             stats: MachineStats::default(),
             trace: None,
+            sink: None,
         }
     }
 
@@ -359,9 +370,82 @@ impl Machine {
         self.trace.as_ref()
     }
 
+    /// Installs (or, with `None`, removes) the telemetry sink. The same
+    /// shared sink is typically also handed to the kernel, Hypersec and
+    /// the MBM so all layers stamp one event stream on one clock.
+    pub fn set_telemetry_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed telemetry sink, for cloning into other components.
+    pub fn telemetry_sink(&self) -> Option<SharedSink> {
+        self.sink.clone()
+    }
+
+    /// The telemetry track for the current exception level.
+    pub fn track(&self) -> Track {
+        match self.el {
+            ExceptionLevel::El0 => Track::El0,
+            ExceptionLevel::El1 => Track::El1,
+            ExceptionLevel::El2 => Track::El2,
+        }
+    }
+
+    /// Emits a point event on the current EL's track. One branch when no
+    /// sink is installed.
+    #[inline]
+    pub fn emit_mark(&self, point: PointKind, a: u64, b: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(&Event::mark(self.cycles, self.track(), point, a, b));
+        }
+    }
+
+    /// Opens a span on the current EL's track.
+    #[inline]
+    pub fn emit_begin(&self, span: SpanKind, arg: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(&Event::begin(self.cycles, self.track(), span, arg));
+        }
+    }
+
+    /// Closes the innermost open span of `span`'s kind on the current
+    /// EL's track.
+    #[inline]
+    pub fn emit_end(&self, span: SpanKind, arg: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(&Event::end(self.cycles, self.track(), span, arg));
+        }
+    }
+
     fn trace_event(&mut self, event: TraceEvent) {
         if let Some(buf) = &mut self.trace {
             buf.record(self.cycles, event);
+        }
+        if self.sink.is_some() {
+            let (point, a, b) = match event {
+                TraceEvent::Hypercall { call } => (PointKind::Hypercall, call, 0),
+                TraceEvent::SysregTrap { reg, value } => (PointKind::SysregTrap, reg as u64, value),
+                TraceEvent::Stage2Fault { ipa, kind } => {
+                    (PointKind::Stage2Fault, ipa.raw(), kind as u64)
+                }
+                TraceEvent::DataAbort {
+                    va,
+                    kind,
+                    permission,
+                } => (
+                    PointKind::DataAbort,
+                    va.raw(),
+                    (u64::from(permission) << 1) | kind as u64,
+                ),
+                TraceEvent::IrqRaised { line } => (PointKind::IrqRaised, u64::from(line.0), 0),
+                TraceEvent::Wfi => (PointKind::Wfi, 0, 0),
+                TraceEvent::Sgi => (PointKind::Sgi, 0, 0),
+                TraceEvent::TlbMaintenance => (PointKind::TlbMaintenance, 0, 0),
+            };
+            self.emit_mark(point, a, b);
         }
     }
 
@@ -498,6 +582,7 @@ impl Machine {
             },
             &mut self.mem,
             &mut self.irq,
+            self.cycles,
         );
     }
 
@@ -535,7 +620,9 @@ impl Machine {
                     self.cycles += self.cost.hyp_roundtrip;
                     let from = self.el;
                     self.el = ExceptionLevel::El2;
+                    self.emit_begin(SpanKind::SysregVerify, reg as u64);
                     let result = hyp.on_sysreg_trap(self, reg, value);
+                    self.emit_end(SpanKind::SysregVerify, u64::from(result.is_err()));
                     self.el = from;
                     result.map_err(Exception::Denied)
                 } else {
@@ -588,7 +675,9 @@ impl Machine {
         self.cycles += self.cost.hyp_roundtrip;
         let from = self.el;
         self.el = ExceptionLevel::El2;
+        self.emit_begin(SpanKind::HypercallVerify, call);
         let result = hyp.on_hypercall(self, call, args);
+        self.emit_end(SpanKind::HypercallVerify, u64::from(result.is_err()));
         self.el = from;
         result.map_err(Exception::Denied)
     }
@@ -675,6 +764,7 @@ impl Machine {
     pub fn cache_clean_invalidate_page(&mut self, pa: PhysAddr) {
         let evictions = self.cache.clean_invalidate_page(pa);
         self.cycles += self.cost.cache_maintenance * (crate::addr::PAGE_SIZE / LINE_SIZE);
+        let mut written_back = 0u64;
         for ev in evictions {
             self.cycles += self.cost.dram_access;
             self.bus.issue(
@@ -684,14 +774,22 @@ impl Machine {
                 },
                 &mut self.mem,
                 &mut self.irq,
+                self.cycles,
             );
+            written_back += 1;
         }
+        self.emit_mark(
+            PointKind::CacheMaintenance,
+            pa.page_base().raw(),
+            written_back,
+        );
     }
 
     /// Lets attached bus devices (the MBM) drain internal queues; call at
     /// operation boundaries.
     pub fn step_devices(&mut self) {
-        self.bus.step_snoopers(&mut self.mem, &mut self.irq);
+        self.bus
+            .step_snoopers(&mut self.mem, &mut self.irq, self.cycles);
     }
 
     // ------------------------------------------------------------------
@@ -822,9 +920,7 @@ impl Machine {
                 };
                 match pagetable::Descriptor::decode(raw, level) {
                     pagetable::Descriptor::Invalid => {
-                        return Err(TranslateFault::Stage1 {
-                            permission: false,
-                        })
+                        return Err(TranslateFault::Stage1 { permission: false })
                     }
                     pagetable::Descriptor::Table { next } => {
                         table_ipa = IntermAddr::new(next.raw());
@@ -860,12 +956,12 @@ impl Machine {
 
         // Stage-2 translation of the leaf output.
         if s2_on {
-            let (pa, s2_perms) =
-                self.stage2_resolve(leaf_ipa, &mut accesses)
-                    .map_err(|_| TranslateFault::Stage2 {
-                        ipa: leaf_ipa,
-                        kind,
-                    })?;
+            let (pa, s2_perms) = self.stage2_resolve(leaf_ipa, &mut accesses).map_err(|_| {
+                TranslateFault::Stage2 {
+                    ipa: leaf_ipa,
+                    kind,
+                }
+            })?;
             if kind == AccessKind::Write && !s2_perms.write {
                 return Err(TranslateFault::Stage2 {
                     ipa: leaf_ipa,
@@ -929,7 +1025,11 @@ impl Machine {
                 }
                 Err(TranslateFault::Stage1 { permission }) => {
                     self.stats.el1_aborts += 1;
-                    self.trace_event(TraceEvent::DataAbort { va, kind, permission });
+                    self.trace_event(TraceEvent::DataAbort {
+                        va,
+                        kind,
+                        permission,
+                    });
                     return Err(Exception::DataAbort {
                         va,
                         kind,
@@ -959,7 +1059,13 @@ impl Machine {
     }
 
     /// Performs the physical access through the cache hierarchy / bus.
-    fn perform(&mut self, pa: PhysAddr, kind: AccessKind, value: Option<u64>, cacheable: bool) -> u64 {
+    fn perform(
+        &mut self,
+        pa: PhysAddr,
+        kind: AccessKind,
+        value: Option<u64>,
+        cacheable: bool,
+    ) -> u64 {
         if !cacheable {
             self.stats.uncached_accesses += 1;
             self.cycles += self.cost.dram_access;
@@ -972,7 +1078,9 @@ impl Machine {
                     value: value.expect("write carries a value"),
                 },
             };
-            let (read, _) = self.bus.issue(txn, &mut self.mem, &mut self.irq);
+            let (read, _) = self
+                .bus
+                .issue(txn, &mut self.mem, &mut self.irq, self.cycles);
             return read;
         }
         // Cacheable path.
@@ -990,6 +1098,7 @@ impl Machine {
                         },
                         &mut self.mem,
                         &mut self.irq,
+                        self.cycles,
                     );
                 }
                 self.cycles += self.cost.dram_access;
@@ -997,6 +1106,7 @@ impl Machine {
                     BusTransaction::ReadLine { addr: line },
                     &mut self.mem,
                     &mut self.irq,
+                    self.cycles,
                 );
                 let mut data = [0u64; LINE_WORDS];
                 for (i, w) in data.iter_mut().enumerate() {
@@ -1067,7 +1177,11 @@ impl Machine {
     // stage 2, never trapped.
     // ------------------------------------------------------------------
 
-    fn translate_el2(&mut self, va: VirtAddr, kind: AccessKind) -> Result<(PhysAddr, PagePerms), Exception> {
+    fn translate_el2(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<(PhysAddr, PagePerms), Exception> {
         self.cycles += self.cost.tlb_lookup;
         if let Some(e) = self.tlb.lookup(Regime::El2, va) {
             if kind == AccessKind::Write && !e.perms.write {
@@ -1289,7 +1403,10 @@ mod tests {
         rig.m
             .write_u64(VirtAddr::new(0x5008), 0xFEED, &mut hyp)
             .unwrap();
-        assert_eq!(rig.m.read_u64(VirtAddr::new(0x5008), &mut hyp).unwrap(), 0xFEED);
+        assert_eq!(
+            rig.m.read_u64(VirtAddr::new(0x5008), &mut hyp).unwrap(),
+            0xFEED
+        );
         // The data landed at the mapped physical address.
         assert_eq!(rig.m.debug_read_phys(PhysAddr::new(0x8_0008)), 0xFEED);
     }
@@ -1299,7 +1416,13 @@ mod tests {
         let mut rig = Rig::new();
         let mut hyp = NullHyp;
         let err = rig.m.read_u64(VirtAddr::new(0x9000), &mut hyp).unwrap_err();
-        assert!(matches!(err, Exception::DataAbort { permission: false, .. }));
+        assert!(matches!(
+            err,
+            Exception::DataAbort {
+                permission: false,
+                ..
+            }
+        ));
         assert_eq!(rig.m.stats().el1_aborts, 1);
     }
 
@@ -1313,7 +1436,13 @@ mod tests {
             .m
             .write_u64(VirtAddr::new(0x5000), 1, &mut hyp)
             .unwrap_err();
-        assert!(matches!(err, Exception::DataAbort { permission: true, .. }));
+        assert!(matches!(
+            err,
+            Exception::DataAbort {
+                permission: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1323,7 +1452,13 @@ mod tests {
         rig.m.set_el(ExceptionLevel::El0);
         let mut hyp = NullHyp;
         let err = rig.m.read_u64(VirtAddr::new(0x5000), &mut hyp).unwrap_err();
-        assert!(matches!(err, Exception::DataAbort { permission: true, .. }));
+        assert!(matches!(
+            err,
+            Exception::DataAbort {
+                permission: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1548,7 +1683,9 @@ mod tests {
         let mut rig = Rig::new();
         rig.map(0x5000, 0x8_0000, PagePerms::KERNEL_DATA);
         let mut hyp = NullHyp;
-        rig.m.write_u64(VirtAddr::new(0x5000), 0xCAFE, &mut hyp).unwrap();
+        rig.m
+            .write_u64(VirtAddr::new(0x5000), 0xCAFE, &mut hyp)
+            .unwrap();
         let w0 = rig.m.bus().writes();
         rig.m.cache_clean_invalidate_page(PhysAddr::new(0x8_0000));
         assert!(rig.m.bus().writes() > w0, "dirty line written back on bus");
@@ -1561,11 +1698,21 @@ mod tests {
         rig.map(0x6000, 0x9_0000, PagePerms::KERNEL_DATA);
         let mut hyp = NullHyp;
         // Text fetches succeed.
-        rig.m.fetch(VirtAddr::new(0x5000), &mut hyp).expect("text fetch");
+        rig.m
+            .fetch(VirtAddr::new(0x5000), &mut hyp)
+            .expect("text fetch");
         // Data pages are execute-never: reads fine, fetches abort.
-        rig.m.read_u64(VirtAddr::new(0x6000), &mut hyp).expect("data read");
+        rig.m
+            .read_u64(VirtAddr::new(0x6000), &mut hyp)
+            .expect("data read");
         let err = rig.m.fetch(VirtAddr::new(0x6000), &mut hyp).unwrap_err();
-        assert!(matches!(err, Exception::DataAbort { permission: true, .. }));
+        assert!(matches!(
+            err,
+            Exception::DataAbort {
+                permission: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1579,7 +1726,13 @@ mod tests {
             .write_u64(VirtAddr::new(0x6000), 0xD65F03C0 /* RET */, &mut hyp)
             .expect("shellcode written");
         let err = rig.m.fetch(VirtAddr::new(0x6000), &mut hyp).unwrap_err();
-        assert!(matches!(err, Exception::DataAbort { permission: true, .. }));
+        assert!(matches!(
+            err,
+            Exception::DataAbort {
+                permission: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl PhysMemory {
 
     /// Returns `true` if `addr..addr+len` lies inside DRAM.
     pub fn contains(&self, addr: PhysAddr, len: u64) -> bool {
-        addr.raw().checked_add(len).is_some_and(|end| end <= self.size)
+        addr.raw()
+            .checked_add(len)
+            .is_some_and(|end| end <= self.size)
     }
 
     fn page(&mut self, frame: u64) -> &mut [u8; PAGE_SIZE as usize] {

@@ -338,7 +338,10 @@ impl std::fmt::Display for MapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::BlockInTheWay { level } => {
-                write!(f, "existing block mapping at level {level} blocks the request")
+                write!(
+                    f,
+                    "existing block mapping at level {level} blocks the request"
+                )
             }
             Self::OutOfTablePages => write!(f, "no free pages for intermediate tables"),
         }
@@ -369,7 +372,10 @@ pub fn plan_map<M: PtMemory + ?Sized>(
     leaf_level: u32,
     alloc_table: &mut dyn FnMut() -> Option<PhysAddr>,
 ) -> Result<MapPlan, MapError> {
-    assert!((1..LEVELS).contains(&leaf_level), "leaf level must be 1..=3");
+    assert!(
+        (1..LEVELS).contains(&leaf_level),
+        "leaf level must be 1..=3"
+    );
     let input = input & ((1u64 << 48) - 1);
     let mut plan = MapPlan::default();
     let mut table = root;

@@ -108,7 +108,10 @@ impl Tlb {
     ///
     /// Panics if either capacity is zero.
     pub fn new(main_capacity: usize, stage2_capacity: usize) -> Self {
-        assert!(main_capacity > 0 && stage2_capacity > 0, "capacities must be non-zero");
+        assert!(
+            main_capacity > 0 && stage2_capacity > 0,
+            "capacities must be non-zero"
+        );
         Self {
             main: HashMap::new(),
             main_order: VecDeque::new(),
@@ -294,7 +297,11 @@ mod tests {
     #[test]
     fn global_entries_hit_any_asid() {
         let mut tlb = Tlb::new(8, 8);
-        tlb.insert(Regime::El1 { asid: None }, VirtAddr::new(0x2000), entry(0x9000));
+        tlb.insert(
+            Regime::El1 { asid: None },
+            VirtAddr::new(0x2000),
+            entry(0x9000),
+        );
         assert!(tlb
             .lookup(Regime::El1 { asid: Some(7) }, VirtAddr::new(0x2000))
             .is_some());
@@ -308,7 +315,11 @@ mod tests {
     #[test]
     fn asid_isolation() {
         let mut tlb = Tlb::new(8, 8);
-        tlb.insert(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x2000), entry(0x9000));
+        tlb.insert(
+            Regime::El1 { asid: Some(1) },
+            VirtAddr::new(0x2000),
+            entry(0x9000),
+        );
         assert!(tlb
             .lookup(Regime::El1 { asid: Some(2) }, VirtAddr::new(0x2000))
             .is_none());
@@ -330,8 +341,16 @@ mod tests {
     #[test]
     fn flush_asid_spares_globals() {
         let mut tlb = Tlb::new(8, 8);
-        tlb.insert(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x1000), entry(0x1000));
-        tlb.insert(Regime::El1 { asid: None }, VirtAddr::new(0x2000), entry(0x2000));
+        tlb.insert(
+            Regime::El1 { asid: Some(1) },
+            VirtAddr::new(0x1000),
+            entry(0x1000),
+        );
+        tlb.insert(
+            Regime::El1 { asid: None },
+            VirtAddr::new(0x2000),
+            entry(0x2000),
+        );
         tlb.flush_asid(1);
         assert!(tlb
             .lookup(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x1000))
@@ -345,8 +364,16 @@ mod tests {
     #[test]
     fn flush_va_hits_all_asids() {
         let mut tlb = Tlb::new(8, 8);
-        tlb.insert(Regime::El1 { asid: Some(1) }, VirtAddr::new(0x1000), entry(0x1000));
-        tlb.insert(Regime::El1 { asid: Some(2) }, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(
+            Regime::El1 { asid: Some(1) },
+            VirtAddr::new(0x1000),
+            entry(0x1000),
+        );
+        tlb.insert(
+            Regime::El1 { asid: Some(2) },
+            VirtAddr::new(0x1000),
+            entry(0x1000),
+        );
         tlb.flush_va(VirtAddr::new(0x1234));
         assert!(tlb.is_empty());
     }

@@ -128,6 +128,13 @@ impl TraceBuffer {
         self.recorded_total
     }
 
+    /// Records lost to eviction: everything ever recorded minus what is
+    /// still live. Exporters use this to report truncation honestly
+    /// instead of presenting a partial window as the whole run.
+    pub fn dropped(&self) -> u64 {
+        self.recorded_total - self.records.len() as u64
+    }
+
     /// Clears the buffer (not the lifetime counter).
     pub fn clear(&mut self) {
         self.records.clear();
@@ -157,5 +164,22 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         TraceBuffer::new(0);
+    }
+
+    #[test]
+    fn dropped_counts_evictions_only() {
+        let mut buf = TraceBuffer::new(2);
+        assert_eq!(buf.dropped(), 0);
+        buf.record(1, TraceEvent::Wfi);
+        buf.record(2, TraceEvent::Sgi);
+        // At capacity but nothing evicted yet.
+        assert_eq!(buf.dropped(), 0);
+        buf.record(3, TraceEvent::Wfi);
+        buf.record(4, TraceEvent::Sgi);
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.recorded_total(), 4);
+        // Clearing discards live records; they count as dropped too.
+        buf.clear();
+        assert_eq!(buf.dropped(), 4);
     }
 }

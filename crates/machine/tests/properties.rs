@@ -33,15 +33,27 @@ fn arb_perms() -> impl Strategy<Value = PagePerms> {
 /// on every probed address.
 #[derive(Debug, Clone)]
 enum PtOp {
-    Map { slot: u8, frame: u8, perms: PagePerms },
-    Unmap { slot: u8 },
-    Protect { slot: u8, perms: PagePerms },
+    Map {
+        slot: u8,
+        frame: u8,
+        perms: PagePerms,
+    },
+    Unmap {
+        slot: u8,
+    },
+    Protect {
+        slot: u8,
+        perms: PagePerms,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = PtOp> {
     prop_oneof![
-        (any::<u8>(), any::<u8>(), arb_perms())
-            .prop_map(|(slot, frame, perms)| PtOp::Map { slot, frame, perms }),
+        (any::<u8>(), any::<u8>(), arb_perms()).prop_map(|(slot, frame, perms)| PtOp::Map {
+            slot,
+            frame,
+            perms
+        }),
         any::<u8>().prop_map(|slot| PtOp::Unmap { slot }),
         (any::<u8>(), arb_perms()).prop_map(|(slot, perms)| PtOp::Protect { slot, perms }),
     ]

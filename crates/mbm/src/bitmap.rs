@@ -43,8 +43,14 @@ impl BitmapLayout {
     /// window does not overlap the bitmap storage (the MBM must never
     /// monitor its own state).
     pub fn new(window_base: PhysAddr, window_len: u64, bitmap_base: PhysAddr) -> Self {
-        assert!(window_base.is_word_aligned(), "window base must be word-aligned");
-        assert!(window_len.is_multiple_of(WORD_SIZE), "window length must be word-aligned");
+        assert!(
+            window_base.is_word_aligned(),
+            "window base must be word-aligned"
+        );
+        assert!(
+            window_len.is_multiple_of(WORD_SIZE),
+            "window length must be word-aligned"
+        );
         assert!(window_len > 0, "window must be non-empty");
         let layout = Self {
             window_base,
@@ -52,9 +58,12 @@ impl BitmapLayout {
             bitmap_base,
         };
         let bm_end = bitmap_base.raw() + layout.bitmap_bytes();
-        let overlap = window_base.raw() < bm_end
-            && bitmap_base.raw() < window_base.raw() + window_len;
-        assert!(!overlap, "bitmap storage must not be inside the monitored window");
+        let overlap =
+            window_base.raw() < bm_end && bitmap_base.raw() < window_base.raw() + window_len;
+        assert!(
+            !overlap,
+            "bitmap storage must not be inside the monitored window"
+        );
         layout
     }
 
@@ -118,7 +127,10 @@ impl BitmapLayout {
     /// Panics if any part of the range is outside the window or the range
     /// is not word-aligned.
     pub fn plan_update(&self, base: PhysAddr, len: u64, watch: bool) -> Vec<BitmapUpdate> {
-        assert!(base.is_word_aligned() && len.is_multiple_of(WORD_SIZE), "range must be word-aligned");
+        assert!(
+            base.is_word_aligned() && len.is_multiple_of(WORD_SIZE),
+            "range must be word-aligned"
+        );
         assert!(
             self.covers(base) && (len == 0 || self.covers(PhysAddr::new(base.raw() + len - 1))),
             "range must lie inside the monitored window"
@@ -130,11 +142,7 @@ impl BitmapLayout {
             let (word, mask) = self.locate(addr).expect("covered by assertion above");
             match updates.last_mut() {
                 Some(u) if u.word == word => u.mask |= mask,
-                _ => updates.push(BitmapUpdate {
-                    word,
-                    mask,
-                    watch,
-                }),
+                _ => updates.push(BitmapUpdate { word, mask, watch }),
             }
             addr = addr.add(WORD_SIZE);
         }

@@ -142,9 +142,7 @@ impl BitmapCache {
         if !self.enabled {
             return;
         }
-        if let std::collections::hash_map::Entry::Occupied(mut e) =
-            self.entries.entry(addr.raw())
-        {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.entries.entry(addr.raw()) {
             e.insert(value);
             self.stats.invalidations += 1;
         }

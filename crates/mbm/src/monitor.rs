@@ -21,6 +21,7 @@ use std::any::Any;
 use hypernel_machine::addr::PhysAddr;
 use hypernel_machine::bus::{BusContext, BusSnooper, BusTransaction};
 use hypernel_machine::irq::IrqLine;
+use hypernel_telemetry::{Event, PointKind, SharedSink, SpanKind, Track};
 
 use crate::bitmap::BitmapLayout;
 use crate::cache::{BitmapCache, BitmapCacheStats};
@@ -126,12 +127,24 @@ pub struct MbmStats {
 /// let mbm = Mbm::new(config);
 /// assert_eq!(mbm.stats().captured, 0);
 /// ```
-#[derive(Debug)]
 pub struct Mbm {
     config: MbmConfig,
     fifo: SnoopFifo,
     cache: BitmapCache,
     stats: MbmStats,
+    sink: Option<SharedSink>,
+}
+
+impl std::fmt::Debug for Mbm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mbm")
+            .field("config", &self.config)
+            .field("fifo", &self.fifo)
+            .field("cache", &self.cache)
+            .field("stats", &self.stats)
+            .field("telemetry", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Mbm {
@@ -145,6 +158,22 @@ impl Mbm {
                 None => BitmapCache::disabled(),
             },
             stats: MbmStats::default(),
+            sink: None,
+        }
+    }
+
+    /// Installs (or removes) the telemetry sink; MBM events are stamped
+    /// on [`Track::Mbm`] with the CPU cycle counter carried in on the bus.
+    pub fn set_telemetry_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// Emits a point event on the MBM track. One branch when disabled.
+    #[inline]
+    fn emit(&self, cycles: u64, point: PointKind, a: u64, b: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(&Event::mark(cycles, Track::Mbm, point, a, b));
         }
     }
 
@@ -174,10 +203,23 @@ impl Mbm {
         self.fifo.len()
     }
 
-    fn capture(&mut self, write: SnoopedWrite) {
+    fn capture(&mut self, write: SnoopedWrite, cycles: u64) {
         self.stats.captured += 1;
-        if !self.fifo.push(write) {
+        if self.fifo.push(write) {
+            self.emit(
+                cycles,
+                PointKind::MbmFifoPush,
+                write.addr.raw(),
+                write.value,
+            );
+        } else {
             self.stats.fifo_dropped += 1;
+            self.emit(
+                cycles,
+                PointKind::MbmFifoDrop,
+                write.addr.raw(),
+                write.value,
+            );
         }
     }
 
@@ -205,6 +247,12 @@ impl Mbm {
         // Decision unit.
         if word_value & mask != 0 {
             self.stats.events_matched += 1;
+            self.emit(
+                ctx.cycles,
+                PointKind::MbmWatchHit,
+                write.addr.raw(),
+                write.value,
+            );
             let pushed = self.config.ring.push(
                 ctx.mem,
                 WriteEvent {
@@ -216,6 +264,12 @@ impl Mbm {
             if pushed {
                 self.stats.irqs_raised += 1;
                 ctx.irq.raise(IrqLine::MBM);
+                self.emit(
+                    ctx.cycles,
+                    PointKind::IrqRaised,
+                    u64::from(IrqLine::MBM.0),
+                    write.addr.raw(),
+                );
             } else {
                 self.stats.ring_overflows += 1;
             }
@@ -224,14 +278,36 @@ impl Mbm {
     }
 
     fn drain(&mut self, ctx: &mut BusContext<'_>) {
-        let budget = self
-            .config
-            .drain_per_transaction
-            .unwrap_or(usize::MAX);
+        let budget = self.config.drain_per_transaction.unwrap_or(usize::MAX);
+        let backlog = self.fifo.len() as u64;
+        if backlog > 0 {
+            self.emit_span_begin(ctx.cycles, backlog);
+        }
+        let mut processed = 0u64;
         for _ in 0..budget {
             if !self.translate_one(ctx) {
                 break;
             }
+            processed += 1;
+        }
+        if backlog > 0 {
+            self.emit_span_end(ctx.cycles, processed);
+        }
+    }
+
+    #[inline]
+    fn emit_span_begin(&self, cycles: u64, arg: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(&Event::begin(cycles, Track::Mbm, SpanKind::MbmDrain, arg));
+        }
+    }
+
+    #[inline]
+    fn emit_span_end(&self, cycles: u64, arg: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(&Event::end(cycles, Track::Mbm, SpanKind::MbmDrain, arg));
         }
     }
 }
@@ -242,6 +318,12 @@ impl Mbm {
             if addr >= base && addr.raw() < base.raw() + len {
                 self.stats.secure_alarms += 1;
                 ctx.irq.raise(IrqLine::MBM);
+                self.emit(
+                    ctx.cycles,
+                    PointKind::IrqRaised,
+                    u64::from(IrqLine::MBM.0),
+                    addr.raw(),
+                );
             }
         }
     }
@@ -258,7 +340,7 @@ impl BusSnooper for Mbm {
                 if self.config.bitmap.in_bitmap_storage(addr) {
                     self.cache.snoop_update(addr, value);
                 } else if self.config.bitmap.covers(addr) {
-                    self.capture(SnoopedWrite { addr, value });
+                    self.capture(SnoopedWrite { addr, value }, ctx.cycles);
                 }
             }
             BusTransaction::WriteLine { addr, data } => {
@@ -268,10 +350,13 @@ impl BusSnooper for Mbm {
                     if self.config.bitmap.in_bitmap_storage(word_addr) {
                         self.cache.snoop_update(word_addr, *value);
                     } else if self.config.bitmap.covers(word_addr) {
-                        self.capture(SnoopedWrite {
-                            addr: word_addr,
-                            value: *value,
-                        });
+                        self.capture(
+                            SnoopedWrite {
+                                addr: word_addr,
+                                value: *value,
+                            },
+                            ctx.cycles,
+                        );
                     }
                 }
             }
@@ -355,6 +440,7 @@ mod tests {
                 mem: &mut self.mem,
                 irq: &mut self.irq,
                 extra_mem_accesses: &mut self.extra,
+                cycles: 0,
             };
             self.mbm.on_transaction(&txn, &mut ctx);
         }
@@ -498,6 +584,7 @@ mod tests {
             mem: &mut rig.mem,
             irq: &mut rig.irq,
             extra_mem_accesses: &mut rig.extra,
+            cycles: 0,
         };
         rig.mbm.step(&mut ctx);
         assert_eq!(rig.mbm.fifo_len(), 0);
@@ -521,11 +608,7 @@ mod tests {
     #[test]
     fn secure_guard_alarms_on_any_write_in_range() {
         let mut cfg = config().with_secure_guard(PhysAddr::new(0x580_0000), 0x10_0000);
-        cfg.bitmap = BitmapLayout::new(
-            PhysAddr::new(0),
-            WINDOW_LEN,
-            PhysAddr::new(BITMAP_BASE),
-        );
+        cfg.bitmap = BitmapLayout::new(PhysAddr::new(0), WINDOW_LEN, PhysAddr::new(BITMAP_BASE));
         let mut rig = Rig::new(cfg);
         // A write inside the guarded range alarms without any bitmap bit.
         rig.mem = PhysMemory::new(0x600_0000);

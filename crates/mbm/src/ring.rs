@@ -55,7 +55,10 @@ impl RingLayout {
     /// Panics unless `capacity` is a non-zero power of two and `base` is
     /// word-aligned.
     pub fn new(base: PhysAddr, capacity: u64) -> Self {
-        assert!(capacity.is_power_of_two(), "ring capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "ring capacity must be a power of two"
+        );
         assert!(base.is_word_aligned(), "ring base must be word-aligned");
         Self { base, capacity }
     }

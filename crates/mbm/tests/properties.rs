@@ -49,7 +49,7 @@ proptest! {
             for u in config.bitmap.plan_update(PhysAddr::new(w * 8), 8, true) {
                 let v = u.apply_to(mem.read_u64(u.word));
                 mem.write_u64(u.word, v);
-                let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra };
+                let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra, cycles: 0 };
                 mbm.on_transaction(&BusTransaction::WriteWord { addr: u.word, value: v }, &mut ctx);
             }
         }
@@ -60,7 +60,7 @@ proptest! {
         for &(word, value) in &writes {
             let addr = PhysAddr::new(word * 8);
             mem.write_u64(addr, value);
-            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra };
+            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra, cycles: 0 };
             mbm.on_transaction(&BusTransaction::WriteWord { addr, value }, &mut ctx);
             if watched.contains(&word) {
                 expected.push(WriteEvent { addr, value });
@@ -157,11 +157,11 @@ proptest! {
         for u in cfg.bitmap.plan_update(PhysAddr::new(0x100), 8, true) {
             let v = u.apply_to(mem.read_u64(u.word));
             mem.write_u64(u.word, v);
-            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra };
+            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra, cycles: 0 };
             mbm.on_transaction(&BusTransaction::WriteWord { addr: u.word, value: v }, &mut ctx);
         }
         for i in 0..burst {
-            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra };
+            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra, cycles: 0 };
             mbm.on_transaction(
                 &BusTransaction::WriteWord { addr: PhysAddr::new(0x100), value: i },
                 &mut ctx,
@@ -169,7 +169,7 @@ proptest! {
         }
         // Let the pipeline drain fully.
         for _ in 0..64 {
-            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra };
+            let mut ctx = BusContext { mem: &mut mem, irq: &mut irq, extra_mem_accesses: &mut extra, cycles: 0 };
             mbm.step(&mut ctx);
         }
         let s = mbm.stats();

@@ -1,0 +1,243 @@
+//! Cycle-stamped structured events.
+//!
+//! Every event carries the modeled cycle counter at emission time and the
+//! [`Track`] (privilege level or hardware block) it belongs to. Durations
+//! are expressed as [`EventKind::Begin`]/[`EventKind::End`] pairs of the
+//! same [`SpanKind`] on the same track; instantaneous occurrences are
+//! [`EventKind::Mark`]s of a [`PointKind`].
+
+/// Where an event originated: a privilege level or the bus-level monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// User space (applications).
+    El0,
+    /// The guest kernel.
+    El1,
+    /// Hypersec / the hypervisor layer.
+    El2,
+    /// The Memory Bus Monitor hardware.
+    Mbm,
+}
+
+impl Track {
+    /// All tracks, in display order.
+    pub const ALL: [Track; 4] = [Track::El0, Track::El1, Track::El2, Track::Mbm];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::El0 => "el0",
+            Track::El1 => "el1",
+            Track::El2 => "el2",
+            Track::Mbm => "mbm",
+        }
+    }
+
+    /// Inverse of [`Track::name`].
+    pub fn from_name(name: &str) -> Option<Track> {
+        Track::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+/// A duration measured as a begin/end pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One system call, prologue to return (EL1).
+    Syscall,
+    /// Hypersec verifying one hypercall (EL2).
+    HypercallVerify,
+    /// Hypersec verifying one trapped sysreg write (EL2).
+    SysregVerify,
+    /// One stage-2-equivalent leaf permission check (EL2).
+    Stage2Check,
+    /// Kernel/Hypersec servicing one MBM watch-hit interrupt.
+    MbmIrqService,
+    /// Draining the MBM event ring (EL2).
+    MbmDrain,
+}
+
+impl SpanKind {
+    /// All span kinds, in display order.
+    pub const ALL: [SpanKind; 6] = [
+        SpanKind::Syscall,
+        SpanKind::HypercallVerify,
+        SpanKind::SysregVerify,
+        SpanKind::Stage2Check,
+        SpanKind::MbmIrqService,
+        SpanKind::MbmDrain,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Syscall => "syscall",
+            SpanKind::HypercallVerify => "hypercall-verify",
+            SpanKind::SysregVerify => "sysreg-verify",
+            SpanKind::Stage2Check => "stage2-check",
+            SpanKind::MbmIrqService => "mbm-irq-service",
+            SpanKind::MbmDrain => "mbm-drain",
+        }
+    }
+
+    /// Inverse of [`SpanKind::name`].
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// An instantaneous occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PointKind {
+    /// An `HVC` issued by the kernel (arg: call number).
+    Hypercall,
+    /// A TVM-trapped system register write (args: register id, value).
+    SysregTrap,
+    /// A stage-2 translation fault (args: IPA, fault kind).
+    Stage2Fault,
+    /// A stage-1 data abort (args: VA, fault kind).
+    DataAbort,
+    /// An interrupt line asserted (arg: line number).
+    IrqRaised,
+    /// The MBM captured a write into its FIFO (args: address, value).
+    MbmFifoPush,
+    /// The MBM FIFO overflowed and dropped a write (args: address, value).
+    MbmFifoDrop,
+    /// A captured write hit a watched region (args: address, value).
+    MbmWatchHit,
+    /// A TLB maintenance operation (arg: flushed entry count).
+    TlbMaintenance,
+    /// A cache maintenance operation (arg: affected line count).
+    CacheMaintenance,
+    /// The core entered WFI.
+    Wfi,
+    /// A software-generated interrupt was sent (arg: line number).
+    Sgi,
+}
+
+impl PointKind {
+    /// All point kinds, in display order.
+    pub const ALL: [PointKind; 12] = [
+        PointKind::Hypercall,
+        PointKind::SysregTrap,
+        PointKind::Stage2Fault,
+        PointKind::DataAbort,
+        PointKind::IrqRaised,
+        PointKind::MbmFifoPush,
+        PointKind::MbmFifoDrop,
+        PointKind::MbmWatchHit,
+        PointKind::TlbMaintenance,
+        PointKind::CacheMaintenance,
+        PointKind::Wfi,
+        PointKind::Sgi,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PointKind::Hypercall => "hypercall",
+            PointKind::SysregTrap => "sysreg-trap",
+            PointKind::Stage2Fault => "stage2-fault",
+            PointKind::DataAbort => "data-abort",
+            PointKind::IrqRaised => "irq-raised",
+            PointKind::MbmFifoPush => "mbm-fifo-push",
+            PointKind::MbmFifoDrop => "mbm-fifo-drop",
+            PointKind::MbmWatchHit => "mbm-watch-hit",
+            PointKind::TlbMaintenance => "tlb-maintenance",
+            PointKind::CacheMaintenance => "cache-maintenance",
+            PointKind::Wfi => "wfi",
+            PointKind::Sgi => "sgi",
+        }
+    }
+
+    /// Inverse of [`PointKind::name`].
+    pub fn from_name(name: &str) -> Option<PointKind> {
+        PointKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// What happened, with up to two words of payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A span opened (payload meaning depends on the span kind, e.g. the
+    /// hypercall number for [`SpanKind::HypercallVerify`]).
+    Begin(SpanKind, u64),
+    /// The matching span closed (payload: result/status word).
+    End(SpanKind, u64),
+    /// An instantaneous occurrence with two payload words.
+    Mark(PointKind, u64, u64),
+}
+
+/// One telemetry event: a cycle stamp, an originating track, and a kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Modeled cycle counter at emission time.
+    pub cycles: u64,
+    /// Privilege level / hardware block the event belongs to.
+    pub track: Track,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Builds a span-begin event.
+    pub fn begin(cycles: u64, track: Track, span: SpanKind, arg: u64) -> Self {
+        Event {
+            cycles,
+            track,
+            kind: EventKind::Begin(span, arg),
+        }
+    }
+
+    /// Builds a span-end event.
+    pub fn end(cycles: u64, track: Track, span: SpanKind, arg: u64) -> Self {
+        Event {
+            cycles,
+            track,
+            kind: EventKind::End(span, arg),
+        }
+    }
+
+    /// Builds an instantaneous mark.
+    pub fn mark(cycles: u64, track: Track, point: PointKind, a: u64, b: u64) -> Self {
+        Event {
+            cycles,
+            track,
+            kind: EventKind::Mark(point, a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for t in Track::ALL {
+            assert_eq!(Track::from_name(t.name()), Some(t));
+        }
+        for s in SpanKind::ALL {
+            assert_eq!(SpanKind::from_name(s.name()), Some(s));
+        }
+        for p in PointKind::ALL {
+            assert_eq!(PointKind::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Track::from_name("el9"), None);
+        assert_eq!(SpanKind::from_name(""), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SpanKind::ALL {
+            assert!(seen.insert(s.name()));
+        }
+        for p in PointKind::ALL {
+            assert!(
+                seen.insert(p.name()),
+                "span/point name collision: {}",
+                p.name()
+            );
+        }
+    }
+}

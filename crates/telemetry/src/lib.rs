@@ -1,0 +1,31 @@
+//! Unified telemetry for the Hypernel simulation.
+//!
+//! The paper's evaluation is built from counting privilege-boundary
+//! events (hypercalls, TVM sysreg traps, MBM interrupts) and attributing
+//! cycle overhead to them. This crate makes those events first-class:
+//!
+//! * [`event`] — cycle-stamped structured events spanning EL0/EL1/EL2 and
+//!   the MBM, with span-style begin/end pairing.
+//! * [`sink`] — the zero-cost-when-disabled [`TelemetrySink`] trait plus
+//!   simple sinks (ring buffer, fan-out).
+//! * [`histogram`] — fixed-bucket log2 latency histograms with
+//!   p50/p95/p99/max summaries.
+//! * [`registry`] — the [`Telemetry`] registry: a sink that pairs spans
+//!   into latency histograms and counts point events, with a
+//!   snapshot/diff API.
+//! * [`export`] — JSONL and Chrome `trace_event` exporters (the latter
+//!   loads directly into `chrome://tracing` / Perfetto).
+//! * [`json`] — the dependency-free JSON writer/parser the exporters and
+//!   round-trip tests build on.
+
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod sink;
+
+pub use event::{Event, EventKind, PointKind, SpanKind, Track};
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{Snapshot, Telemetry};
+pub use sink::{shared, FanoutSink, RingSink, SharedSink, TelemetrySink};

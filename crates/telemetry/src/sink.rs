@@ -1,0 +1,161 @@
+//! The [`TelemetrySink`] trait and basic sink implementations.
+//!
+//! The simulation is single-threaded, so sinks are shared as
+//! `Rc<RefCell<dyn TelemetrySink>>` ([`SharedSink`]). Instrumented
+//! components hold an `Option<SharedSink>`; with `None` the emit helpers
+//! reduce to one branch, which is what makes telemetry zero-cost when
+//! disabled.
+
+use crate::event::Event;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Receiver of telemetry events.
+pub trait TelemetrySink {
+    /// Records one event. Called on hot paths; implementations should be
+    /// cheap and must not re-enter the emitting component.
+    fn record(&mut self, event: &Event);
+}
+
+/// A sink shared across the machine, kernel, Hypersec, and the MBM.
+pub type SharedSink = Rc<RefCell<dyn TelemetrySink>>;
+
+/// Wraps a sink for sharing between components.
+pub fn shared<S: TelemetrySink + 'static>(sink: S) -> SharedSink {
+    Rc::new(RefCell::new(sink))
+}
+
+/// A bounded in-memory event buffer. When full, the oldest events are
+/// evicted; [`RingSink::dropped`] reports how many, so exporters can
+/// say "truncated" instead of silently pretending full coverage.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    events: VecDeque<Event>,
+    capacity: usize,
+    recorded_total: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded_total: 0,
+        }
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Copies the buffered events out, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded_total
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.recorded_total - self.events.len() as u64
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn record(&mut self, event: &Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(*event);
+        self.recorded_total += 1;
+    }
+}
+
+/// Forwards each event to several sinks (e.g. a ring for export plus a
+/// registry for histograms).
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<SharedSink>,
+}
+
+impl FanoutSink {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a downstream sink and returns `self` for chaining.
+    pub fn with(mut self, sink: SharedSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&mut self, event: &Event) {
+        for sink in &self.sinks {
+            sink.borrow_mut().record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{PointKind, Track};
+
+    fn mark(cycles: u64) -> Event {
+        Event::mark(cycles, Track::El1, PointKind::Wfi, 0, 0)
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(&mark(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.recorded_total(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let cycles: Vec<u64> = ring.events().map(|e| e.cycles).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_under_capacity_drops_nothing() {
+        let mut ring = RingSink::new(8);
+        ring.record(&mark(1));
+        ring.record(&mark(2));
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.to_vec().len(), 2);
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Rc::new(RefCell::new(RingSink::new(4)));
+        let b = Rc::new(RefCell::new(RingSink::new(4)));
+        let a_dyn: SharedSink = a.clone();
+        let b_dyn: SharedSink = b.clone();
+        let mut fan = FanoutSink::new().with(a_dyn).with(b_dyn);
+        fan.record(&mark(7));
+        assert_eq!(a.borrow().len(), 1);
+        assert_eq!(b.borrow().len(), 1);
+    }
+}

@@ -14,8 +14,8 @@
 //! linearly with workload size, so the ratio is preserved.
 
 use hypernel_kernel::kernel::{Kernel, KernelError};
-use hypernel_kernel::task::Pid;
 use hypernel_kernel::layout;
+use hypernel_kernel::task::Pid;
 
 use hypernel_machine::addr::{VirtAddr, PAGE_SIZE};
 use hypernel_machine::machine::{Hyp, Machine};

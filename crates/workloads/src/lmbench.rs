@@ -378,10 +378,7 @@ mod tests {
         let (mut m, mut hyp, mut k) = boot();
         for &op in LmbenchOp::ALL {
             let measurement = run_op(&mut k, &mut m, &mut hyp, op, 3).expect("op runs");
-            assert!(
-                measurement.total_cycles > 0,
-                "{op} must consume cycles"
-            );
+            assert!(measurement.total_cycles > 0, "{op} must consume cycles");
             assert_eq!(measurement.iterations, 3);
         }
     }

@@ -243,10 +243,8 @@ pub fn replay(
     let mut regions: Vec<Option<VirtAddr>> = Vec::new();
     let mut child: Option<Pid> = None;
     let start = m.cycles();
-    let kernel_err = |statement: usize| move |source: KernelError| ReplayError::Kernel {
-        statement,
-        source,
-    };
+    let kernel_err =
+        |statement: usize| move |source: KernelError| ReplayError::Kernel { statement, source };
     for (i, stmt) in statements.iter().enumerate() {
         match stmt {
             Statement::Fork => {
@@ -286,25 +284,24 @@ pub fn replay(
                 regions.push(Some(base));
             }
             Statement::Touch(region, page) => {
-                let base = regions
-                    .get(*region)
-                    .copied()
-                    .flatten()
-                    .ok_or(ReplayError::NoSuchRegion {
-                        statement: i,
-                        region: *region,
-                    })?;
+                let base =
+                    regions
+                        .get(*region)
+                        .copied()
+                        .flatten()
+                        .ok_or(ReplayError::NoSuchRegion {
+                            statement: i,
+                            region: *region,
+                        })?;
                 kernel
                     .user_touch(m, hyp, base.add(page * PAGE_SIZE))
                     .map_err(kernel_err(i))?;
             }
             Statement::Munmap(region) => {
-                let slot = regions
-                    .get_mut(*region)
-                    .ok_or(ReplayError::NoSuchRegion {
-                        statement: i,
-                        region: *region,
-                    })?;
+                let slot = regions.get_mut(*region).ok_or(ReplayError::NoSuchRegion {
+                    statement: i,
+                    region: *region,
+                })?;
                 let base = slot.take().ok_or(ReplayError::NoSuchRegion {
                     statement: i,
                     region: *region,
@@ -402,7 +399,10 @@ exit
     fn parse_full_vocabulary() {
         let stmts = parse(SCRIPT).expect("parses");
         assert_eq!(stmts.len(), 16);
-        assert_eq!(stmts[6], Statement::Rename("/tmp/r1".into(), "/tmp/r2".into()));
+        assert_eq!(
+            stmts[6],
+            Statement::Rename("/tmp/r1".into(), "/tmp/r2".into())
+        );
         assert_eq!(stmts[8], Statement::Touch(0, 2));
     }
 

@@ -43,12 +43,8 @@ fn main() -> Result<(), KernelError> {
     for rec in trace.iter() {
         match rec.event {
             TraceEvent::Hypercall { call: c } if c == call::PT_WRITE => pt_writes += 1,
-            TraceEvent::Hypercall { call: c } if c == call::PT_REGISTER_TABLE => {
-                registrations += 1
-            }
-            TraceEvent::Hypercall { call: c } if c == call::PT_UNREGISTER_TABLE => {
-                retirements += 1
-            }
+            TraceEvent::Hypercall { call: c } if c == call::PT_REGISTER_TABLE => registrations += 1,
+            TraceEvent::Hypercall { call: c } if c == call::PT_UNREGISTER_TABLE => retirements += 1,
             TraceEvent::Hypercall { .. } => other_hvc += 1,
             TraceEvent::SysregTrap { .. } => ttbr_traps += 1,
             TraceEvent::TlbMaintenance => tlb_ops += 1,

@@ -1,0 +1,22 @@
+# Developer entry points. `just ci` is exactly what CI runs.
+
+# Run everything CI runs: format check, lint gate, build, tests.
+ci: fmt-check lint
+    cargo build --release
+    cargo test -q
+
+# Reject unformatted code.
+fmt-check:
+    cargo fmt --check
+
+# Reject all warnings, in every target (lib, bins, tests, benches).
+lint:
+    cargo clippy --all-targets -- -D warnings
+
+# Reformat the workspace in place.
+fmt:
+    cargo fmt
+
+# Quick inner loop: debug build + tests.
+test:
+    cargo test -q

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bitmap_cache-f65f176a6b4a2747.d: crates/bench/benches/ablation_bitmap_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bitmap_cache-f65f176a6b4a2747.rmeta: crates/bench/benches/ablation_bitmap_cache.rs Cargo.toml
+
+crates/bench/benches/ablation_bitmap_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

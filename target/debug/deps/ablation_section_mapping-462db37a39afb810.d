@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_section_mapping-462db37a39afb810.d: crates/bench/benches/ablation_section_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_section_mapping-462db37a39afb810.rmeta: crates/bench/benches/ablation_section_mapping.rs Cargo.toml
+
+crates/bench/benches/ablation_section_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

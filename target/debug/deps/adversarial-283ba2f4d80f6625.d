@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversarial-283ba2f4d80f6625.d: crates/hypersec/tests/adversarial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversarial-283ba2f4d80f6625.rmeta: crates/hypersec/tests/adversarial.rs Cargo.toml
+
+crates/hypersec/tests/adversarial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

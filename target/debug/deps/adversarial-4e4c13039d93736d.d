@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-4e4c13039d93736d.d: crates/hypersec/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-4e4c13039d93736d: crates/hypersec/tests/adversarial.rs
+
+crates/hypersec/tests/adversarial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-a9fb90f16825e710.d: crates/hypersec/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-a9fb90f16825e710: crates/hypersec/tests/adversarial.rs
+
+crates/hypersec/tests/adversarial.rs:

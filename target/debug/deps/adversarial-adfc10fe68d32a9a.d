@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-adfc10fe68d32a9a.d: crates/hypersec/tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-adfc10fe68d32a9a: crates/hypersec/tests/adversarial.rs
+
+crates/hypersec/tests/adversarial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atra-2531b4747833df36.d: crates/core/../../tests/atra.rs
+
+/root/repo/target/debug/deps/atra-2531b4747833df36: crates/core/../../tests/atra.rs
+
+crates/core/../../tests/atra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atra-71daad17f693bdb8.d: crates/core/../../tests/atra.rs
+
+/root/repo/target/debug/deps/atra-71daad17f693bdb8: crates/core/../../tests/atra.rs
+
+crates/core/../../tests/atra.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atra-df679c84ab7fc7cb.d: crates/core/../../tests/atra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatra-df679c84ab7fc7cb.rmeta: crates/core/../../tests/atra.rs Cargo.toml
+
+crates/core/../../tests/atra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atra-fd649683a385912b.d: crates/core/../../tests/atra.rs
+
+/root/repo/target/debug/deps/atra-fd649683a385912b: crates/core/../../tests/atra.rs
+
+crates/core/../../tests/atra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_detection-2ba474462912bacd.d: crates/core/../../tests/attack_detection.rs
+
+/root/repo/target/debug/deps/attack_detection-2ba474462912bacd: crates/core/../../tests/attack_detection.rs
+
+crates/core/../../tests/attack_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_detection-3a0cc699ed87fc22.d: crates/core/../../tests/attack_detection.rs
+
+/root/repo/target/debug/deps/attack_detection-3a0cc699ed87fc22: crates/core/../../tests/attack_detection.rs
+
+crates/core/../../tests/attack_detection.rs:

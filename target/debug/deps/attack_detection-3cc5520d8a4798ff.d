@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_detection-3cc5520d8a4798ff.d: crates/core/../../tests/attack_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_detection-3cc5520d8a4798ff.rmeta: crates/core/../../tests/attack_detection.rs Cargo.toml
+
+crates/core/../../tests/attack_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_detection-673666256ff75cfe.d: crates/core/../../tests/attack_detection.rs
+
+/root/repo/target/debug/deps/attack_detection-673666256ff75cfe: crates/core/../../tests/attack_detection.rs
+
+crates/core/../../tests/attack_detection.rs:

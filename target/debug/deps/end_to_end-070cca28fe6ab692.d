@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-070cca28fe6ab692.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-070cca28fe6ab692: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-12e45a678bbeff3e.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-12e45a678bbeff3e: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

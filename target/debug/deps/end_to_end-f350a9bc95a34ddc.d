@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f350a9bc95a34ddc.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f350a9bc95a34ddc: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure6_apps-2175f75c56a5735f.d: crates/bench/benches/figure6_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure6_apps-2175f75c56a5735f.rmeta: crates/bench/benches/figure6_apps.rs Cargo.toml
+
+crates/bench/benches/figure6_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel-224e11fc65ea895c.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-224e11fc65ea895c.rlib: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-224e11fc65ea895c.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

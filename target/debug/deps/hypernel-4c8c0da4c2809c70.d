@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel-4c8c0da4c2809c70.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/hypernel-4c8c0da4c2809c70: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

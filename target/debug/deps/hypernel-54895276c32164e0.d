@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel-54895276c32164e0.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/hypernel-54895276c32164e0: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

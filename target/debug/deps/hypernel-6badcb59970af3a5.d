@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel-6badcb59970af3a5.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-6badcb59970af3a5.rlib: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-6badcb59970af3a5.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel-9a937bc2acc0f230.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-9a937bc2acc0f230.rlib: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-9a937bc2acc0f230.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel-aa337d72f42f15c1.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-aa337d72f42f15c1.rlib: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-aa337d72f42f15c1.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

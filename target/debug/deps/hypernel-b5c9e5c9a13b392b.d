@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel-b5c9e5c9a13b392b.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/hypernel-b5c9e5c9a13b392b: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

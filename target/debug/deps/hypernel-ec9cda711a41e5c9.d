@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel-ec9cda711a41e5c9.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-ec9cda711a41e5c9.rlib: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libhypernel-ec9cda711a41e5c9.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

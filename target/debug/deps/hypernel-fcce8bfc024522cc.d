@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hypernel-fcce8bfc024522cc.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel-fcce8bfc024522cc.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_bench-02f0a5d57601e282.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_bench-02f0a5d57601e282.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_bench-0625625c140c7e7b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_bench-0625625c140c7e7b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

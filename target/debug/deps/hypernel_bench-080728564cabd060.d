@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel_bench-080728564cabd060.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-080728564cabd060.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-080728564cabd060.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel_bench-17f17e430b7f19b1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-17f17e430b7f19b1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-17f17e430b7f19b1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel_bench-85b21e717218462e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-85b21e717218462e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-85b21e717218462e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

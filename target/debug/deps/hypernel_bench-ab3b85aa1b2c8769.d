@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel_bench-ab3b85aa1b2c8769.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-ab3b85aa1b2c8769.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_bench-ab3b85aa1b2c8769.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_bench-d4ce1a2196740902.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hypernel_bench-d4ce1a2196740902: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

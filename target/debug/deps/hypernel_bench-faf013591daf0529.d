@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_bench-faf013591daf0529.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hypernel_bench-faf013591daf0529: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hypernel_hypersec-346ba1ad0455044c.d: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_hypersec-346ba1ad0455044c.rmeta: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs Cargo.toml
+
+crates/hypersec/src/lib.rs:
+crates/hypersec/src/hypersec.rs:
+crates/hypersec/src/secapp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

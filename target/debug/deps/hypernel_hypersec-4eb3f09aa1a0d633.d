@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel_hypersec-4eb3f09aa1a0d633.d: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/debug/deps/hypernel_hypersec-4eb3f09aa1a0d633: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+crates/hypersec/src/lib.rs:
+crates/hypersec/src/hypersec.rs:
+crates/hypersec/src/secapp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_hypersec-5659f5d991ebcbb0.d: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/debug/deps/libhypernel_hypersec-5659f5d991ebcbb0.rlib: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/debug/deps/libhypernel_hypersec-5659f5d991ebcbb0.rmeta: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+crates/hypersec/src/lib.rs:
+crates/hypersec/src/hypersec.rs:
+crates/hypersec/src/secapp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_hypersec-dbc4a52dc02541b3.d: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/debug/deps/libhypernel_hypersec-dbc4a52dc02541b3.rlib: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/debug/deps/libhypernel_hypersec-dbc4a52dc02541b3.rmeta: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+crates/hypersec/src/lib.rs:
+crates/hypersec/src/hypersec.rs:
+crates/hypersec/src/secapp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_hypersec-dd3d2ad156ee91e2.d: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/debug/deps/libhypernel_hypersec-dd3d2ad156ee91e2.rlib: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/debug/deps/libhypernel_hypersec-dd3d2ad156ee91e2.rmeta: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+crates/hypersec/src/lib.rs:
+crates/hypersec/src/hypersec.rs:
+crates/hypersec/src/secapp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_hypervisor-11c185b76488a2e4.d: crates/hypervisor/src/lib.rs
+
+/root/repo/target/debug/deps/hypernel_hypervisor-11c185b76488a2e4: crates/hypervisor/src/lib.rs
+
+crates/hypervisor/src/lib.rs:

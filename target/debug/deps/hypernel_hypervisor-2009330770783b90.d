@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_hypervisor-2009330770783b90.d: crates/hypervisor/src/lib.rs
+
+/root/repo/target/debug/deps/hypernel_hypervisor-2009330770783b90: crates/hypervisor/src/lib.rs
+
+crates/hypervisor/src/lib.rs:

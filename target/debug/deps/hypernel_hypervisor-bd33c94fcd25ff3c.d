@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel_hypervisor-bd33c94fcd25ff3c.d: crates/hypervisor/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_hypervisor-bd33c94fcd25ff3c.rlib: crates/hypervisor/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_hypervisor-bd33c94fcd25ff3c.rmeta: crates/hypervisor/src/lib.rs
+
+crates/hypervisor/src/lib.rs:

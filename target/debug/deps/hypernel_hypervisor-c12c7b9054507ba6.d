@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hypernel_hypervisor-c12c7b9054507ba6.d: crates/hypervisor/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_hypervisor-c12c7b9054507ba6.rlib: crates/hypervisor/src/lib.rs
+
+/root/repo/target/debug/deps/libhypernel_hypervisor-c12c7b9054507ba6.rmeta: crates/hypervisor/src/lib.rs
+
+crates/hypervisor/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_hypervisor-e0f58777f69d139a.d: crates/hypervisor/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_hypervisor-e0f58777f69d139a.rmeta: crates/hypervisor/src/lib.rs Cargo.toml
+
+crates/hypervisor/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

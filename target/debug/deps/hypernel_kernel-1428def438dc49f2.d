@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hypernel_kernel-1428def438dc49f2.d: crates/kernel/src/lib.rs crates/kernel/src/abi.rs crates/kernel/src/attack.rs crates/kernel/src/kernel.rs crates/kernel/src/kobj.rs crates/kernel/src/layout.rs crates/kernel/src/pgalloc.rs crates/kernel/src/pgtable.rs crates/kernel/src/sched.rs crates/kernel/src/slab.rs crates/kernel/src/task.rs
+
+/root/repo/target/debug/deps/libhypernel_kernel-1428def438dc49f2.rlib: crates/kernel/src/lib.rs crates/kernel/src/abi.rs crates/kernel/src/attack.rs crates/kernel/src/kernel.rs crates/kernel/src/kobj.rs crates/kernel/src/layout.rs crates/kernel/src/pgalloc.rs crates/kernel/src/pgtable.rs crates/kernel/src/sched.rs crates/kernel/src/slab.rs crates/kernel/src/task.rs
+
+/root/repo/target/debug/deps/libhypernel_kernel-1428def438dc49f2.rmeta: crates/kernel/src/lib.rs crates/kernel/src/abi.rs crates/kernel/src/attack.rs crates/kernel/src/kernel.rs crates/kernel/src/kobj.rs crates/kernel/src/layout.rs crates/kernel/src/pgalloc.rs crates/kernel/src/pgtable.rs crates/kernel/src/sched.rs crates/kernel/src/slab.rs crates/kernel/src/task.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/abi.rs:
+crates/kernel/src/attack.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/kobj.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/pgalloc.rs:
+crates/kernel/src/pgtable.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/slab.rs:
+crates/kernel/src/task.rs:

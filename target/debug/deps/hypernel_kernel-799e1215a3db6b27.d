@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hypernel_kernel-799e1215a3db6b27.d: crates/kernel/src/lib.rs crates/kernel/src/abi.rs crates/kernel/src/attack.rs crates/kernel/src/kernel.rs crates/kernel/src/kobj.rs crates/kernel/src/layout.rs crates/kernel/src/pgalloc.rs crates/kernel/src/pgtable.rs crates/kernel/src/sched.rs crates/kernel/src/slab.rs crates/kernel/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_kernel-799e1215a3db6b27.rmeta: crates/kernel/src/lib.rs crates/kernel/src/abi.rs crates/kernel/src/attack.rs crates/kernel/src/kernel.rs crates/kernel/src/kobj.rs crates/kernel/src/layout.rs crates/kernel/src/pgalloc.rs crates/kernel/src/pgtable.rs crates/kernel/src/sched.rs crates/kernel/src/slab.rs crates/kernel/src/task.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/abi.rs:
+crates/kernel/src/attack.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/kobj.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/pgalloc.rs:
+crates/kernel/src/pgtable.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/slab.rs:
+crates/kernel/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hypernel_kernel-d22356e002e74bff.d: crates/kernel/src/lib.rs crates/kernel/src/abi.rs crates/kernel/src/attack.rs crates/kernel/src/kernel.rs crates/kernel/src/kobj.rs crates/kernel/src/layout.rs crates/kernel/src/pgalloc.rs crates/kernel/src/pgtable.rs crates/kernel/src/sched.rs crates/kernel/src/slab.rs crates/kernel/src/task.rs
+
+/root/repo/target/debug/deps/hypernel_kernel-d22356e002e74bff: crates/kernel/src/lib.rs crates/kernel/src/abi.rs crates/kernel/src/attack.rs crates/kernel/src/kernel.rs crates/kernel/src/kobj.rs crates/kernel/src/layout.rs crates/kernel/src/pgalloc.rs crates/kernel/src/pgtable.rs crates/kernel/src/sched.rs crates/kernel/src/slab.rs crates/kernel/src/task.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/abi.rs:
+crates/kernel/src/attack.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/kobj.rs:
+crates/kernel/src/layout.rs:
+crates/kernel/src/pgalloc.rs:
+crates/kernel/src/pgtable.rs:
+crates/kernel/src/sched.rs:
+crates/kernel/src/slab.rs:
+crates/kernel/src/task.rs:

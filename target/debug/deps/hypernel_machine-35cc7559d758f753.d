@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hypernel_machine-35cc7559d758f753.d: crates/machine/src/lib.rs crates/machine/src/addr.rs crates/machine/src/bus.rs crates/machine/src/cache.rs crates/machine/src/cost.rs crates/machine/src/irq.rs crates/machine/src/machine.rs crates/machine/src/mem.rs crates/machine/src/pagetable.rs crates/machine/src/regs.rs crates/machine/src/tlb.rs crates/machine/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_machine-35cc7559d758f753.rmeta: crates/machine/src/lib.rs crates/machine/src/addr.rs crates/machine/src/bus.rs crates/machine/src/cache.rs crates/machine/src/cost.rs crates/machine/src/irq.rs crates/machine/src/machine.rs crates/machine/src/mem.rs crates/machine/src/pagetable.rs crates/machine/src/regs.rs crates/machine/src/tlb.rs crates/machine/src/trace.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/addr.rs:
+crates/machine/src/bus.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/irq.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/mem.rs:
+crates/machine/src/pagetable.rs:
+crates/machine/src/regs.rs:
+crates/machine/src/tlb.rs:
+crates/machine/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

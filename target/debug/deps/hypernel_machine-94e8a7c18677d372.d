@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hypernel_machine-94e8a7c18677d372.d: crates/machine/src/lib.rs crates/machine/src/addr.rs crates/machine/src/bus.rs crates/machine/src/cache.rs crates/machine/src/cost.rs crates/machine/src/irq.rs crates/machine/src/machine.rs crates/machine/src/mem.rs crates/machine/src/pagetable.rs crates/machine/src/regs.rs crates/machine/src/tlb.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/hypernel_machine-94e8a7c18677d372: crates/machine/src/lib.rs crates/machine/src/addr.rs crates/machine/src/bus.rs crates/machine/src/cache.rs crates/machine/src/cost.rs crates/machine/src/irq.rs crates/machine/src/machine.rs crates/machine/src/mem.rs crates/machine/src/pagetable.rs crates/machine/src/regs.rs crates/machine/src/tlb.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/addr.rs:
+crates/machine/src/bus.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/irq.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/mem.rs:
+crates/machine/src/pagetable.rs:
+crates/machine/src/regs.rs:
+crates/machine/src/tlb.rs:
+crates/machine/src/trace.rs:

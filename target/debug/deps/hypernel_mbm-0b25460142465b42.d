@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hypernel_mbm-0b25460142465b42.d: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+/root/repo/target/debug/deps/hypernel_mbm-0b25460142465b42: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+crates/mbm/src/lib.rs:
+crates/mbm/src/bitmap.rs:
+crates/mbm/src/cache.rs:
+crates/mbm/src/fifo.rs:
+crates/mbm/src/monitor.rs:
+crates/mbm/src/ring.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hypernel_mbm-a3c06a8f57fac8f1.d: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+/root/repo/target/debug/deps/libhypernel_mbm-a3c06a8f57fac8f1.rlib: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+/root/repo/target/debug/deps/libhypernel_mbm-a3c06a8f57fac8f1.rmeta: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+crates/mbm/src/lib.rs:
+crates/mbm/src/bitmap.rs:
+crates/mbm/src/cache.rs:
+crates/mbm/src/fifo.rs:
+crates/mbm/src/monitor.rs:
+crates/mbm/src/ring.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hypernel_mbm-e94e09df54ac3e6b.d: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_mbm-e94e09df54ac3e6b.rmeta: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs Cargo.toml
+
+crates/mbm/src/lib.rs:
+crates/mbm/src/bitmap.rs:
+crates/mbm/src/cache.rs:
+crates/mbm/src/fifo.rs:
+crates/mbm/src/monitor.rs:
+crates/mbm/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-232157b6a722c46f.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-232157b6a722c46f: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

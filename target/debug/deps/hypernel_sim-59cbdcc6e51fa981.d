@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_sim-59cbdcc6e51fa981.d: crates/core/src/bin/hypernel-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypernel_sim-59cbdcc6e51fa981.rmeta: crates/core/src/bin/hypernel-sim.rs Cargo.toml
+
+crates/core/src/bin/hypernel-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

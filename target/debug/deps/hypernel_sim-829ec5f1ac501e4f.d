@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-829ec5f1ac501e4f.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-829ec5f1ac501e4f: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

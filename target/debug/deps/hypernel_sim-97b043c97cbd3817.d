@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-97b043c97cbd3817.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-97b043c97cbd3817: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-9959ed1023ba3f02.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-9959ed1023ba3f02: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

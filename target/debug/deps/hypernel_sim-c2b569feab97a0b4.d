@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-c2b569feab97a0b4.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-c2b569feab97a0b4: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-c37bd916e245a7f4.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-c37bd916e245a7f4: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

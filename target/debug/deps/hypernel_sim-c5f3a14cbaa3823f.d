@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-c5f3a14cbaa3823f.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-c5f3a14cbaa3823f: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

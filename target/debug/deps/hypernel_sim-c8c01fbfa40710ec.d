@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypernel_sim-c8c01fbfa40710ec.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/debug/deps/hypernel_sim-c8c01fbfa40710ec: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hypernel_telemetry-b4eb0e3703132e3b.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/debug/deps/libhypernel_telemetry-b4eb0e3703132e3b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/debug/deps/libhypernel_telemetry-b4eb0e3703132e3b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sink.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hypernel_telemetry-e79172cd64176fde.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/debug/deps/hypernel_telemetry-e79172cd64176fde: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sink.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_workloads-1486d37d21ab50d1.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+/root/repo/target/debug/deps/hypernel_workloads-1486d37d21ab50d1: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/replay.rs:

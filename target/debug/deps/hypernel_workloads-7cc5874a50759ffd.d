@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypernel_workloads-7cc5874a50759ffd.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+/root/repo/target/debug/deps/hypernel_workloads-7cc5874a50759ffd: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/replay.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hypernel_workloads-f9cafad105772ae8.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+/root/repo/target/debug/deps/libhypernel_workloads-f9cafad105772ae8.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+/root/repo/target/debug/deps/libhypernel_workloads-f9cafad105772ae8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hypersec_behavior-05315481be2d4d2d.d: crates/hypersec/tests/hypersec_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhypersec_behavior-05315481be2d4d2d.rmeta: crates/hypersec/tests/hypersec_behavior.rs Cargo.toml
+
+crates/hypersec/tests/hypersec_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

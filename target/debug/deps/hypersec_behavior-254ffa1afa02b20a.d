@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypersec_behavior-254ffa1afa02b20a.d: crates/hypersec/tests/hypersec_behavior.rs
+
+/root/repo/target/debug/deps/hypersec_behavior-254ffa1afa02b20a: crates/hypersec/tests/hypersec_behavior.rs
+
+crates/hypersec/tests/hypersec_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypersec_behavior-3b07d171fa1c1dc8.d: crates/hypersec/tests/hypersec_behavior.rs
+
+/root/repo/target/debug/deps/hypersec_behavior-3b07d171fa1c1dc8: crates/hypersec/tests/hypersec_behavior.rs
+
+crates/hypersec/tests/hypersec_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hypersec_behavior-aaa345610dd88e2c.d: crates/hypersec/tests/hypersec_behavior.rs
+
+/root/repo/target/debug/deps/hypersec_behavior-aaa345610dd88e2c: crates/hypersec/tests/hypersec_behavior.rs
+
+crates/hypersec/tests/hypersec_behavior.rs:

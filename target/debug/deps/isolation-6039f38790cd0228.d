@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isolation-6039f38790cd0228.d: crates/core/../../tests/isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisolation-6039f38790cd0228.rmeta: crates/core/../../tests/isolation.rs Cargo.toml
+
+crates/core/../../tests/isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

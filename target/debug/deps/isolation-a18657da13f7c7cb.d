@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isolation-a18657da13f7c7cb.d: crates/core/../../tests/isolation.rs
+
+/root/repo/target/debug/deps/isolation-a18657da13f7c7cb: crates/core/../../tests/isolation.rs
+
+crates/core/../../tests/isolation.rs:

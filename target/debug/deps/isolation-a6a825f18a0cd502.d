@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isolation-a6a825f18a0cd502.d: crates/core/../../tests/isolation.rs
+
+/root/repo/target/debug/deps/isolation-a6a825f18a0cd502: crates/core/../../tests/isolation.rs
+
+crates/core/../../tests/isolation.rs:

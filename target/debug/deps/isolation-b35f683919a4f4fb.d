@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isolation-b35f683919a4f4fb.d: crates/core/../../tests/isolation.rs
+
+/root/repo/target/debug/deps/isolation-b35f683919a4f4fb: crates/core/../../tests/isolation.rs
+
+crates/core/../../tests/isolation.rs:

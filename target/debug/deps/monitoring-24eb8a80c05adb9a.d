@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-24eb8a80c05adb9a.d: crates/core/../../tests/monitoring.rs
+
+/root/repo/target/debug/deps/monitoring-24eb8a80c05adb9a: crates/core/../../tests/monitoring.rs
+
+crates/core/../../tests/monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-48befb1f52dc844a.d: crates/core/../../tests/monitoring.rs
+
+/root/repo/target/debug/deps/monitoring-48befb1f52dc844a: crates/core/../../tests/monitoring.rs
+
+crates/core/../../tests/monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitoring-77a738bfc74da51d.d: crates/core/../../tests/monitoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitoring-77a738bfc74da51d.rmeta: crates/core/../../tests/monitoring.rs Cargo.toml
+
+crates/core/../../tests/monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

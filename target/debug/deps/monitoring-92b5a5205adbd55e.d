@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring-92b5a5205adbd55e.d: crates/core/../../tests/monitoring.rs
+
+/root/repo/target/debug/deps/monitoring-92b5a5205adbd55e: crates/core/../../tests/monitoring.rs
+
+crates/core/../../tests/monitoring.rs:

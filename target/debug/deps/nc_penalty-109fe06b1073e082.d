@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nc_penalty-109fe06b1073e082.d: crates/bench/benches/nc_penalty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnc_penalty-109fe06b1073e082.rmeta: crates/bench/benches/nc_penalty.rs Cargo.toml
+
+crates/bench/benches/nc_penalty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1d4cd8b62997df76.d: crates/mbm/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1d4cd8b62997df76.rmeta: crates/mbm/tests/properties.rs Cargo.toml
+
+crates/mbm/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

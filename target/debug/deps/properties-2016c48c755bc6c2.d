@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2016c48c755bc6c2.d: crates/kernel/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2016c48c755bc6c2: crates/kernel/tests/properties.rs
+
+crates/kernel/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2e95a105fdfb6a14.d: crates/mbm/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2e95a105fdfb6a14: crates/mbm/tests/properties.rs
+
+crates/mbm/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-92a9b47e9b136798.d: crates/kernel/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-92a9b47e9b136798.rmeta: crates/kernel/tests/properties.rs Cargo.toml
+
+crates/kernel/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

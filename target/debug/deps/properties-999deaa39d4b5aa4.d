@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-999deaa39d4b5aa4.d: crates/mbm/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-999deaa39d4b5aa4: crates/mbm/tests/properties.rs
+
+crates/mbm/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-aa25bab37591b22c.d: crates/machine/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-aa25bab37591b22c.rmeta: crates/machine/tests/properties.rs Cargo.toml
+
+crates/machine/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-caf98741d3362b06.d: crates/machine/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-caf98741d3362b06: crates/machine/tests/properties.rs
+
+crates/machine/tests/properties.rs:

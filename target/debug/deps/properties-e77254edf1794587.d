@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e77254edf1794587.d: crates/machine/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e77254edf1794587: crates/machine/tests/properties.rs
+
+crates/machine/tests/properties.rs:

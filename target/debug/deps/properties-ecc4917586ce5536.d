@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ecc4917586ce5536.d: crates/kernel/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ecc4917586ce5536: crates/kernel/tests/properties.rs
+
+crates/kernel/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fc7a85b256c8ebc1.d: crates/kernel/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fc7a85b256c8ebc1: crates/kernel/tests/properties.rs
+
+crates/kernel/tests/properties.rs:

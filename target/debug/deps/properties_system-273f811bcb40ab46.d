@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties_system-273f811bcb40ab46.d: crates/core/../../tests/properties_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties_system-273f811bcb40ab46.rmeta: crates/core/../../tests/properties_system.rs Cargo.toml
+
+crates/core/../../tests/properties_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_system-9d6ceba547babcf3.d: crates/core/../../tests/properties_system.rs
+
+/root/repo/target/debug/deps/properties_system-9d6ceba547babcf3: crates/core/../../tests/properties_system.rs
+
+crates/core/../../tests/properties_system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_system-ec7000343669019d.d: crates/core/../../tests/properties_system.rs
+
+/root/repo/target/debug/deps/properties_system-ec7000343669019d: crates/core/../../tests/properties_system.rs
+
+crates/core/../../tests/properties_system.rs:

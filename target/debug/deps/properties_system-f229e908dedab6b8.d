@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_system-f229e908dedab6b8.d: crates/core/../../tests/properties_system.rs
+
+/root/repo/target/debug/deps/properties_system-f229e908dedab6b8: crates/core/../../tests/properties_system.rs
+
+crates/core/../../tests/properties_system.rs:

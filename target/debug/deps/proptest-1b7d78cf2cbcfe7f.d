@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-1b7d78cf2cbcfe7f.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/proptest-1b7d78cf2cbcfe7f: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-1d5ffdbe7f02b3a5.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-1d5ffdbe7f02b3a5.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-1d5ffdbe7f02b3a5.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-5595d629272262fb.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-5595d629272262fb.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/collection.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity_cost-542cf173ccb1c1ad.d: crates/bench/benches/sensitivity_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity_cost-542cf173ccb1c1ad.rmeta: crates/bench/benches/sensitivity_cost.rs Cargo.toml
+
+crates/bench/benches/sensitivity_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

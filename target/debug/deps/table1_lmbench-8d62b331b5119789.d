@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_lmbench-8d62b331b5119789.d: crates/bench/benches/table1_lmbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_lmbench-8d62b331b5119789.rmeta: crates/bench/benches/table1_lmbench.rs Cargo.toml
+
+crates/bench/benches/table1_lmbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_traps-bf8be5a02ea74cdd.d: crates/bench/benches/table2_traps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_traps-bf8be5a02ea74cdd.rmeta: crates/bench/benches/table2_traps.rs Cargo.toml
+
+crates/bench/benches/table2_traps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

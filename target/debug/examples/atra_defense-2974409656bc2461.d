@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/atra_defense-2974409656bc2461.d: crates/core/../../examples/atra_defense.rs
+
+/root/repo/target/debug/examples/atra_defense-2974409656bc2461: crates/core/../../examples/atra_defense.rs
+
+crates/core/../../examples/atra_defense.rs:

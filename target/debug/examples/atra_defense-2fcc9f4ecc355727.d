@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/atra_defense-2fcc9f4ecc355727.d: crates/core/../../examples/atra_defense.rs
+
+/root/repo/target/debug/examples/atra_defense-2fcc9f4ecc355727: crates/core/../../examples/atra_defense.rs
+
+crates/core/../../examples/atra_defense.rs:

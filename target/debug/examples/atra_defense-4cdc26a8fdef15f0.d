@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/atra_defense-4cdc26a8fdef15f0.d: crates/core/../../examples/atra_defense.rs Cargo.toml
+
+/root/repo/target/debug/examples/libatra_defense-4cdc26a8fdef15f0.rmeta: crates/core/../../examples/atra_defense.rs Cargo.toml
+
+crates/core/../../examples/atra_defense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/atra_defense-6dcdfa248f52a5b9.d: crates/core/../../examples/atra_defense.rs
+
+/root/repo/target/debug/examples/atra_defense-6dcdfa248f52a5b9: crates/core/../../examples/atra_defense.rs
+
+crates/core/../../examples/atra_defense.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/granularity_gap-1e7b6f5e2746c2c9.d: crates/core/../../examples/granularity_gap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgranularity_gap-1e7b6f5e2746c2c9.rmeta: crates/core/../../examples/granularity_gap.rs Cargo.toml
+
+crates/core/../../examples/granularity_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

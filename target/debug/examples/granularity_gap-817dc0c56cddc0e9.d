@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/granularity_gap-817dc0c56cddc0e9.d: crates/core/../../examples/granularity_gap.rs
+
+/root/repo/target/debug/examples/granularity_gap-817dc0c56cddc0e9: crates/core/../../examples/granularity_gap.rs
+
+crates/core/../../examples/granularity_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/granularity_gap-e12048b10aed5cd6.d: crates/core/../../examples/granularity_gap.rs
+
+/root/repo/target/debug/examples/granularity_gap-e12048b10aed5cd6: crates/core/../../examples/granularity_gap.rs
+
+crates/core/../../examples/granularity_gap.rs:

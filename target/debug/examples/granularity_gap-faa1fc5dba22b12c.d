@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/granularity_gap-faa1fc5dba22b12c.d: crates/core/../../examples/granularity_gap.rs
+
+/root/repo/target/debug/examples/granularity_gap-faa1fc5dba22b12c: crates/core/../../examples/granularity_gap.rs
+
+crates/core/../../examples/granularity_gap.rs:

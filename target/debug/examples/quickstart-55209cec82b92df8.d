@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-55209cec82b92df8.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-55209cec82b92df8: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-939f306ab6544036.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-939f306ab6544036: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

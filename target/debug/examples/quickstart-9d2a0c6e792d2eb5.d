@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9d2a0c6e792d2eb5.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9d2a0c6e792d2eb5: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rootkit_detection-1c80305cabc98271.d: crates/core/../../examples/rootkit_detection.rs
+
+/root/repo/target/debug/examples/rootkit_detection-1c80305cabc98271: crates/core/../../examples/rootkit_detection.rs
+
+crates/core/../../examples/rootkit_detection.rs:

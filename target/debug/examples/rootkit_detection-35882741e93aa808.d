@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rootkit_detection-35882741e93aa808.d: crates/core/../../examples/rootkit_detection.rs
+
+/root/repo/target/debug/examples/rootkit_detection-35882741e93aa808: crates/core/../../examples/rootkit_detection.rs
+
+crates/core/../../examples/rootkit_detection.rs:

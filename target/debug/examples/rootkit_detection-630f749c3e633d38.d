@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rootkit_detection-630f749c3e633d38.d: crates/core/../../examples/rootkit_detection.rs
+
+/root/repo/target/debug/examples/rootkit_detection-630f749c3e633d38: crates/core/../../examples/rootkit_detection.rs
+
+crates/core/../../examples/rootkit_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rootkit_detection-6ac0c6005f0e9bbd.d: crates/core/../../examples/rootkit_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/librootkit_detection-6ac0c6005f0e9bbd.rmeta: crates/core/../../examples/rootkit_detection.rs Cargo.toml
+
+crates/core/../../examples/rootkit_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_inspection-36876b10cb16a2f5.d: crates/core/../../examples/trace_inspection.rs
+
+/root/repo/target/debug/examples/trace_inspection-36876b10cb16a2f5: crates/core/../../examples/trace_inspection.rs
+
+crates/core/../../examples/trace_inspection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_inspection-4e78b72d6e35a286.d: crates/core/../../examples/trace_inspection.rs
+
+/root/repo/target/debug/examples/trace_inspection-4e78b72d6e35a286: crates/core/../../examples/trace_inspection.rs
+
+crates/core/../../examples/trace_inspection.rs:

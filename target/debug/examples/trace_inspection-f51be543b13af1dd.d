@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_inspection-f51be543b13af1dd.d: crates/core/../../examples/trace_inspection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_inspection-f51be543b13af1dd.rmeta: crates/core/../../examples/trace_inspection.rs Cargo.toml
+
+crates/core/../../examples/trace_inspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

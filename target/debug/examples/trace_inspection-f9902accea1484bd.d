@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_inspection-f9902accea1484bd.d: crates/core/../../examples/trace_inspection.rs
+
+/root/repo/target/debug/examples/trace_inspection-f9902accea1484bd: crates/core/../../examples/trace_inspection.rs
+
+crates/core/../../examples/trace_inspection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hypernel-1b5b89e883704c82.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libhypernel-1b5b89e883704c82.rlib: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libhypernel-1b5b89e883704c82.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

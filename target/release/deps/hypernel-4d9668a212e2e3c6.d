@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hypernel-4d9668a212e2e3c6.d: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libhypernel-4d9668a212e2e3c6.rlib: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libhypernel-4d9668a212e2e3c6.rmeta: crates/core/src/lib.rs crates/core/src/report.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:

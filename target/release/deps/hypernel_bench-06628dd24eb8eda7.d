@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hypernel_bench-06628dd24eb8eda7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_bench-06628dd24eb8eda7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_bench-06628dd24eb8eda7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hypernel_bench-37d5591a5f9c29ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_bench-37d5591a5f9c29ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_bench-37d5591a5f9c29ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

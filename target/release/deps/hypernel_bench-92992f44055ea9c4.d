@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hypernel_bench-92992f44055ea9c4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_bench-92992f44055ea9c4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_bench-92992f44055ea9c4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

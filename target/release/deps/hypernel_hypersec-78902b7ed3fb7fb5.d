@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hypernel_hypersec-78902b7ed3fb7fb5.d: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/release/deps/libhypernel_hypersec-78902b7ed3fb7fb5.rlib: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+/root/repo/target/release/deps/libhypernel_hypersec-78902b7ed3fb7fb5.rmeta: crates/hypersec/src/lib.rs crates/hypersec/src/hypersec.rs crates/hypersec/src/secapp.rs
+
+crates/hypersec/src/lib.rs:
+crates/hypersec/src/hypersec.rs:
+crates/hypersec/src/secapp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hypernel_hypervisor-9fb72064ee1cb974.d: crates/hypervisor/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_hypervisor-9fb72064ee1cb974.rlib: crates/hypervisor/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_hypervisor-9fb72064ee1cb974.rmeta: crates/hypervisor/src/lib.rs
+
+crates/hypervisor/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hypernel_hypervisor-efb81de80a0aef59.d: crates/hypervisor/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_hypervisor-efb81de80a0aef59.rlib: crates/hypervisor/src/lib.rs
+
+/root/repo/target/release/deps/libhypernel_hypervisor-efb81de80a0aef59.rmeta: crates/hypervisor/src/lib.rs
+
+crates/hypervisor/src/lib.rs:

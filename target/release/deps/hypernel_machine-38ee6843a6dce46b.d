@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hypernel_machine-38ee6843a6dce46b.d: crates/machine/src/lib.rs crates/machine/src/addr.rs crates/machine/src/bus.rs crates/machine/src/cache.rs crates/machine/src/cost.rs crates/machine/src/irq.rs crates/machine/src/machine.rs crates/machine/src/mem.rs crates/machine/src/pagetable.rs crates/machine/src/regs.rs crates/machine/src/tlb.rs crates/machine/src/trace.rs
+
+/root/repo/target/release/deps/libhypernel_machine-38ee6843a6dce46b.rlib: crates/machine/src/lib.rs crates/machine/src/addr.rs crates/machine/src/bus.rs crates/machine/src/cache.rs crates/machine/src/cost.rs crates/machine/src/irq.rs crates/machine/src/machine.rs crates/machine/src/mem.rs crates/machine/src/pagetable.rs crates/machine/src/regs.rs crates/machine/src/tlb.rs crates/machine/src/trace.rs
+
+/root/repo/target/release/deps/libhypernel_machine-38ee6843a6dce46b.rmeta: crates/machine/src/lib.rs crates/machine/src/addr.rs crates/machine/src/bus.rs crates/machine/src/cache.rs crates/machine/src/cost.rs crates/machine/src/irq.rs crates/machine/src/machine.rs crates/machine/src/mem.rs crates/machine/src/pagetable.rs crates/machine/src/regs.rs crates/machine/src/tlb.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/addr.rs:
+crates/machine/src/bus.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/irq.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/mem.rs:
+crates/machine/src/pagetable.rs:
+crates/machine/src/regs.rs:
+crates/machine/src/tlb.rs:
+crates/machine/src/trace.rs:

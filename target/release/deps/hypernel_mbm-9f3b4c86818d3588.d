@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hypernel_mbm-9f3b4c86818d3588.d: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+/root/repo/target/release/deps/libhypernel_mbm-9f3b4c86818d3588.rlib: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+/root/repo/target/release/deps/libhypernel_mbm-9f3b4c86818d3588.rmeta: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+crates/mbm/src/lib.rs:
+crates/mbm/src/bitmap.rs:
+crates/mbm/src/cache.rs:
+crates/mbm/src/fifo.rs:
+crates/mbm/src/monitor.rs:
+crates/mbm/src/ring.rs:

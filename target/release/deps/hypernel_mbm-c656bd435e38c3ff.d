@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hypernel_mbm-c656bd435e38c3ff.d: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+/root/repo/target/release/deps/libhypernel_mbm-c656bd435e38c3ff.rlib: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+/root/repo/target/release/deps/libhypernel_mbm-c656bd435e38c3ff.rmeta: crates/mbm/src/lib.rs crates/mbm/src/bitmap.rs crates/mbm/src/cache.rs crates/mbm/src/fifo.rs crates/mbm/src/monitor.rs crates/mbm/src/ring.rs
+
+crates/mbm/src/lib.rs:
+crates/mbm/src/bitmap.rs:
+crates/mbm/src/cache.rs:
+crates/mbm/src/fifo.rs:
+crates/mbm/src/monitor.rs:
+crates/mbm/src/ring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hypernel_sim-ba0ece0b8483f442.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/release/deps/hypernel_sim-ba0ece0b8483f442: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

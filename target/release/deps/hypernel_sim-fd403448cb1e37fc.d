@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hypernel_sim-fd403448cb1e37fc.d: crates/core/src/bin/hypernel-sim.rs
+
+/root/repo/target/release/deps/hypernel_sim-fd403448cb1e37fc: crates/core/src/bin/hypernel-sim.rs
+
+crates/core/src/bin/hypernel-sim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hypernel_telemetry-07464428064d7eaa.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/release/deps/libhypernel_telemetry-07464428064d7eaa.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/release/deps/libhypernel_telemetry-07464428064d7eaa.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/sink.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sink.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hypernel_workloads-430303efa856e034.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+/root/repo/target/release/deps/libhypernel_workloads-430303efa856e034.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+/root/repo/target/release/deps/libhypernel_workloads-430303efa856e034.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/lmbench.rs crates/workloads/src/measure.rs crates/workloads/src/replay.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/lmbench.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/replay.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9097752ec2d2d8d2.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9097752ec2d2d8d2.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9097752ec2d2d8d2.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_lmbench-2e75ac068eef0e5d.d: crates/bench/benches/table1_lmbench.rs
+
+/root/repo/target/release/deps/table1_lmbench-2e75ac068eef0e5d: crates/bench/benches/table1_lmbench.rs
+
+crates/bench/benches/table1_lmbench.rs:

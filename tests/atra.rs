@@ -61,20 +61,20 @@ impl BareMonitorRig {
         // monitor) see every write; plus a normal page for the shadow.
         rig.map(OBJ_VA, OBJ_PA, PagePerms::KERNEL_DATA_NC);
         rig.map(0x30_0000, 0x30_0000, PagePerms::KERNEL_DATA_NC);
-        rig.machine.el2_write_sysreg(SysReg::TTBR0_EL1, rig.root.raw());
-        rig.machine.el2_write_sysreg(SysReg::TTBR1_EL1, rig.root.raw());
+        rig.machine
+            .el2_write_sysreg(SysReg::TTBR0_EL1, rig.root.raw());
+        rig.machine
+            .el2_write_sysreg(SysReg::TTBR1_EL1, rig.root.raw());
         rig.machine.el2_write_sysreg(SysReg::SCTLR_EL1, sctlr::M);
         rig.machine.set_el(ExceptionLevel::El1);
         // The monitor vendor programs the bitmap with the object's
         // *physical* address — all a bus-level device can know.
-        let layout = hypernel::mbm::BitmapLayout::new(
-            PhysAddr::new(0),
-            0x400_0000,
-            PhysAddr::new(BITMAP),
-        );
+        let layout =
+            hypernel::mbm::BitmapLayout::new(PhysAddr::new(0), 0x400_0000, PhysAddr::new(BITMAP));
         for update in layout.plan_update(PhysAddr::new(OBJ_PA), 8, true) {
             let cur = rig.machine.debug_read_phys(update.word);
-            rig.machine.debug_write_phys(update.word, update.apply_to(cur));
+            rig.machine
+                .debug_write_phys(update.word, update.apply_to(cur));
         }
         rig
     }
@@ -101,7 +101,12 @@ impl BareMonitorRig {
     }
 
     fn events(&self) -> u64 {
-        self.machine.bus().snooper::<Mbm>().unwrap().stats().events_matched
+        self.machine
+            .bus()
+            .snooper::<Mbm>()
+            .unwrap()
+            .stats()
+            .events_matched
     }
 }
 
@@ -126,7 +131,11 @@ fn bare_external_monitor_works_until_atra() {
     rig.machine
         .write_u64(VirtAddr::new(OBJ_VA), 0xBAD, &mut rig.hyp)
         .expect("redirected write");
-    assert_eq!(rig.events(), 1, "no event for the redirected write: bypassed");
+    assert_eq!(
+        rig.events(),
+        1,
+        "no event for the redirected write: bypassed"
+    );
     assert_eq!(rig.machine.debug_read_phys(PhysAddr::new(0x30_0000)), 0xBAD);
 }
 
@@ -136,15 +145,24 @@ fn hypernel_rejects_the_atra_remap() {
     {
         let (kernel, machine, hyp) = sys.parts();
         kernel
-            .arm_monitor_hooks(machine, hyp, MonitorHooks {
-                mode: MonitorMode::SensitiveFields,
-            })
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::SensitiveFields,
+                },
+            )
             .expect("arm");
     }
     let target = sys.kernel().task(Pid(1)).unwrap().cred;
     let (kernel, machine, hyp) = sys.parts();
-    let (outcome, _shadow) = kernel.attack_atra(machine, hyp, target).expect("attack runs");
-    assert!(!outcome.succeeded(), "Hypersec must reject the remap: {outcome}");
+    let (outcome, _shadow) = kernel
+        .attack_atra(machine, hyp, target)
+        .expect("attack runs");
+    assert!(
+        !outcome.succeeded(),
+        "Hypersec must reject the remap: {outcome}"
+    );
     assert!(
         outcome.to_string().contains("identity"),
         "rejected by the linear-identity rule: {outcome}"
@@ -162,7 +180,9 @@ fn native_kernel_performs_atra_freely() {
     let mut sys = System::boot(Mode::Native).expect("boot");
     let target = sys.kernel().task(Pid(1)).unwrap().cred;
     let (kernel, machine, hyp) = sys.parts();
-    let (outcome, shadow) = kernel.attack_atra(machine, hyp, target).expect("attack runs");
+    let (outcome, shadow) = kernel
+        .attack_atra(machine, hyp, target)
+        .expect("attack runs");
     assert!(outcome.succeeded(), "{outcome}");
     // The attacker now manipulates the shadow object through the
     // original virtual address.

@@ -113,7 +113,9 @@ fn benign_workloads_raise_no_detections() {
             kernel.sys_execve(machine, hyp, "/bin/sh").expect("exec");
             let path = format!("/tmp/benign{i}");
             kernel.sys_create(machine, hyp, &path).expect("create");
-            kernel.sys_write_file(machine, hyp, &path, 4096).expect("write");
+            kernel
+                .sys_write_file(machine, hyp, &path, 4096)
+                .expect("write");
             kernel.sys_stat(machine, hyp, &path).expect("stat");
             kernel.sys_unlink(machine, hyp, &path).expect("unlink");
             kernel.sys_exit(machine, hyp, child, Pid(1)).expect("exit");

@@ -126,17 +126,25 @@ fn long_mixed_workload_survives_every_mode() {
             kernel.sys_execve(machine, hyp, "/bin/sh").expect("exec");
             let p = format!("/tmp/soak{round}");
             kernel.sys_create(machine, hyp, &p).expect("create");
-            kernel.sys_write_file(machine, hyp, &p, 8192).expect("write");
+            kernel
+                .sys_write_file(machine, hyp, &p, 8192)
+                .expect("write");
             kernel.sys_read_file(machine, hyp, &p, 8192).expect("read");
             let region = kernel.sys_mmap(machine, hyp, 8).expect("mmap");
             kernel.user_touch(machine, hyp, region).expect("touch");
             kernel.sys_munmap(machine, hyp, region).expect("munmap");
-            kernel.sys_pipe_roundtrip(machine, hyp, child, 128).expect("pipe");
+            kernel
+                .sys_pipe_roundtrip(machine, hyp, child, 128)
+                .expect("pipe");
             kernel.sys_unlink(machine, hyp, &p).expect("unlink");
             kernel.sys_exit(machine, hyp, child, init).expect("exit");
             kernel.poll_irqs(machine, hyp).expect("irqs");
         }
-        assert_eq!(kernel.pids(), vec![init], "all children reaped under {mode}");
+        assert_eq!(
+            kernel.pids(),
+            vec![init],
+            "all children reaped under {mode}"
+        );
     }
 }
 
@@ -164,6 +172,10 @@ fn preemptive_scheduling_pays_ttbr_traps_under_hypernel() {
     while kernel.current() != hypernel::kernel::task::Pid(1) {
         sched.tick(kernel, machine, hyp).expect("tick");
     }
-    kernel.sys_exit(machine, hyp, a, hypernel::kernel::task::Pid(1)).expect("exit a");
-    kernel.sys_exit(machine, hyp, b, hypernel::kernel::task::Pid(1)).expect("exit b");
+    kernel
+        .sys_exit(machine, hyp, a, hypernel::kernel::task::Pid(1))
+        .expect("exit a");
+    kernel
+        .sys_exit(machine, hyp, b, hypernel::kernel::task::Pid(1))
+        .expect("exit b");
 }

@@ -21,7 +21,11 @@ fn violation_code(outcome: &hypernel::kernel::AttackOutcome) -> Option<String> {
 #[test]
 fn secure_region_mapping_is_denied_under_hypernel() {
     let mut sys = System::boot(Mode::Hypernel).expect("boot");
-    let root = sys.kernel().task(hypernel::kernel::task::Pid(1)).unwrap().user_root;
+    let root = sys
+        .kernel()
+        .task(hypernel::kernel::task::Pid(1))
+        .unwrap()
+        .user_root;
     let (kernel, machine, hyp) = sys.parts();
     let outcome = kernel.attack_map_secure_region(machine, hyp, root, 5);
     let why = violation_code(&outcome).expect("must be blocked");
@@ -34,10 +38,17 @@ fn secure_region_mapping_is_denied_under_hypernel() {
 #[test]
 fn secure_region_mapping_succeeds_natively() {
     let mut sys = System::boot(Mode::Native).expect("boot");
-    let root = sys.kernel().task(hypernel::kernel::task::Pid(1)).unwrap().user_root;
+    let root = sys
+        .kernel()
+        .task(hypernel::kernel::task::Pid(1))
+        .unwrap()
+        .user_root;
     let (kernel, machine, hyp) = sys.parts();
     let outcome = kernel.attack_map_secure_region(machine, hyp, root, 5);
-    assert!(outcome.succeeded(), "nothing stops a native kernel: {outcome}");
+    assert!(
+        outcome.succeeded(),
+        "nothing stops a native kernel: {outcome}"
+    );
 }
 
 #[test]
@@ -62,9 +73,14 @@ fn ttbr_redirect_is_denied_under_hypernel() {
     let mut sys = System::boot(Mode::Hypernel).expect("boot");
     let ttbr_before = sys.machine().read_sysreg(SysReg::TTBR0_EL1);
     let (kernel, machine, hyp) = sys.parts();
-    let outcome = kernel.attack_ttbr_redirect(machine, hyp).expect("attack runs");
+    let outcome = kernel
+        .attack_ttbr_redirect(machine, hyp)
+        .expect("attack runs");
     let why = violation_code(&outcome).expect("must be blocked");
-    assert!(why.contains(&format!("{}", codes::ROGUE_ROOT)), "got: {why}");
+    assert!(
+        why.contains(&format!("{}", codes::ROGUE_ROOT)),
+        "got: {why}"
+    );
     assert_eq!(
         sys.machine().read_sysreg(SysReg::TTBR0_EL1),
         ttbr_before,
@@ -175,12 +191,20 @@ fn dma_writes_are_at_least_bus_visible() {
     {
         let (kernel, machine, hyp) = sys.parts();
         kernel
-            .arm_monitor_hooks(machine, hyp, MonitorHooks {
-                mode: MonitorMode::SensitiveFields,
-            })
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::SensitiveFields,
+                },
+            )
             .expect("arm");
     }
-    let cred = sys.kernel().task(hypernel::kernel::task::Pid(1)).unwrap().cred;
+    let cred = sys
+        .kernel()
+        .task(hypernel::kernel::task::Pid(1))
+        .unwrap()
+        .cred;
     let euid_pa = cred.add(hypernel::kernel::kobj::CredField::Euid.byte_offset());
     let before = sys.mbm_stats().expect("mbm").events_matched;
     sys.parts().1.dma_write_u64(euid_pa, 0);
@@ -201,12 +225,20 @@ fn dma_tampering_with_hypersec_memory_raises_an_alarm() {
     );
     let stats = sys.mbm_stats().expect("mbm");
     assert_eq!(stats.secure_alarms, alarms_before + 1);
-    assert!(sys.machine().irq().is_pending(hypernel::machine::irq::IrqLine::MBM));
+    assert!(sys
+        .machine()
+        .irq()
+        .is_pending(hypernel::machine::irq::IrqLine::MBM));
     // Ordinary DMA elsewhere does not alarm.
-    sys.machine_mut().irq_mut().ack(hypernel::machine::irq::IrqLine::MBM);
+    sys.machine_mut()
+        .irq_mut()
+        .ack(hypernel::machine::irq::IrqLine::MBM);
     sys.machine_mut()
         .dma_write_u64(hypernel::machine::PhysAddr::new(0x40_0000), 1);
-    assert_eq!(sys.mbm_stats().expect("mbm").secure_alarms, alarms_before + 1);
+    assert_eq!(
+        sys.mbm_stats().expect("mbm").secure_alarms,
+        alarms_before + 1
+    );
 }
 
 #[test]

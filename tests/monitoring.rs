@@ -29,7 +29,9 @@ fn registration_pipeline_reaches_the_bitmap() {
     // Creating a file registers its dentry's sensitive runs (3 runs).
     {
         let (kernel, machine, hyp) = sys.parts();
-        kernel.sys_create(machine, hyp, "/tmp/watched").expect("create");
+        kernel
+            .sys_create(machine, hyp, "/tmp/watched")
+            .expect("create");
     }
     let hs = sys.hypersec().expect("hypersec");
     assert_eq!(
@@ -45,7 +47,9 @@ fn word_filtering_is_exact() {
     let mut sys = armed(MonitorMode::SensitiveFields);
     {
         let (kernel, machine, hyp) = sys.parts();
-        kernel.sys_create(machine, hyp, "/tmp/exact").expect("create");
+        kernel
+            .sys_create(machine, hyp, "/tmp/exact")
+            .expect("create");
     }
     sys.service_interrupts().expect("drain");
     sys.reset_mbm_stats();
@@ -86,7 +90,11 @@ fn monitored_pages_become_non_cacheable_and_back() {
     {
         let (_kernel, machine, hyp) = sys.parts();
         machine
-            .write_u64(layout::kva(dentry.add(DentryField::Time.byte_offset())), 1, hyp)
+            .write_u64(
+                layout::kva(dentry.add(DentryField::Time.byte_offset())),
+                1,
+                hyp,
+            )
             .expect("write");
     }
     assert!(sys.machine().bus().writes() > writes0, "bus-visible");
@@ -174,7 +182,9 @@ fn whole_object_monitoring_sees_the_churn_word_monitoring_skips() {
         for i in 0..20 {
             let p = format!("/tmp/churn{i}");
             kernel.sys_create(machine, hyp, &p).expect("create");
-            kernel.sys_write_file(machine, hyp, &p, 2048).expect("write");
+            kernel
+                .sys_write_file(machine, hyp, &p, 2048)
+                .expect("write");
             kernel.sys_stat(machine, hyp, &p).expect("stat");
         }
         sys.mbm_stats().unwrap().events_matched
@@ -186,7 +196,9 @@ fn whole_object_monitoring_sees_the_churn_word_monitoring_skips() {
         for i in 0..20 {
             let p = format!("/tmp/churn{i}");
             kernel.sys_create(machine, hyp, &p).expect("create");
-            kernel.sys_write_file(machine, hyp, &p, 2048).expect("write");
+            kernel
+                .sys_write_file(machine, hyp, &p, 2048)
+                .expect("write");
             kernel.sys_stat(machine, hyp, &p).expect("stat");
         }
         sys.mbm_stats().unwrap().events_matched
@@ -226,7 +238,9 @@ fn rename_uses_the_authorized_update_window() {
     let mut sys = armed(MonitorMode::SensitiveFields);
     {
         let (kernel, machine, hyp) = sys.parts();
-        kernel.sys_create(machine, hyp, "/tmp/mv-src").expect("create");
+        kernel
+            .sys_create(machine, hyp, "/tmp/mv-src")
+            .expect("create");
         kernel
             .sys_rename(machine, hyp, "/tmp/mv-src", "/tmp/mv-dst")
             .expect("rename");
@@ -280,9 +294,13 @@ fn ring_overflow_is_loud_not_silent() {
     {
         let (kernel, machine, hyp) = sys.parts();
         kernel
-            .arm_monitor_hooks(machine, hyp, MonitorHooks {
-                mode: MonitorMode::WholeObject,
-            })
+            .arm_monitor_hooks(
+                machine,
+                hyp,
+                MonitorHooks {
+                    mode: MonitorMode::WholeObject,
+                },
+            )
             .expect("arm");
         // Storm: many monitored writes with no interrupt servicing.
         for i in 0..30 {
@@ -291,12 +309,13 @@ fn ring_overflow_is_loud_not_silent() {
         }
     }
     let stats = sys.mbm_stats().expect("mbm");
-    assert!(stats.ring_overflows > 0, "storm must overflow an 8-entry ring");
+    assert!(
+        stats.ring_overflows > 0,
+        "storm must overflow an 8-entry ring"
+    );
     let hs = sys.hypersec().unwrap().stats();
-    let accounted = stats.ring_overflows
-        + hs.events_dispatched
-        + hs.stray_events
-        + ring_backlog(&mut sys);
+    let accounted =
+        stats.ring_overflows + hs.events_dispatched + hs.stray_events + ring_backlog(&mut sys);
     assert_eq!(
         stats.events_matched, accounted,
         "every matched event is accounted: delivered, queued, or counted lost"
@@ -356,6 +375,10 @@ fn custom_whitelist_app_rides_the_same_pipeline() {
     sys.service_interrupts().expect("drain");
     let detections = sys.hypersec().unwrap().detections();
     let guard_hits: Vec<_> = detections.iter().filter(|d| d.sid == GUARD_SID).collect();
-    assert_eq!(guard_hits.len(), 1, "exactly the forged write: {detections:?}");
+    assert_eq!(
+        guard_hits.len(),
+        1,
+        "exactly the forged write: {detections:?}"
+    );
     assert!(guard_hits[0].reason.contains("whitelist"));
 }

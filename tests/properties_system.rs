@@ -48,20 +48,26 @@ fn run(sys: &mut System, ops: &[Op]) {
             Op::FileCycle { id } => {
                 let p = format!("/tmp/sysprop{id}");
                 kernel.sys_create(machine, hyp, &p).expect("create");
-                kernel.sys_write_file(machine, hyp, &p, 1024).expect("write");
+                kernel
+                    .sys_write_file(machine, hyp, &p, 1024)
+                    .expect("write");
                 kernel.sys_unlink(machine, hyp, &p).expect("unlink");
             }
             Op::Stat => {
                 kernel.sys_stat(machine, hyp, "/bin/sh").expect("stat");
             }
             Op::Mmap { pages } => {
-                let base = kernel.sys_mmap(machine, hyp, *pages as usize).expect("mmap");
+                let base = kernel
+                    .sys_mmap(machine, hyp, *pages as usize)
+                    .expect("mmap");
                 kernel.user_touch(machine, hyp, base).expect("touch");
                 kernel.sys_munmap(machine, hyp, base).expect("munmap");
             }
             Op::Pipe => {
                 let peer = kernel.sys_fork(machine, hyp).expect("fork");
-                kernel.sys_pipe_roundtrip(machine, hyp, peer, 128).expect("pipe");
+                kernel
+                    .sys_pipe_roundtrip(machine, hyp, peer, 128)
+                    .expect("pipe");
                 kernel.sys_exit(machine, hyp, peer, Pid(1)).expect("exit");
             }
         }

@@ -1,0 +1,105 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset this workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. There is no statistical analysis: each benchmark runs a short
+//! warm-up followed by a fixed number of timed iterations and reports the
+//! mean wall-clock time per iteration.
+
+use std::time::Instant;
+
+const WARMUP_ITERS: u64 = 100;
+const MEASURE_ITERS: u64 = 2_000;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self }
+    }
+}
+
+/// A named collection of benchmarks (see [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` and prints the mean per-iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total_iters: 0,
+            elapsed_nanos: 0,
+        };
+        f(&mut bencher);
+        if bencher.total_iters == 0 {
+            println!("  {id}: no iterations recorded");
+        } else {
+            let per_iter = bencher.elapsed_nanos / bencher.total_iters as u128;
+            println!("  {id}: {per_iter} ns/iter ({} iters)", bencher.total_iters);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to the closure given to `bench_function`.
+pub struct Bencher {
+    total_iters: u64,
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing the measured iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_nanos += start.elapsed().as_nanos();
+        self.total_iters += MEASURE_ITERS;
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work; benches here use
+/// `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runner invoked by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,101 @@
+//! Strategies for collections (`prop::collection::{vec, hash_set}`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use core::ops::Range;
+use std::collections::HashSet;
+
+/// Number of elements a collection strategy may produce. Convertible
+/// from an exact `usize` or a half-open `Range<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>`. The size bound is an upper limit:
+/// duplicate draws collapse, so the set may come out smaller (matching
+/// real proptest's behavior for narrow element domains).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + std::hash::Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + std::hash::Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.draw(rng);
+        let mut out = HashSet::with_capacity(n);
+        // Bounded attempts so a tiny element domain cannot loop forever.
+        for _ in 0..n.saturating_mul(4) {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
