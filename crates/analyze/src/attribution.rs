@@ -1,0 +1,243 @@
+//! Cycle attribution: where did the run's cycles go?
+//!
+//! The span tree gives every span a total duration and a self duration
+//! (total minus nested children). Aggregating self time by
+//! `(track, span kind)` answers the cost-model question directly: of the
+//! cycles a `fork` spends, how many are the EL2 hypercall checks
+//! themselves versus the stage-2-equivalent leaf walks nested inside
+//! them? The collapsed-stack export feeds the same data to standard
+//! flamegraph tooling (`flamegraph.pl`, speedscope, inferno).
+
+use hypernel_telemetry::{Event, SpanKind, SpanNode, SpanTree, Track};
+use std::collections::BTreeMap;
+
+/// Aggregated cycle accounting for one `(track, span kind)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttributionRow {
+    /// Track the spans ran on.
+    pub track: Track,
+    /// Span kind.
+    pub kind: SpanKind,
+    /// Completed + open spans aggregated.
+    pub count: u64,
+    /// Sum of total durations (including nested children).
+    pub total_cycles: u64,
+    /// Sum of self durations (excluding nested children).
+    pub self_cycles: u64,
+    /// Largest single total duration.
+    pub max_cycles: u64,
+    /// Spans of this kind that never closed.
+    pub open: u64,
+}
+
+/// The full attribution result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Attribution {
+    /// One row per `(track, span kind)` seen, sorted by self cycles,
+    /// largest first.
+    pub rows: Vec<AttributionRow>,
+    /// Cycles covered by top-level spans (the "accounted" wall time).
+    pub accounted_cycles: u64,
+    /// Last cycle stamp in the trace.
+    pub trace_end_cycles: u64,
+    /// Tree-building diagnostics, forwarded for honest reporting.
+    pub unmatched_ends: u64,
+    /// Spans closed implicitly by an outer end.
+    pub implicitly_closed: u64,
+}
+
+/// Builds the attribution from a raw event stream.
+pub fn attribute(events: &[Event]) -> Attribution {
+    let tree = SpanTree::build(events);
+    attribute_tree(&tree)
+}
+
+/// Builds the attribution from an already-built span tree.
+pub fn attribute_tree(tree: &SpanTree) -> Attribution {
+    let close = tree.last_cycles;
+    let mut map: BTreeMap<(Track, SpanKind), AttributionRow> = BTreeMap::new();
+    tree.walk(|node, _| {
+        let row = map
+            .entry((node.track, node.kind))
+            .or_insert(AttributionRow {
+                track: node.track,
+                kind: node.kind,
+                count: 0,
+                total_cycles: 0,
+                self_cycles: 0,
+                max_cycles: 0,
+                open: 0,
+            });
+        let total = node.total_cycles(close);
+        row.count += 1;
+        row.total_cycles += total;
+        row.self_cycles += node.self_cycles(close);
+        row.max_cycles = row.max_cycles.max(total);
+        if node.end.is_none() {
+            row.open += 1;
+        }
+    });
+    let mut rows: Vec<AttributionRow> = map.into_values().collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.self_cycles));
+    Attribution {
+        rows,
+        accounted_cycles: tree.roots.iter().map(|r| r.total_cycles(close)).sum(),
+        trace_end_cycles: close,
+        unmatched_ends: tree.unmatched_ends,
+        implicitly_closed: tree.implicitly_closed,
+    }
+}
+
+impl Attribution {
+    /// Renders the sorted attribution table.
+    pub fn render_table(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<5} {:>8} {:>12} {:>12} {:>7} {:>10}\n",
+            "span", "track", "count", "self cyc", "total cyc", "self%", "max cyc"
+        ));
+        let denom = self.accounted_cycles.max(1) as f64;
+        for row in self.rows.iter().take(top.max(1)) {
+            out.push_str(&format!(
+                "{:<18} {:<5} {:>8} {:>12} {:>12} {:>6.1}% {:>10}{}\n",
+                row.kind.name(),
+                row.track.name(),
+                row.count,
+                row.self_cycles,
+                row.total_cycles,
+                row.self_cycles as f64 / denom * 100.0,
+                row.max_cycles,
+                if row.open > 0 {
+                    format!("  ({} open)", row.open)
+                } else {
+                    String::new()
+                },
+            ));
+        }
+        let attributed: u64 = self.rows.iter().map(|r| r.self_cycles).sum();
+        out.push_str(&format!(
+            "accounted {} cycles in top-level spans ({} self-attributed); trace ends at cycle {}\n",
+            self.accounted_cycles, attributed, self.trace_end_cycles
+        ));
+        if self.unmatched_ends > 0 || self.implicitly_closed > 0 {
+            out.push_str(&format!(
+                "warning: {} unmatched end(s), {} span(s) implicitly closed\n",
+                self.unmatched_ends, self.implicitly_closed
+            ));
+        }
+        out
+    }
+}
+
+/// Renders the span tree as collapsed stacks: one line per unique root→
+/// leaf path, `track:span;track:span… <self cycles>`, the input format
+/// of `flamegraph.pl` and compatible viewers.
+pub fn collapsed_stacks(events: &[Event]) -> String {
+    let tree = SpanTree::build(events);
+    let close = tree.last_cycles;
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    fn go(node: &SpanNode, prefix: &str, close: u64, stacks: &mut BTreeMap<String, u64>) {
+        let frame = format!("{}:{}", node.track.name(), node.kind.name());
+        let path = if prefix.is_empty() {
+            frame
+        } else {
+            format!("{prefix};{frame}")
+        };
+        *stacks.entry(path.clone()).or_insert(0) += node.self_cycles(close);
+        for child in &node.children {
+            go(child, &path, close, stacks);
+        }
+    }
+    for root in &tree.roots {
+        go(root, "", close, &mut stacks);
+    }
+    let mut out = String::new();
+    for (path, cycles) in stacks {
+        out.push_str(&format!("{path} {cycles}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypernel_telemetry::{PointKind, Track};
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::begin(0, Track::El1, SpanKind::Syscall, 57),
+            Event::mark(2, Track::El1, PointKind::Hypercall, 3, 0),
+            Event::begin(10, Track::El2, SpanKind::HypercallVerify, 3),
+            Event::begin(12, Track::El2, SpanKind::Stage2Check, 0),
+            Event::end(20, Track::El2, SpanKind::Stage2Check, 0),
+            Event::end(30, Track::El2, SpanKind::HypercallVerify, 0),
+            Event::end(100, Track::El1, SpanKind::Syscall, 0),
+            Event::begin(200, Track::El1, SpanKind::Syscall, 57),
+            Event::end(260, Track::El1, SpanKind::Syscall, 0),
+        ]
+    }
+
+    #[test]
+    fn self_cycles_exclude_children() {
+        let attr = attribute(&sample());
+        let find = |kind: SpanKind| attr.rows.iter().find(|r| r.kind == kind).unwrap();
+        let syscall = find(SpanKind::Syscall);
+        assert_eq!(syscall.count, 2);
+        assert_eq!(syscall.total_cycles, 100 + 60);
+        // First syscall: 100 total − 20 nested verify = 80 self.
+        assert_eq!(syscall.self_cycles, 80 + 60);
+        let verify = find(SpanKind::HypercallVerify);
+        assert_eq!(verify.total_cycles, 20);
+        assert_eq!(verify.self_cycles, 12); // 20 − 8 nested check
+        let check = find(SpanKind::Stage2Check);
+        assert_eq!(check.self_cycles, 8);
+        // Self times of all rows partition the accounted wall time.
+        let self_sum: u64 = attr.rows.iter().map(|r| r.self_cycles).sum();
+        assert_eq!(self_sum, attr.accounted_cycles);
+        assert_eq!(attr.accounted_cycles, 160);
+    }
+
+    #[test]
+    fn rows_sort_by_self_cycles_desc() {
+        let attr = attribute(&sample());
+        let selfs: Vec<u64> = attr.rows.iter().map(|r| r.self_cycles).collect();
+        let mut sorted = selfs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(selfs, sorted);
+        assert_eq!(attr.rows[0].kind, SpanKind::Syscall);
+    }
+
+    #[test]
+    fn collapsed_stacks_are_flamegraph_shaped() {
+        let text = collapsed_stacks(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"el1:syscall 140"));
+        assert!(lines.contains(&"el1:syscall;el2:hypercall-verify 12"));
+        assert!(lines.contains(&"el1:syscall;el2:hypercall-verify;el2:stage2-check 8"));
+        // Every line is "path space number".
+        for line in lines {
+            let (path, n) = line.rsplit_once(' ').expect("space separator");
+            assert!(!path.is_empty());
+            n.parse::<u64>().expect("numeric self cycles");
+        }
+    }
+
+    #[test]
+    fn table_renders_percentages_and_warnings() {
+        let mut events = sample();
+        events.push(Event::end(300, Track::El2, SpanKind::MbmDrain, 0)); // unmatched
+        let attr = attribute(&events);
+        let table = attr.render_table(10);
+        assert!(table.contains("syscall"));
+        assert!(table.contains("unmatched end(s)"));
+        assert!(table.contains('%'));
+    }
+
+    #[test]
+    fn empty_trace_attributes_nothing() {
+        let attr = attribute(&[]);
+        assert!(attr.rows.is_empty());
+        assert_eq!(attr.accounted_cycles, 0);
+        assert_eq!(collapsed_stacks(&[]), "");
+    }
+}

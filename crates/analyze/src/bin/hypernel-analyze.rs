@@ -1,0 +1,345 @@
+//! `hypernel-analyze` — trace analytics and perf-regression CLI.
+//!
+//! ```text
+//! hypernel-analyze attribution <trace.jsonl> [--collapsed <out>] [--top N]
+//! hypernel-analyze forensics   <trace.jsonl> [--json]
+//! hypernel-analyze compare     <baseline.json> <current.json>
+//!                              [--threshold 0.05] [--json]
+//! hypernel-analyze bench       --dir <summaries> [--out <file> | --out-dir <dir>]
+//!                              [--baseline <trajectory.json>] [--threshold 0.10]
+//! hypernel-analyze selftest
+//! ```
+//!
+//! `compare` and `bench --baseline` exit nonzero when a cost metric
+//! regressed beyond the threshold, which is what the CI perf gate keys
+//! on.
+
+use hypernel_analyze::attribution::{attribute, collapsed_stacks};
+use hypernel_analyze::bench::{read_summaries_dir, today_utc, trajectory_json};
+use hypernel_analyze::compare::compare_reports;
+use hypernel_analyze::forensics::{incidents_to_json, reconstruct_incidents, render_text};
+use hypernel_telemetry::json::Json;
+use hypernel_telemetry::reader::read_jsonl_lossy;
+use hypernel_telemetry::Event;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hypernel-analyze — trace analytics for the Hypernel simulation
+
+USAGE:
+  hypernel-analyze attribution <trace.jsonl> [--collapsed <out>] [--top N]
+      Per-span self-vs-nested cycle accounting; optionally writes
+      collapsed stacks for flamegraph tooling.
+  hypernel-analyze forensics <trace.jsonl> [--json]
+      Causal timeline of every MBM incident with detection latency.
+  hypernel-analyze compare <baseline.json> <current.json> [--threshold F] [--json]
+      Diffs two run reports; exits 1 when a cost metric regressed
+      beyond the threshold (default 0.05 = 5%).
+  hypernel-analyze bench --dir <summaries> [--out <file> | --out-dir <dir>]
+                         [--baseline <trajectory.json>] [--threshold F]
+      Aggregates bench summaries into a BENCH_<date>.json trajectory;
+      with --baseline also runs the regression gate (default 0.10).
+  hypernel-analyze selftest
+      End-to-end pipeline check over a synthetic trace; exits nonzero
+      on any inconsistency.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "attribution" => cmd_attribution(rest),
+        "forensics" => cmd_forensics(rest),
+        "compare" => cmd_compare(rest),
+        "bench" => cmd_bench(rest),
+        "selftest" => cmd_selftest(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("hypernel-analyze: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Named `--flag value` options pulled out of an argument list.
+type ParsedOptions = Vec<(String, String)>;
+
+/// Pulls `--flag value` out of an argument list; the remainder are
+/// positionals.
+fn split_args(rest: &[String], flags: &[&str]) -> Result<(Vec<String>, ParsedOptions), String> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if !flags.contains(&name) {
+                return Err(format!("unknown option `--{name}`"));
+            }
+            let value = iter
+                .next()
+                .cloned()
+                .ok_or_else(|| format!("option `--{name}` needs a value"))?;
+            options.push((name.to_string(), value));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, options))
+}
+
+fn opt<'a>(options: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    options
+        .iter()
+        .rev()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn has_flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn load_trace(path: &str) -> Result<Vec<Event>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    let trace = read_jsonl_lossy(&text);
+    if trace.skipped > 0 {
+        eprintln!(
+            "warning: skipped {} malformed line(s) in `{path}`{}",
+            trace.skipped,
+            trace
+                .skip_details
+                .first()
+                .map(|(line, why)| format!(" (first at line {line}: {why})"))
+                .unwrap_or_default()
+        );
+    }
+    if trace.events.is_empty() {
+        return Err(format!("`{path}` contains no parseable telemetry events"));
+    }
+    Ok(trace.events)
+}
+
+fn load_report(path: &str) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read report `{path}`: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))
+}
+
+fn cmd_attribution(rest: &[String]) -> Result<ExitCode, String> {
+    let rest: Vec<String> = rest.iter().filter(|a| *a != "--json").cloned().collect();
+    let (positional, options) = split_args(&rest, &["collapsed", "top"])?;
+    let [trace_path] = positional.as_slice() else {
+        return Err("usage: attribution <trace.jsonl> [--collapsed <out>] [--top N]".into());
+    };
+    let top = match opt(&options, "top") {
+        Some(n) => n
+            .parse::<usize>()
+            .map_err(|_| format!("--top wants a number, got `{n}`"))?,
+        None => 20,
+    };
+    let events = load_trace(trace_path)?;
+    let attribution = attribute(&events);
+    print!("{}", attribution.render_table(top));
+    if let Some(out) = opt(&options, "collapsed") {
+        let stacks = collapsed_stacks(&events);
+        std::fs::write(out, &stacks).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        println!(
+            "wrote {} collapsed stack(s) to {out}",
+            stacks.lines().count()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_forensics(rest: &[String]) -> Result<ExitCode, String> {
+    let json = has_flag(rest, "--json");
+    let positional: Vec<&String> = rest.iter().filter(|a| *a != "--json").collect();
+    let [trace_path] = positional.as_slice() else {
+        return Err("usage: forensics <trace.jsonl> [--json]".into());
+    };
+    let events = load_trace(trace_path)?;
+    let incidents = reconstruct_incidents(&events);
+    if json {
+        println!("{}", incidents_to_json(&incidents));
+    } else {
+        print!("{}", render_text(&incidents));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(rest: &[String]) -> Result<ExitCode, String> {
+    let json = has_flag(rest, "--json");
+    let rest: Vec<String> = rest.iter().filter(|a| *a != "--json").cloned().collect();
+    let (positional, options) = split_args(&rest, &["threshold"])?;
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err(
+            "usage: compare <baseline.json> <current.json> [--threshold F] [--json]".into(),
+        );
+    };
+    let threshold = parse_threshold(opt(&options, "threshold"), 0.05)?;
+    let baseline = load_report(baseline_path)?;
+    let current = load_report(current_path)?;
+    let comparison = compare_reports(&baseline, &current, threshold);
+    if json {
+        println!("{}", comparison.to_json());
+    } else {
+        print!("{}", comparison.render_text());
+    }
+    Ok(if comparison.has_regressions() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn parse_threshold(raw: Option<&str>, default: f64) -> Result<f64, String> {
+    match raw {
+        None => Ok(default),
+        Some(text) => text
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("--threshold wants a non-negative number, got `{text}`")),
+    }
+}
+
+fn cmd_bench(rest: &[String]) -> Result<ExitCode, String> {
+    let (positional, options) =
+        split_args(rest, &["dir", "out", "out-dir", "baseline", "threshold"])?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]));
+    }
+    let dir = opt(&options, "dir").ok_or("bench needs --dir <summaries>")?;
+    let (entries, skipped) = read_summaries_dir(Path::new(dir))
+        .map_err(|e| format!("cannot read summaries dir `{dir}`: {e}"))?;
+    for name in &skipped {
+        eprintln!("warning: `{dir}/{name}` is not a bench summary, skipped");
+    }
+    if entries.is_empty() {
+        return Err(format!("no bench summaries found in `{dir}`"));
+    }
+    let date = today_utc();
+    let trajectory = trajectory_json(&entries, &date);
+    let out_path: PathBuf = match (opt(&options, "out"), opt(&options, "out-dir")) {
+        (Some(out), _) => PathBuf::from(out),
+        (None, Some(out_dir)) => Path::new(out_dir).join(format!("BENCH_{date}.json")),
+        (None, None) => PathBuf::from(format!("BENCH_{date}.json")),
+    };
+    if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+    }
+    std::fs::write(&out_path, format!("{trajectory}\n"))
+        .map_err(|e| format!("cannot write `{}`: {e}", out_path.display()))?;
+    println!(
+        "aggregated {} bench(es) into {}",
+        entries.len(),
+        out_path.display()
+    );
+    if let Some(baseline_path) = opt(&options, "baseline") {
+        let threshold = parse_threshold(opt(&options, "threshold"), 0.10)?;
+        let baseline = load_report(baseline_path)?;
+        let comparison = compare_reports(&baseline, &trajectory, threshold);
+        print!("{}", comparison.render_text());
+        if comparison.has_regressions() {
+            eprintln!("perf gate: FAIL (regressions vs `{baseline_path}`)");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("perf gate: ok vs `{baseline_path}`");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// A synthetic end-to-end run of the whole pipeline; used as a CI
+/// health gate that needs no pre-existing artifacts.
+fn cmd_selftest() -> Result<ExitCode, String> {
+    use hypernel_telemetry::{PointKind, SpanKind, Track};
+
+    // A tiny but representative trace: one syscall with a nested EL2
+    // verify, and one full MBM incident trail.
+    let events = vec![
+        Event::begin(0, Track::El1, SpanKind::Syscall, 57),
+        Event::begin(10, Track::El2, SpanKind::HypercallVerify, 3),
+        Event::end(30, Track::El2, SpanKind::HypercallVerify, 0),
+        Event::end(50, Track::El1, SpanKind::Syscall, 0),
+        Event::mark(100, Track::Mbm, PointKind::MbmFifoPush, 0xdead_b000, 42),
+        Event::begin(110, Track::Mbm, SpanKind::MbmDrain, 1),
+        Event::mark(112, Track::Mbm, PointKind::MbmWatchHit, 0xdead_b000, 42),
+        Event::end(118, Track::Mbm, SpanKind::MbmDrain, 1),
+        Event::mark(120, Track::Mbm, PointKind::IrqRaised, 5, 0xdead_b000),
+        Event::begin(130, Track::El1, SpanKind::MbmIrqService, 5),
+        Event::begin(140, Track::El2, SpanKind::HypercallVerify, 9),
+        Event::end(150, Track::El2, SpanKind::HypercallVerify, 0),
+        Event::end(160, Track::El1, SpanKind::MbmIrqService, 0),
+    ];
+    let mut jsonl = String::new();
+    for event in &events {
+        jsonl.push_str(&hypernel_telemetry::export::event_to_json(event).to_string());
+        jsonl.push('\n');
+    }
+    jsonl.push_str("{ this line is corrupted\n");
+
+    let trace = read_jsonl_lossy(&jsonl);
+    check(trace.skipped == 1, "lossy reader should skip 1 line")?;
+    check(
+        trace.events.len() == events.len(),
+        "lossy reader should keep all valid events",
+    )?;
+
+    let attribution = attribute(&trace.events);
+    check(!attribution.rows.is_empty(), "attribution produced rows")?;
+    let self_sum: u64 = attribution.rows.iter().map(|r| r.self_cycles).sum();
+    check(
+        self_sum == attribution.accounted_cycles,
+        "self cycles partition accounted time",
+    )?;
+    check(
+        collapsed_stacks(&trace.events).lines().all(|l| {
+            l.rsplit_once(' ')
+                .is_some_and(|(_, n)| n.parse::<u64>().is_ok())
+        }),
+        "collapsed stacks are flamegraph-shaped",
+    )?;
+
+    let incidents = reconstruct_incidents(&trace.events);
+    check(incidents.len() == 1, "exactly one MBM incident")?;
+    check(
+        incidents[0].detection_latency() == Some(60),
+        "detection latency write@100 → service-end@160",
+    )?;
+
+    let report = Json::parse(
+        r#"{"schema":1,"kind":"hypernel-run-report","cycles":160,
+            "counters":{"hypercalls":2}}"#,
+    )
+    .map_err(|e| e.to_string())?;
+    let comparison = compare_reports(&report, &report, 0.05);
+    check(
+        !comparison.has_regressions() && comparison.changed.is_empty(),
+        "self-compare is clean",
+    )?;
+
+    println!("selftest ok: reader, attribution, forensics, compare all consistent");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn check(condition: bool, what: &str) -> Result<(), String> {
+    if condition {
+        Ok(())
+    } else {
+        Err(format!("selftest failed: {what}"))
+    }
+}

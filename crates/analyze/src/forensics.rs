@@ -1,0 +1,518 @@
+//! Attack forensics: causal reconstruction of MBM incidents.
+//!
+//! Each detection in the simulation leaves a fixed trail in the event
+//! stream: the offending store is captured into the MBM FIFO
+//! (`mbm-fifo-push`), the decision unit matches it against the watch
+//! bitmap during a drain (`mbm-watch-hit` inside an `mbm-drain` span),
+//! the IRQ line is asserted (`irq-raised`), and the kernel eventually
+//! services it (`mbm-irq-service` span wrapping the `IrqNotify`
+//! hypercall that hands the event to EL2). This module stitches those
+//! back into per-incident timelines with an end-to-end detection
+//! latency — the measured counterpart of the paper's Table 2.
+//!
+//! Secure-guard alarms (bus/DMA writes into Hypersec's private memory,
+//! the §8 extension) raise the IRQ without a watch-bitmap hit; they are
+//! reconstructed as [`IncidentKind::SecureGuardAlarm`].
+
+use crate::CYCLES_PER_US;
+use hypernel_telemetry::json::Json;
+use hypernel_telemetry::{Event, EventKind, PointKind, SpanKind, Track};
+
+/// What triggered the incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// The decision unit matched a write against the watch bitmap.
+    WatchHit,
+    /// A bus write landed in the guarded (Hypersec-private) region.
+    SecureGuardAlarm,
+}
+
+impl IncidentKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IncidentKind::WatchHit => "watch-hit",
+            IncidentKind::SecureGuardAlarm => "secure-guard-alarm",
+        }
+    }
+}
+
+/// The kernel/EL2 service window an incident was handled in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceWindow {
+    /// `mbm-irq-service` begin cycle.
+    pub begin: u64,
+    /// `mbm-irq-service` end cycle (`None`: trace ended mid-service).
+    pub end: Option<u64>,
+    /// IRQ line number (the span's begin payload).
+    pub line: u64,
+    /// Whether the service path reported an error (end payload ≠ 0).
+    pub errored: bool,
+    /// EL2 `hypercall-verify` spans opened inside the window (the
+    /// `IrqNotify` forwarding and any nested checks).
+    pub el2_verifies: u64,
+}
+
+/// One reconstructed incident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// Position in detection order, starting at 1.
+    pub seq: usize,
+    /// Trigger class.
+    pub kind: IncidentKind,
+    /// Physical address of the watched word (or guarded location).
+    pub addr: u64,
+    /// Value written, when the FIFO captured it.
+    pub value: Option<u64>,
+    /// Cycle of the offending store's FIFO capture.
+    pub write_cycles: Option<u64>,
+    /// Cycle the decision unit matched (watch-hit incidents).
+    pub watch_cycles: Option<u64>,
+    /// Cycle the IRQ line was asserted.
+    pub irq_cycles: Option<u64>,
+    /// IRQ line number.
+    pub irq_line: Option<u64>,
+    /// Begin cycle of the `mbm-drain` span the match happened in.
+    pub drain_begin: Option<u64>,
+    /// Innermost non-MBM span open when the incident fired:
+    /// `(track, kind, begin payload)` — i.e. who the machine was
+    /// running when the offending write hit the bus.
+    pub context: Option<(Track, SpanKind, u64)>,
+    /// The service window that handled it, if the kernel got there.
+    pub service: Option<ServiceWindow>,
+}
+
+impl Incident {
+    /// The earliest cycle evidence of the incident (FIFO capture if
+    /// seen, else the match, else the IRQ).
+    pub fn origin_cycles(&self) -> u64 {
+        self.write_cycles
+            .or(self.watch_cycles)
+            .or(self.irq_cycles)
+            .unwrap_or(0)
+    }
+
+    /// End-to-end detection latency: offending write → kernel/EL2
+    /// service complete. `None` while the service never finished (or
+    /// never ran) inside the trace.
+    pub fn detection_latency(&self) -> Option<u64> {
+        let end = self.service.as_ref()?.end?;
+        Some(end.saturating_sub(self.origin_cycles()))
+    }
+}
+
+/// A lightweight open-span stack frame.
+#[derive(Clone, Copy)]
+struct Frame {
+    track: Track,
+    kind: SpanKind,
+    arg: u64,
+}
+
+/// Reconstructs every incident in an event stream, in trigger order.
+pub fn reconstruct_incidents(events: &[Event]) -> Vec<Incident> {
+    let mut incidents: Vec<Incident> = Vec::new();
+    let mut services: Vec<ServiceWindow> = Vec::new();
+    // Innermost-open service index into `services` (they never nest).
+    let mut open_service: Option<usize> = None;
+    let mut stack: Vec<Frame> = Vec::new();
+    // Last FIFO capture per address; value + cycle.
+    let mut last_push: std::collections::BTreeMap<u64, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut open_drain: Option<u64> = None;
+
+    let context_of = |stack: &[Frame]| {
+        stack
+            .iter()
+            .rev()
+            .find(|f| f.track != Track::Mbm)
+            .map(|f| (f.track, f.kind, f.arg))
+    };
+
+    for event in events {
+        match event.kind {
+            EventKind::Begin(kind, arg) => {
+                if kind == SpanKind::MbmDrain {
+                    open_drain = Some(event.cycles);
+                }
+                if kind == SpanKind::MbmIrqService {
+                    services.push(ServiceWindow {
+                        begin: event.cycles,
+                        end: None,
+                        line: arg,
+                        errored: false,
+                        el2_verifies: 0,
+                    });
+                    open_service = Some(services.len() - 1);
+                }
+                if kind == SpanKind::HypercallVerify && event.track == Track::El2 {
+                    if let Some(idx) = open_service {
+                        services[idx].el2_verifies += 1;
+                    }
+                }
+                stack.push(Frame {
+                    track: event.track,
+                    kind,
+                    arg,
+                });
+            }
+            EventKind::End(kind, arg) => {
+                if kind == SpanKind::MbmDrain {
+                    open_drain = None;
+                }
+                if kind == SpanKind::MbmIrqService {
+                    if let Some(idx) = open_service.take() {
+                        services[idx].end = Some(event.cycles);
+                        services[idx].errored = arg != 0;
+                    }
+                }
+                // Tolerant pop, matching the SpanTree builder.
+                if let Some(pos) = stack
+                    .iter()
+                    .rposition(|f| f.track == event.track && f.kind == kind)
+                {
+                    stack.truncate(pos);
+                }
+            }
+            EventKind::Mark(point, a, b) => match point {
+                PointKind::MbmFifoPush => {
+                    last_push.insert(a, (b, event.cycles));
+                }
+                PointKind::MbmWatchHit => {
+                    let push = last_push.get(&a).copied();
+                    incidents.push(Incident {
+                        seq: incidents.len() + 1,
+                        kind: IncidentKind::WatchHit,
+                        addr: a,
+                        value: Some(b),
+                        write_cycles: push.map(|(_, c)| c),
+                        watch_cycles: Some(event.cycles),
+                        irq_cycles: None,
+                        irq_line: None,
+                        drain_begin: open_drain,
+                        context: context_of(&stack),
+                        service: None,
+                    });
+                }
+                PointKind::IrqRaised => {
+                    // Attach to the newest incident at this address still
+                    // awaiting its IRQ; otherwise it is a guard alarm.
+                    if let Some(incident) = incidents
+                        .iter_mut()
+                        .rev()
+                        .find(|i| i.addr == b && i.irq_cycles.is_none())
+                    {
+                        incident.irq_cycles = Some(event.cycles);
+                        incident.irq_line = Some(a);
+                    } else {
+                        incidents.push(Incident {
+                            seq: incidents.len() + 1,
+                            kind: IncidentKind::SecureGuardAlarm,
+                            addr: b,
+                            value: None,
+                            write_cycles: None,
+                            watch_cycles: None,
+                            irq_cycles: Some(event.cycles),
+                            irq_line: Some(a),
+                            drain_begin: open_drain,
+                            context: context_of(&stack),
+                            service: None,
+                        });
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+
+    // Assign each incident the first service window that starts at or
+    // after its trigger (a single drain batch can service several).
+    for incident in &mut incidents {
+        let trigger = incident
+            .watch_cycles
+            .or(incident.irq_cycles)
+            .unwrap_or(incident.origin_cycles());
+        incident.service = services.iter().find(|s| s.begin >= trigger).copied();
+    }
+    incidents
+}
+
+fn us(cycles: u64) -> f64 {
+    cycles as f64 / CYCLES_PER_US
+}
+
+/// Renders incidents as human-readable per-incident timelines plus a
+/// Table 2-shaped summary footer.
+pub fn render_text(incidents: &[Incident]) -> String {
+    let mut out = String::new();
+    if incidents.is_empty() {
+        out.push_str("no MBM incidents in this trace\n");
+        return out;
+    }
+    for i in incidents {
+        out.push_str(&format!(
+            "incident #{} [{}] watched word {:#012x}{}\n",
+            i.seq,
+            i.kind.name(),
+            i.addr,
+            i.value
+                .map(|v| format!(" <- value {v:#x}"))
+                .unwrap_or_default(),
+        ));
+        if let Some((track, kind, arg)) = i.context {
+            out.push_str(&format!(
+                "  during: {}:{} (arg {:#x})\n",
+                track.name(),
+                kind.name(),
+                arg
+            ));
+        }
+        if let Some(c) = i.write_cycles {
+            out.push_str(&format!("  cycle {c:>10}  write captured into MBM FIFO\n"));
+        }
+        if let Some(c) = i.drain_begin {
+            out.push_str(&format!("  cycle {c:>10}  FIFO drain began\n"));
+        }
+        if let Some(c) = i.watch_cycles {
+            out.push_str(&format!(
+                "  cycle {c:>10}  decision unit matched the watch bitmap\n"
+            ));
+        }
+        if let (Some(c), Some(line)) = (i.irq_cycles, i.irq_line) {
+            out.push_str(&format!("  cycle {c:>10}  IRQ line {line} asserted\n"));
+        }
+        match &i.service {
+            Some(s) => {
+                out.push_str(&format!(
+                    "  cycle {:>10}  kernel mbm-irq-service began (line {})\n",
+                    s.begin, s.line
+                ));
+                match s.end {
+                    Some(end) => {
+                        out.push_str(&format!(
+                        "  cycle {end:>10}  service complete: {} ({} EL2 verification span(s))\n",
+                        if s.errored { "ERRORED" } else { "verdict delivered" },
+                        s.el2_verifies
+                    ))
+                    }
+                    None => out.push_str("  service still open at end of trace\n"),
+                }
+            }
+            None => out.push_str("  never serviced within this trace\n"),
+        }
+        match i.detection_latency() {
+            Some(lat) => out.push_str(&format!(
+                "  detection latency: {lat} cycles ({:.2} us)\n",
+                us(lat)
+            )),
+            None => out.push_str("  detection latency: pending (no completed service)\n"),
+        }
+        out.push('\n');
+    }
+    let latencies: Vec<u64> = incidents
+        .iter()
+        .filter_map(Incident::detection_latency)
+        .collect();
+    out.push_str(&format!(
+        "{} incident(s): {} watch-hit, {} secure-guard\n",
+        incidents.len(),
+        incidents
+            .iter()
+            .filter(|i| i.kind == IncidentKind::WatchHit)
+            .count(),
+        incidents
+            .iter()
+            .filter(|i| i.kind == IncidentKind::SecureGuardAlarm)
+            .count(),
+    ));
+    if !latencies.is_empty() {
+        let min = latencies.iter().min().unwrap();
+        let max = latencies.iter().max().unwrap();
+        let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
+        out.push_str(&format!(
+            "detection latency cycles: min {min} / mean {mean} / max {max} ({:.2} / {:.2} / {:.2} us)\n",
+            us(*min),
+            us(mean),
+            us(*max)
+        ));
+    }
+    out
+}
+
+/// Serializes incidents as a JSON array (machine-readable forensics
+/// artifact).
+pub fn incidents_to_json(incidents: &[Incident]) -> Json {
+    let items = incidents
+        .iter()
+        .map(|i| {
+            let mut fields = vec![
+                ("seq", Json::UInt(i.seq as u64)),
+                ("kind", Json::str(i.kind.name())),
+                ("addr", Json::UInt(i.addr)),
+            ];
+            if let Some(v) = i.value {
+                fields.push(("value", Json::UInt(v)));
+            }
+            if let Some(c) = i.write_cycles {
+                fields.push(("write_cycles", Json::UInt(c)));
+            }
+            if let Some(c) = i.watch_cycles {
+                fields.push(("watch_cycles", Json::UInt(c)));
+            }
+            if let Some(c) = i.irq_cycles {
+                fields.push(("irq_cycles", Json::UInt(c)));
+            }
+            if let Some((track, kind, arg)) = i.context {
+                fields.push((
+                    "context",
+                    Json::obj(vec![
+                        ("track", Json::str(track.name())),
+                        ("span", Json::str(kind.name())),
+                        ("arg", Json::UInt(arg)),
+                    ]),
+                ));
+            }
+            if let Some(s) = &i.service {
+                let mut svc = vec![
+                    ("begin", Json::UInt(s.begin)),
+                    ("line", Json::UInt(s.line)),
+                    ("el2_verifies", Json::UInt(s.el2_verifies)),
+                    ("errored", Json::Bool(s.errored)),
+                ];
+                if let Some(end) = s.end {
+                    svc.push(("end", Json::UInt(end)));
+                }
+                fields.push(("service", Json::obj(svc)));
+            }
+            if let Some(lat) = i.detection_latency() {
+                fields.push(("detection_latency_cycles", Json::UInt(lat)));
+                fields.push(("detection_latency_us", Json::Float(us(lat))));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::Array(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic but shape-faithful incident trail: syscall context,
+    /// capture, drain+match, IRQ, then the kernel service window with
+    /// the EL2 forwarding hypercall inside.
+    fn incident_trail() -> Vec<Event> {
+        vec![
+            Event::begin(0, Track::El1, SpanKind::Syscall, 0x39),
+            Event::mark(100, Track::Mbm, PointKind::MbmFifoPush, 0x4a10, 0),
+            Event::begin(110, Track::Mbm, SpanKind::MbmDrain, 1),
+            Event::mark(112, Track::Mbm, PointKind::MbmWatchHit, 0x4a10, 0),
+            Event::mark(114, Track::Mbm, PointKind::IrqRaised, 3, 0x4a10),
+            Event::end(118, Track::Mbm, SpanKind::MbmDrain, 1),
+            Event::end(150, Track::El1, SpanKind::Syscall, 0),
+            Event::begin(200, Track::El1, SpanKind::MbmIrqService, 3),
+            Event::begin(210, Track::El2, SpanKind::HypercallVerify, 40),
+            Event::end(240, Track::El2, SpanKind::HypercallVerify, 0),
+            Event::end(260, Track::El1, SpanKind::MbmIrqService, 0),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_the_full_causal_chain() {
+        let incidents = reconstruct_incidents(&incident_trail());
+        assert_eq!(incidents.len(), 1);
+        let i = &incidents[0];
+        assert_eq!(i.kind, IncidentKind::WatchHit);
+        assert_eq!(i.addr, 0x4a10);
+        assert_eq!(i.value, Some(0));
+        assert_eq!(i.write_cycles, Some(100));
+        assert_eq!(i.watch_cycles, Some(112));
+        assert_eq!(i.irq_cycles, Some(114));
+        assert_eq!(i.irq_line, Some(3));
+        assert_eq!(i.drain_begin, Some(110));
+        // Offender context: the EL1 syscall that was executing.
+        assert_eq!(i.context, Some((Track::El1, SpanKind::Syscall, 0x39)));
+        let s = i.service.expect("serviced");
+        assert_eq!((s.begin, s.end, s.line), (200, Some(260), 3));
+        assert_eq!(s.el2_verifies, 1);
+        assert!(!s.errored);
+        // write at 100, service done at 260.
+        assert_eq!(i.detection_latency(), Some(160));
+    }
+
+    #[test]
+    fn guard_alarm_without_watch_hit_is_classified() {
+        let events = vec![
+            Event::mark(50, Track::Mbm, PointKind::IrqRaised, 3, 0x9000),
+            Event::begin(70, Track::El1, SpanKind::MbmIrqService, 3),
+            Event::end(90, Track::El1, SpanKind::MbmIrqService, 0),
+        ];
+        let incidents = reconstruct_incidents(&events);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].kind, IncidentKind::SecureGuardAlarm);
+        assert_eq!(incidents[0].addr, 0x9000);
+        assert_eq!(incidents[0].detection_latency(), Some(40));
+    }
+
+    #[test]
+    fn batched_incidents_share_one_service_window() {
+        let events = vec![
+            Event::mark(10, Track::Mbm, PointKind::MbmFifoPush, 0x100, 1),
+            Event::mark(11, Track::Mbm, PointKind::MbmFifoPush, 0x200, 2),
+            Event::mark(20, Track::Mbm, PointKind::MbmWatchHit, 0x100, 1),
+            Event::mark(21, Track::Mbm, PointKind::IrqRaised, 3, 0x100),
+            Event::mark(22, Track::Mbm, PointKind::MbmWatchHit, 0x200, 2),
+            Event::mark(23, Track::Mbm, PointKind::IrqRaised, 3, 0x200),
+            Event::begin(100, Track::El1, SpanKind::MbmIrqService, 3),
+            Event::end(180, Track::El1, SpanKind::MbmIrqService, 0),
+        ];
+        let incidents = reconstruct_incidents(&events);
+        assert_eq!(incidents.len(), 2);
+        for i in &incidents {
+            assert_eq!(i.service.unwrap().begin, 100);
+        }
+        assert_eq!(incidents[0].detection_latency(), Some(170));
+        assert_eq!(incidents[1].detection_latency(), Some(169));
+    }
+
+    #[test]
+    fn unserviced_incident_reports_pending() {
+        let events = vec![
+            Event::mark(10, Track::Mbm, PointKind::MbmFifoPush, 0x100, 1),
+            Event::mark(20, Track::Mbm, PointKind::MbmWatchHit, 0x100, 1),
+        ];
+        let incidents = reconstruct_incidents(&events);
+        assert_eq!(incidents.len(), 1);
+        assert!(incidents[0].service.is_none());
+        assert_eq!(incidents[0].detection_latency(), None);
+        let text = render_text(&incidents);
+        assert!(text.contains("never serviced"));
+        assert!(text.contains("pending"));
+    }
+
+    #[test]
+    fn text_and_json_renderings_cover_the_incident() {
+        let incidents = reconstruct_incidents(&incident_trail());
+        let text = render_text(&incidents);
+        assert!(text.contains("0x0000004a10"));
+        assert!(text.contains("detection latency: 160 cycles"));
+        assert!(text.contains("el1:syscall"));
+        let json = incidents_to_json(&incidents).to_string();
+        let doc = Json::parse(&json).expect("valid json");
+        let arr = doc.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0]
+                .get("detection_latency_cycles")
+                .and_then(Json::as_u64),
+            Some(160)
+        );
+        assert_eq!(arr[0].get("kind").and_then(Json::as_str), Some("watch-hit"));
+    }
+
+    #[test]
+    fn empty_trace_has_no_incidents() {
+        assert!(reconstruct_incidents(&[]).is_empty());
+        assert!(render_text(&[]).contains("no MBM incidents"));
+    }
+}

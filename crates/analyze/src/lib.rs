@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # hypernel-analyze
+//!
+//! Turns the telemetry artifacts the simulation emits — JSONL event
+//! traces (`hypernel-sim --trace-out t.jsonl --trace-format jsonl`) and
+//! machine-readable run reports (`--report-json r.json`) — into the
+//! analyses the paper's evaluation is built on:
+//!
+//! * [`attribution`] — per-span self-vs-nested cycle accounting over the
+//!   reconstructed span tree (a poor-man's profiler for the cost model),
+//!   rendered as a sorted table and as collapsed stacks loadable by
+//!   flamegraph tooling.
+//! * [`forensics`] — causal reconstruction of every MBM incident:
+//!   watched-word write → FIFO entry → drain → IRQ → kernel service →
+//!   EL2 verdict, with end-to-end detection latency in cycles (the
+//!   paper's Table 2 shape).
+//! * [`compare`] — structural diff of two run reports with a
+//!   configurable regression threshold over the cost-like metrics, the
+//!   perf gate CI runs on every push.
+//! * [`bench`] — aggregation of `crates/bench` machine-readable
+//!   summaries into dated `BENCH_<date>.json` trajectory artifacts.
+//!
+//! The `hypernel-analyze` binary fronts all four; see its `--help`.
+
+pub mod attribution;
+pub mod bench;
+pub mod compare;
+pub mod forensics;
+
+pub use attribution::{attribute, Attribution, AttributionRow};
+pub use bench::{read_summaries_dir, trajectory_json, BenchEntry};
+pub use compare::{compare_reports, flatten_metrics, Comparison, MetricDelta};
+pub use forensics::{reconstruct_incidents, Incident, IncidentKind};
+
+/// Modeled core clock, cycles per microsecond (1.15 GHz) — mirrors the
+/// simulator's cost model for human-readable latency rendering.
+pub const CYCLES_PER_US: f64 = 1150.0;

@@ -1,0 +1,95 @@
+//! **Smoke** — a fast, deterministic bench pass for CI.
+//!
+//! Runs a representative slice of the paper's evaluation in a few
+//! seconds: three LMbench ops across all three configurations (Table 1
+//! shape) and one monitored app's trap counts (Table 2 shape). The
+//! simulation is fully deterministic, so the emitted summary is
+//! bit-stable across hosts and a committed baseline trajectory can gate
+//! regressions in CI.
+//!
+//! Run with:
+//!
+//! ```sh
+//! HYPERNEL_BENCH_DIR=target/bench-summaries HYPERNEL_BENCH_ITERS=20 \
+//!     cargo bench -p hypernel-bench --bench smoke
+//! ```
+
+use hypernel::kernel::kernel::{MonitorHooks, MonitorMode};
+use hypernel::{Mode, System};
+use hypernel_bench::summary::BenchSummary;
+use hypernel_bench::{lmbench_on, pct};
+use hypernel_workloads::{apps, AppBenchmark, LmbenchOp};
+
+/// The Table 1 slice: the cheapest op, a mid-cost op, and the most
+/// expensive op — enough to catch cost-model drift at every scale.
+const OPS: &[LmbenchOp] = &[
+    LmbenchOp::SyscallStat,
+    LmbenchOp::PipeLatency,
+    LmbenchOp::ForkExit,
+];
+
+fn monitored_trap_events(bench: AppBenchmark, mode: MonitorMode) -> u64 {
+    let mut sys = System::boot(Mode::Hypernel).expect("hypernel boot");
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        apps::prepare(kernel, machine, hyp, bench).expect("prepare");
+        kernel
+            .arm_monitor_hooks(machine, hyp, MonitorHooks { mode })
+            .expect("arm hooks");
+    }
+    sys.reset_mbm_stats();
+    {
+        let (kernel, machine, hyp) = sys.parts();
+        apps::run(kernel, machine, hyp, bench, 1, 42).expect("run");
+    }
+    let events = sys.mbm_stats().expect("mbm attached").events_matched;
+    sys.parts().0.set_monitor_hooks(None);
+    let _ = sys.service_interrupts();
+    events
+}
+
+fn main() {
+    let mut summary = BenchSummary::new("smoke");
+    println!("smoke bench: {} lmbench op(s), 1 monitored app", OPS.len());
+
+    for &op in OPS {
+        let native = lmbench_on(Mode::Native, op).expect("native run");
+        let hypernel = lmbench_on(Mode::Hypernel, op).expect("hypernel run");
+        let overhead = hypernel.overhead_vs(&native);
+        println!(
+            "  {:<15} native {:>8.0} cyc/iter, hypernel {:>8.0} cyc/iter ({})",
+            op.label(),
+            native.cycles_per_iter(),
+            hypernel.cycles_per_iter(),
+            pct(overhead)
+        );
+        summary
+            .metric(
+                &format!("{} native_cycles", op.label()),
+                native.cycles_per_iter(),
+            )
+            .metric(
+                &format!("{} hypernel_cycles", op.label()),
+                hypernel.cycles_per_iter(),
+            )
+            .metric(
+                &format!("{} hyp_overhead_pct", op.label()),
+                overhead * 100.0,
+            );
+    }
+
+    let bench = AppBenchmark::Untar;
+    let word = monitored_trap_events(bench, MonitorMode::SensitiveFields);
+    let page = monitored_trap_events(bench, MonitorMode::WholeObject);
+    println!(
+        "  {:<15} word-granularity {} trap(s), whole-object {} trap(s)",
+        bench.label(),
+        word,
+        page
+    );
+    summary
+        .metric(&format!("{} word_events", bench.label()), word as f64)
+        .metric(&format!("{} page_events", bench.label()), page as f64);
+
+    summary.write_if_requested();
+}

@@ -17,6 +17,7 @@
 
 use hypernel::{Mode, System};
 use hypernel_bench::rule;
+use hypernel_bench::summary::BenchSummary;
 use hypernel_kernel::kernel::{MonitorHooks, MonitorMode};
 use hypernel_workloads::{apps, AppBenchmark};
 
@@ -60,6 +61,7 @@ fn main() {
 
     let mut ratios = Vec::new();
     let mut paper_ratios = Vec::new();
+    let mut summary = BenchSummary::new("table2_traps");
     for &bench in AppBenchmark::ALL {
         let page = trap_events(bench, MonitorMode::WholeObject);
         let word = trap_events(bench, MonitorMode::SensitiveFields);
@@ -69,6 +71,9 @@ fn main() {
         let p_ratio = p_word as f64 / p_page as f64;
         ratios.push(ratio);
         paper_ratios.push(p_ratio);
+        summary
+            .metric(&format!("{} page_events", bench.label()), page as f64)
+            .metric(&format!("{} word_events", bench.label()), word as f64);
         println!(
             "{:<11} | {:>12} {:>10} {:>7.1}% | {:>12} {:>10} {:>7.1}% | {:>6.0}x",
             bench.label(),
@@ -88,4 +93,6 @@ fn main() {
         avg(&ratios) * 100.0,
         avg(&paper_ratios) * 100.0
     );
+    summary.metric("avg_word_page_ratio_pct", avg(&ratios) * 100.0);
+    summary.write_if_requested();
 }

@@ -10,11 +10,24 @@ use hypernel::{Mode, System};
 use hypernel_kernel::kernel::KernelError;
 use hypernel_workloads::{apps, lmbench, AppBenchmark, LmbenchOp, Measurement};
 
+pub mod summary;
+
 /// Iterations per LMbench operation (LMbench itself repeats and averages;
 /// the simulation is deterministic, so fewer repetitions suffice — the
 /// repetitions still matter because cache, TLB and allocator state evolve
 /// across them).
 pub const LMBENCH_ITERS: u64 = 100;
+
+/// Iterations per LMbench operation, honoring `HYPERNEL_BENCH_ITERS`
+/// when set (the smoke/CI path uses a small count to stay fast); falls
+/// back to [`LMBENCH_ITERS`].
+pub fn lmbench_iters() -> u64 {
+    std::env::var("HYPERNEL_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(LMBENCH_ITERS)
+}
 
 /// Runs one LMbench op on a freshly booted system of the given mode.
 ///
@@ -24,7 +37,7 @@ pub const LMBENCH_ITERS: u64 = 100;
 pub fn lmbench_on(mode: Mode, op: LmbenchOp) -> Result<Measurement, KernelError> {
     let mut sys = System::boot(mode)?;
     let (kernel, machine, hyp) = sys.parts();
-    lmbench::run_op(kernel, machine, hyp, op, LMBENCH_ITERS)
+    lmbench::run_op(kernel, machine, hyp, op, lmbench_iters())
 }
 
 /// Runs one application benchmark on a freshly booted system.

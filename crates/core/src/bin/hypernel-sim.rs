@@ -54,6 +54,10 @@ OPTIONS:
     --histograms                   print span latency histograms
                                    (p50/p95/p99/max, in cycles)
     --report-json <path>           write the full run report as JSON
+    --forensics                    reconstruct and print the causal
+                                   timeline of every MBM incident
+                                   (watched write -> FIFO -> drain ->
+                                   IRQ -> service) with detection latency
 ";
 
 fn parse_mode(s: &str) -> Result<Mode, String> {
@@ -94,12 +98,13 @@ struct Options {
     trace_format: Option<String>,
     histograms: bool,
     report_json: Option<String>,
+    forensics: bool,
 }
 
 impl Options {
     /// Whether any flag needs the telemetry pipeline installed.
     fn wants_telemetry(&self) -> bool {
-        self.trace_out.is_some() || self.histograms || self.report_json.is_some()
+        self.trace_out.is_some() || self.histograms || self.report_json.is_some() || self.forensics
     }
 }
 
@@ -130,6 +135,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace-format" => opts.trace_format = Some(take("--trace-format")?),
             "--histograms" => opts.histograms = true,
             "--report-json" => opts.report_json = Some(take("--report-json")?),
+            "--forensics" => opts.forensics = true,
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -218,6 +224,11 @@ fn export_telemetry(sys: &System, opts: &Options) -> Result<(), String> {
         std::fs::write(path, format!("{}\n", report.to_json()))
             .map_err(|e| format!("{path}: {e}"))?;
         println!("report: {path}");
+    }
+    if opts.forensics {
+        let events = sys.telemetry_events().ok_or("telemetry is not enabled")?;
+        let incidents = hypernel_analyze::reconstruct_incidents(&events);
+        println!("\n{}", hypernel_analyze::forensics::render_text(&incidents));
     }
     Ok(())
 }

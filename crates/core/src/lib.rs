@@ -45,11 +45,12 @@
 pub mod report;
 pub mod system;
 
-pub use report::{Latency, RunDelta, RunReport};
+pub use report::{Latency, RunDelta, RunReport, REPORT_KIND, REPORT_SCHEMA};
 pub use system::{Mode, System, SystemBuilder, DEFAULT_TELEMETRY_CAPACITY};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
+pub use hypernel_analyze as analyze;
 pub use hypernel_hypersec as hypersec;
 pub use hypernel_hypervisor as hypervisor;
 pub use hypernel_kernel as kernel;

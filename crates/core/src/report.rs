@@ -12,6 +12,16 @@ use hypernel_telemetry::{HistogramSummary, Snapshot};
 
 use crate::system::{Mode, System};
 
+/// Schema version stamped into every JSON run artifact. Bump when a
+/// field is renamed or its meaning changes; additions are
+/// backwards-compatible and do not bump it. `hypernel-analyze compare`
+/// warns when two reports disagree on this.
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// `kind` tag stamped into every JSON run artifact, so downstream
+/// tooling can tell a run report from a bench summary or trajectory.
+pub const REPORT_KIND: &str = "hypernel-run-report";
+
 /// A consolidated statistics snapshot of a [`System`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -163,6 +173,8 @@ impl RunReport {
             ])
         }
         let mut fields = vec![
+            ("schema", Json::UInt(REPORT_SCHEMA)),
+            ("kind", Json::str(REPORT_KIND)),
             ("mode", Json::str(&self.mode.to_string())),
             ("cycles", Json::UInt(self.cycles)),
             ("micros", Json::Float(self.micros())),
@@ -363,6 +375,11 @@ mod tests {
         let text = report.to_json().to_string();
         // The artifact must survive a parse round-trip…
         let doc = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_u64),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some(REPORT_KIND));
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("Hypernel"));
         let counters = doc.get("counters").expect("counters");
         assert!(counters.get("hypercalls").and_then(Json::as_u64).unwrap() > 0);

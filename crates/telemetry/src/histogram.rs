@@ -272,6 +272,75 @@ mod tests {
     }
 
     #[test]
+    fn merge_empty_into_empty_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a, Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_widens_min_and_max() {
+        let mut low = Histogram::new();
+        low.record(3);
+        low.record(5);
+        let mut high = Histogram::new();
+        high.record(1 << 30);
+
+        let mut merged = low.clone();
+        merged.merge(&high);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min(), Some(3));
+        assert_eq!(merged.max(), Some(1 << 30));
+        assert_eq!(merged.sum(), 3 + 5 + (1u128 << 30));
+        // And merging the other way agrees.
+        let mut other = high.clone();
+        other.merge(&low);
+        assert_eq!(merged, other);
+    }
+
+    #[test]
+    fn single_bucket_histogram_pins_every_quantile() {
+        // All samples share one bucket (and one value): every quantile,
+        // including the endpoints, must be that value.
+        let mut h = Histogram::new();
+        for _ in 0..7 {
+            h.record(37);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), Some(37), "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.min, s.max, s.mean, s.p50, s.p99), (37, 37, 37, 37, 37));
+    }
+
+    #[test]
+    fn endpoint_quantiles_clamp_to_observed_extremes() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        h.record(40);
+        // q=0 clamps the rank to the first sample → min's bucket → min.
+        assert_eq!(h.quantile(0.0), Some(1));
+        // q=1 is the last bucket's bound (1023) clamped to the max.
+        assert_eq!(h.quantile(1.0), Some(1000));
+        // Out-of-range requests clamp instead of panicking.
+        assert_eq!(h.quantile(-3.0), Some(1));
+        assert_eq!(h.quantile(7.5), Some(1000));
+    }
+
+    #[test]
+    fn one_sample_histogram_summary() {
+        let mut h = Histogram::new();
+        h.record(0);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max, s.p50, s.p95, s.p99), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
     fn summary_matches_direct_queries() {
         let mut h = Histogram::new();
         for v in 1..=1024u64 {

@@ -17,15 +17,20 @@
 //!   loads directly into `chrome://tracing` / Perfetto).
 //! * [`json`] — the dependency-free JSON writer/parser the exporters and
 //!   round-trip tests build on.
+//! * [`reader`] — the analysis-side entry point: lossy JSONL ingestion
+//!   (skip-and-count, never abort) and the [`reader::SpanTree`] builder
+//!   that reconstructs cross-EL span nesting from the flat stream.
 
 pub mod event;
 pub mod export;
 pub mod histogram;
 pub mod json;
+pub mod reader;
 pub mod registry;
 pub mod sink;
 
 pub use event::{Event, EventKind, PointKind, SpanKind, Track};
 pub use histogram::{Histogram, HistogramSummary};
+pub use reader::{read_jsonl_lossy, LossyTrace, Mark, SpanNode, SpanTree};
 pub use registry::{Snapshot, Telemetry};
 pub use sink::{shared, FanoutSink, RingSink, SharedSink, TelemetrySink};

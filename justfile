@@ -20,3 +20,28 @@ fmt:
 # Quick inner loop: debug build + tests.
 test:
     cargo test -q
+
+# Fast deterministic bench pass: emit machine-readable summaries,
+# aggregate them into a dated BENCH_<date>.json trajectory, and gate
+# against the committed baseline. This is the CI perf gate.
+bench-smoke:
+    rm -rf {{justfile_directory()}}/target/bench-summaries
+    HYPERNEL_BENCH_DIR={{justfile_directory()}}/target/bench-summaries \
+    HYPERNEL_BENCH_ITERS=20 \
+        cargo bench -q -p hypernel-bench --bench smoke
+    cargo run -q -p hypernel-analyze -- bench \
+        --dir {{justfile_directory()}}/target/bench-summaries \
+        --out-dir {{justfile_directory()}}/target/bench-trajectory \
+        --baseline {{justfile_directory()}}/benchmarks/baseline.json \
+        --threshold 0.10
+
+# Regenerate the committed bench baseline (run after an intentional
+# cost-model change, then commit benchmarks/baseline.json).
+bench-baseline:
+    rm -rf {{justfile_directory()}}/target/bench-summaries
+    HYPERNEL_BENCH_DIR={{justfile_directory()}}/target/bench-summaries \
+    HYPERNEL_BENCH_ITERS=20 \
+        cargo bench -q -p hypernel-bench --bench smoke
+    cargo run -q -p hypernel-analyze -- bench \
+        --dir {{justfile_directory()}}/target/bench-summaries \
+        --out {{justfile_directory()}}/benchmarks/baseline.json
