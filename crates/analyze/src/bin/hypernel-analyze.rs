@@ -43,6 +43,14 @@ USAGE:
   hypernel-analyze selftest
       End-to-end pipeline check over a synthetic trace; exits nonzero
       on any inconsistency.
+  hypernel-analyze campaign <campaign.jsonl> [--baseline <summary.json>]
+                            [--out <summary.json>] [--threshold F] [--json]
+      Aggregates adversarial campaign run records into a per-scenario
+      summary; with --baseline also diffs against a previous summary
+      and exits 1 on any regression (new unexpected violations,
+      pass-rate drops, detection-latency growth beyond the threshold,
+      default 0.10 = 10%). Exits 1 whenever unexpected violations are
+      present.
 ";
 
 fn main() -> ExitCode {
@@ -57,6 +65,7 @@ fn main() -> ExitCode {
         "forensics" => cmd_forensics(rest),
         "compare" => cmd_compare(rest),
         "bench" => cmd_bench(rest),
+        "campaign" => cmd_campaign(rest),
         "selftest" => cmd_selftest(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -265,6 +274,89 @@ fn cmd_bench(rest: &[String]) -> Result<ExitCode, String> {
 
 /// A synthetic end-to-end run of the whole pipeline; used as a CI
 /// health gate that needs no pre-existing artifacts.
+fn cmd_campaign(rest: &[String]) -> Result<ExitCode, String> {
+    use hypernel_analyze::campaign::{
+        diff_campaigns, ingest_records, rows_from_summary, summary_to_json,
+    };
+
+    let json = has_flag(rest, "--json");
+    let rest: Vec<String> = rest.iter().filter(|a| *a != "--json").cloned().collect();
+    let (positional, options) = split_args(&rest, &["baseline", "out", "threshold"])?;
+    let [records_path] = positional.as_slice() else {
+        return Err(
+            "usage: campaign <campaign.jsonl> [--baseline <summary.json>] \
+             [--out <summary.json>] [--threshold F] [--json]"
+                .into(),
+        );
+    };
+    let threshold: f64 = match opt(&options, "threshold") {
+        None => 0.10,
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("invalid threshold `{text}`"))?,
+    };
+    let text = std::fs::read_to_string(records_path)
+        .map_err(|e| format!("cannot read `{records_path}`: {e}"))?;
+    let (rows, skipped) = ingest_records(&text)?;
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} non-record line(s) in `{records_path}`");
+    }
+
+    let summary = summary_to_json(&rows);
+    if let Some(path) = opt(&options, "out") {
+        std::fs::write(path, format!("{summary}\n"))
+            .map_err(|e| format!("cannot write summary `{path}`: {e}"))?;
+        eprintln!("wrote campaign summary to {path}");
+    }
+    if json {
+        println!("{summary}");
+    } else {
+        for row in &rows {
+            println!(
+                "{:<28} runs {:>3}  passed {:>3}  expected-violations {:>3}  unexpected {:>3}{}",
+                row.scenario,
+                row.runs,
+                row.passed,
+                row.expected_violations,
+                row.unexpected_violations,
+                row.max_latency
+                    .map(|l| format!("  max-latency {l}"))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+
+    let mut failed = false;
+    let unexpected: u64 = rows.iter().map(|r| r.unexpected_violations).sum();
+    if unexpected > 0 {
+        eprintln!("campaign has {unexpected} unexpected violation(s)");
+        failed = true;
+    }
+    if let Some(baseline_path) = opt(&options, "baseline") {
+        let baseline = rows_from_summary(&load_report(baseline_path)?)
+            .map_err(|e| format!("`{baseline_path}`: {e}"))?;
+        let findings = diff_campaigns(&baseline, &rows, threshold);
+        for f in &findings {
+            println!(
+                "{} {}: {}",
+                if f.regression { "REGRESSION" } else { "note" },
+                f.scenario,
+                f.detail
+            );
+        }
+        if findings.iter().any(|f| f.regression) {
+            failed = true;
+        } else {
+            println!("no regressions vs {baseline_path}");
+        }
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_selftest() -> Result<ExitCode, String> {
     use hypernel_telemetry::{PointKind, SpanKind, Track};
 

@@ -25,11 +25,13 @@
 
 pub mod attribution;
 pub mod bench;
+pub mod campaign;
 pub mod compare;
 pub mod forensics;
 
 pub use attribution::{attribute, Attribution, AttributionRow};
 pub use bench::{read_summaries_dir, trajectory_json, BenchEntry};
+pub use campaign::{diff_campaigns, ingest_records, CampaignFinding, CampaignRow};
 pub use compare::{compare_reports, flatten_metrics, Comparison, MetricDelta};
 pub use forensics::{reconstruct_incidents, Incident, IncidentKind};
 

@@ -1,0 +1,325 @@
+//! `hypernel-campaign` — adversarial campaign runner.
+//!
+//! ```text
+//! hypernel-campaign run --corpus <dir> [--seeds N] [--jobs N]
+//!                       [--out <campaign.jsonl>] [--summary <file>]
+//!                       [--scenario <name>]
+//! hypernel-campaign list --corpus <dir>
+//! hypernel-campaign minimize --corpus <dir> --scenario <name> [--seed N]
+//! hypernel-campaign selftest
+//! ```
+//!
+//! `run` exits nonzero when any run fails an oracle the scenario did
+//! not declare — the CI campaign-smoke gate keys on that.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hypernel_campaign::record::{summarize, summary_json};
+use hypernel_campaign::scenario::Scenario;
+use hypernel_campaign::sweep::{run_sweep, SweepConfig};
+use hypernel_campaign::{minimize, MinimizeError};
+
+const USAGE: &str = "\
+hypernel-campaign — adversarial attack/fault campaigns for Hypernel
+
+USAGE:
+  hypernel-campaign run --corpus <dir> [--seeds N] [--jobs N]
+                        [--out <campaign.jsonl>] [--summary <file>]
+                        [--scenario <name>]
+      Sweeps every corpus scenario across seeds 0..N (default 16) on a
+      worker pool (default 1 job). Writes one JSON record per run,
+      sorted by (scenario, seed) — byte-identical regardless of --jobs.
+      Exits 1 when any run violates an oracle the scenario did not
+      declare.
+  hypernel-campaign list --corpus <dir>
+      Prints each scenario's name, mode, step count and fault count.
+  hypernel-campaign minimize --corpus <dir> --scenario <name> [--seed N]
+      Reduces the named scenario's fault schedule to a minimal set of
+      single-occurrence faults that still masks detection.
+  hypernel-campaign selftest
+      Runs a built-in scenario pair end to end; exits nonzero on any
+      oracle violation.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "list" => cmd_list(rest),
+        "minimize" => cmd_minimize(rest),
+        "selftest" => cmd_selftest(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("hypernel-campaign: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type ParsedOptions = Vec<(String, String)>;
+
+fn split_args(rest: &[String], flags: &[&str]) -> Result<ParsedOptions, String> {
+    let mut options = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        if !flags.contains(&name) {
+            return Err(format!("unknown option `--{name}`"));
+        }
+        let value = iter
+            .next()
+            .cloned()
+            .ok_or_else(|| format!("option `--{name}` needs a value"))?;
+        options.push((name.to_string(), value));
+    }
+    Ok(options)
+}
+
+fn opt<'a>(options: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    options
+        .iter()
+        .rev()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn opt_num<T: std::str::FromStr>(
+    options: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match opt(options, name) {
+        None => Ok(default),
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("option `--{name}`: invalid number `{text}`")),
+    }
+}
+
+/// Loads every `*.toml` scenario under `dir`, sorted by file name so
+/// the sweep order (and thus the artifact) is stable.
+fn load_corpus(dir: &str) -> Result<Vec<Scenario>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir `{dir}`: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no `*.toml` scenarios in `{dir}`"));
+    }
+    let mut scenarios = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        let scenario =
+            Scenario::from_toml(&text).map_err(|e| format!("`{}`: {e}", path.display()))?;
+        scenarios.push(scenario);
+    }
+    Ok(scenarios)
+}
+
+fn write_or_stdout(path: Option<&str>, content: &str, what: &str) -> Result<(), String> {
+    match path {
+        Some(path) => {
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+                }
+            }
+            std::fs::write(path, content)
+                .map_err(|e| format!("cannot write {what} `{path}`: {e}"))?;
+            eprintln!("wrote {what} to {path}");
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
+    let options = split_args(
+        rest,
+        &["corpus", "seeds", "jobs", "out", "summary", "scenario"],
+    )?;
+    let corpus = opt(&options, "corpus").ok_or("`run` needs --corpus <dir>")?;
+    let seeds: u64 = opt_num(&options, "seeds", 16)?;
+    let jobs: usize = opt_num(&options, "jobs", 1)?;
+    let mut scenarios = load_corpus(corpus)?;
+    if let Some(only) = opt(&options, "scenario") {
+        scenarios.retain(|s| s.name == only);
+        if scenarios.is_empty() {
+            return Err(format!("no scenario named `{only}` in `{corpus}`"));
+        }
+    }
+
+    let outcome = run_sweep(&scenarios, SweepConfig { seeds, jobs });
+
+    let mut jsonl = String::new();
+    for record in &outcome.records {
+        jsonl.push_str(&record.to_json().to_string());
+        jsonl.push('\n');
+    }
+    write_or_stdout(opt(&options, "out"), &jsonl, "campaign records")?;
+
+    let rows = summarize(&outcome.records);
+    let summary = format!("{}\n", summary_json(&rows));
+    if let Some(path) = opt(&options, "summary") {
+        write_or_stdout(Some(path), &summary, "campaign summary")?;
+    }
+
+    for row in &rows {
+        eprintln!(
+            "{:<28} runs {:>3}  passed {:>3}  expected-violations {:>3}  unexpected {:>3}{}",
+            row.scenario,
+            row.runs,
+            row.passed,
+            row.expected_violations,
+            row.unexpected_violations,
+            row.max_latency
+                .map(|l| format!("  max-latency {l}"))
+                .unwrap_or_default(),
+        );
+    }
+    for failure in &outcome.failures {
+        eprintln!(
+            "ERROR {} seed {}: {}",
+            failure.scenario, failure.seed, failure.error
+        );
+    }
+    let unexpected: u64 = outcome
+        .records
+        .iter()
+        .map(|r| r.unexpected_violations().count() as u64)
+        .sum();
+    if !outcome.failures.is_empty() || unexpected > 0 {
+        eprintln!(
+            "campaign FAILED: {unexpected} unexpected violation(s), {} engine failure(s)",
+            outcome.failures.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    eprintln!(
+        "campaign passed: {} runs, {} scenario(s), seeds 0..{seeds}",
+        outcome.records.len(),
+        rows.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_list(rest: &[String]) -> Result<ExitCode, String> {
+    let options = split_args(rest, &["corpus"])?;
+    let corpus = opt(&options, "corpus").ok_or("`list` needs --corpus <dir>")?;
+    for scenario in load_corpus(corpus)? {
+        println!(
+            "{:<28} {:<10} steps {:>2}  faults {:>2}  {}",
+            scenario.name,
+            scenario.mode.to_string(),
+            scenario.steps.len(),
+            scenario.faults.specs.len(),
+            scenario.description,
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_minimize(rest: &[String]) -> Result<ExitCode, String> {
+    let options = split_args(rest, &["corpus", "scenario", "seed"])?;
+    let corpus = opt(&options, "corpus").ok_or("`minimize` needs --corpus <dir>")?;
+    let name = opt(&options, "scenario").ok_or("`minimize` needs --scenario <name>")?;
+    let seed: u64 = opt_num(&options, "seed", 0)?;
+    let scenarios = load_corpus(corpus)?;
+    let scenario = scenarios
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("no scenario named `{name}` in `{corpus}`"))?;
+    match minimize(scenario, seed) {
+        Ok(outcome) => {
+            println!(
+                "minimized {} seed {seed}: {} injected event(s) -> {} (in {} probe runs)",
+                scenario.name,
+                outcome.original_events,
+                outcome.schedule.len(),
+                outcome.probes
+            );
+            for spec in &outcome.schedule {
+                let param = if spec.param != 0 && spec.param != u64::MAX {
+                    format!(" (param {})", spec.param)
+                } else {
+                    String::new()
+                };
+                println!("  {} at occurrence {}{param}", spec.kind, spec.at);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(MinimizeError::NoDetectionGap) => {
+            println!(
+                "{} seed {seed}: every monitored write was detected; nothing to minimize",
+                scenario.name
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_selftest() -> Result<ExitCode, String> {
+    use hypernel::Mode;
+    use hypernel_campaign::scenario::StepExpect;
+    use hypernel_kernel::AttackStep;
+    use hypernel_machine::FaultSpec;
+
+    let scenarios = vec![
+        Scenario::new("selftest-cred", Mode::Hypernel)
+            .background(2)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Detected),
+        Scenario::new("selftest-drop", Mode::Hypernel)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Masked)
+            .fault(FaultSpec::drop_irq(1, u64::MAX)),
+        Scenario::new("selftest-native", Mode::Native).step(
+            AttackStep::CredEscalation { pid: 1 },
+            StepExpect::Undetected,
+        ),
+    ];
+    let outcome = run_sweep(&scenarios, SweepConfig { seeds: 4, jobs: 2 });
+    if !outcome.all_passed() {
+        for r in &outcome.records {
+            for v in r.unexpected_violations() {
+                eprintln!(
+                    "{} seed {}: [{}] {}",
+                    r.scenario, r.seed, v.oracle, v.detail
+                );
+            }
+        }
+        return Err("selftest: unexpected oracle violations".to_string());
+    }
+    let min = minimize(&scenarios[1], 0).map_err(|e| format!("selftest minimize: {e}"))?;
+    if min.schedule.is_empty() {
+        return Err("selftest: minimizer returned an empty schedule".to_string());
+    }
+    println!(
+        "selftest passed: {} runs, minimize {} -> {} event(s)",
+        outcome.records.len(),
+        min.original_events,
+        min.schedule.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}

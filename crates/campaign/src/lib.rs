@@ -1,0 +1,44 @@
+//! Adversarial campaign engine for the Hypernel reproduction.
+//!
+//! The rest of the workspace asks "does the pipeline work?"; this crate
+//! asks "when does it stop working?". A **scenario** declares an
+//! attacker program (composed from `hypernel-kernel`'s attack
+//! primitives), background workload noise, the protection mode, MBM
+//! pressure overrides, and a schedule of injected hardware faults. A
+//! **campaign** sweeps scenarios across many seeds in parallel, and
+//! **oracles** judge every run: W⊕X must hold, the secure region must
+//! stay unmapped, every surviving watched-word write must be detected
+//! within the latency bound.
+//!
+//! The moving parts:
+//!
+//! - [`scenario`] — the declarative model (Rust builder + TOML loader);
+//! - [`engine`] — one deterministic `(scenario, seed)` run;
+//! - [`oracle`] — the invariant checks and their expected-violation
+//!   escape hatch for declared fault masks;
+//! - [`sweep`] — the multi-seed thread-pool sweep with deterministic,
+//!   scheduling-independent output;
+//! - [`minimize`] — reduction of a failing run's fault schedule to a
+//!   minimal repro;
+//! - [`record`] — `campaign.jsonl` records and summary artifacts that
+//!   `hypernel-analyze campaign` consumes;
+//! - [`toml`] — the dependency-free parser for the scenario file
+//!   subset.
+
+pub mod engine;
+pub mod minimize;
+pub mod oracle;
+pub mod record;
+pub mod scenario;
+pub mod sweep;
+pub mod toml;
+
+pub use engine::{run_one, run_one_logged, EngineError};
+pub use minimize::{minimize, MinimizeError, MinimizeOutcome};
+pub use oracle::{evaluate, OracleInput};
+pub use record::{
+    summarize, summary_json, RunRecord, ScenarioSummary, StepRecord, Violation, CAMPAIGN_SCHEMA,
+    RECORD_KIND, SUMMARY_KIND,
+};
+pub use scenario::{Scenario, ScenarioError, StepExpect, StepSpec};
+pub use sweep::{run_sweep, SweepConfig, SweepFailure, SweepOutcome};

@@ -1,0 +1,196 @@
+//! Fault-schedule minimization: reduce a failing `(scenario, seed)` to
+//! the smallest fault schedule that still masks detection.
+//!
+//! A scenario may declare broad fault windows (`drop-irq` on *every*
+//! IRQ raise). To understand a miss you want the opposite: the fewest
+//! single-occurrence faults that still reproduce it. The minimizer
+//!
+//! 1. runs the scenario once and expands the injector's hit log into
+//!    single-occurrence [`FaultSpec`]s (one per fault that actually
+//!    fired, pinned to its observed site index);
+//! 2. greedily removes one event at a time, re-running the scenario
+//!    after each removal and keeping the removal only if the detection
+//!    gap persists (1-minimal reduction);
+//! 3. validates the final schedule with one more run.
+//!
+//! Every probe is a full deterministic run, so the result is exact,
+//! not probabilistic.
+
+use hypernel_machine::{FaultPlan, FaultSpec};
+
+use crate::engine::{self, EngineError};
+use crate::record::RunRecord;
+use crate::scenario::Scenario;
+
+/// The result of minimizing one `(scenario, seed)`.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// Fault events the original run actually injected.
+    pub original_events: usize,
+    /// The minimal schedule that still reproduces the detection gap.
+    pub schedule: Vec<FaultSpec>,
+    /// Runs executed while minimizing (probes + validation).
+    pub probes: u64,
+    /// Record of the validation run under the minimal schedule.
+    pub record: RunRecord,
+}
+
+/// Why minimization could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinimizeError {
+    /// The baseline run did not exhibit a detection gap — nothing to
+    /// minimize.
+    NoDetectionGap,
+    /// A probe run failed outright.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for MinimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoDetectionGap => f.write_str("run has no detection gap; nothing to minimize"),
+            Self::Engine(e) => write!(f, "probe run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MinimizeError {}
+
+impl From<EngineError> for MinimizeError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+/// The property being minimized against: some surviving watched-word
+/// write went undetected.
+fn has_detection_gap(record: &RunRecord) -> bool {
+    record
+        .steps
+        .iter()
+        .any(|s| !s.blocked && s.monitored.is_some() && s.detections == 0)
+}
+
+fn with_plan(scenario: &Scenario, specs: &[FaultSpec]) -> Scenario {
+    let mut probe = scenario.clone();
+    probe.faults = FaultPlan {
+        specs: specs.to_vec(),
+    };
+    probe
+}
+
+/// Minimizes the fault schedule of `(scenario, seed)`.
+///
+/// # Errors
+///
+/// [`MinimizeError::NoDetectionGap`] when the baseline run detects
+/// everything (the schedule isn't masking anything), or
+/// [`MinimizeError::Engine`] if a probe run fails to execute.
+pub fn minimize(scenario: &Scenario, seed: u64) -> Result<MinimizeOutcome, MinimizeError> {
+    let (baseline, hits) = engine::run_one_logged(scenario, seed)?;
+    let mut probes = 1u64;
+    if !has_detection_gap(&baseline) {
+        return Err(MinimizeError::NoDetectionGap);
+    }
+
+    // Expand the hit log into single-occurrence specs pinned to the
+    // site indices that actually fired, inheriting each kind's param
+    // from the first declaring spec.
+    let param_of = |spec_kind| {
+        scenario
+            .faults
+            .specs
+            .iter()
+            .find(|s| s.kind == spec_kind)
+            .map_or(0, |s| s.param)
+    };
+    let mut schedule: Vec<FaultSpec> = hits
+        .iter()
+        .map(|hit| FaultSpec {
+            kind: hit.kind,
+            at: hit.site_index,
+            count: 1,
+            param: param_of(hit.kind),
+        })
+        .collect();
+    let original_events = schedule.len();
+
+    // Greedy 1-minimal reduction: keep dropping events whose removal
+    // preserves the gap, restarting the scan after each success until a
+    // full pass removes nothing.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < schedule.len() {
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            let probe = with_plan(scenario, &candidate);
+            let record = engine::run_one(&probe, seed)?;
+            probes += 1;
+            if has_detection_gap(&record) {
+                schedule = candidate;
+                changed = true;
+                // Same index now names the next event; don't advance.
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Validate: the reduced schedule must still reproduce the gap.
+    let final_scenario = with_plan(scenario, &schedule);
+    let record = engine::run_one(&final_scenario, seed)?;
+    probes += 1;
+    debug_assert!(has_detection_gap(&record), "1-minimal reduction regressed");
+    Ok(MinimizeOutcome {
+        original_events,
+        schedule,
+        probes,
+        record,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StepExpect;
+    use hypernel::Mode;
+    use hypernel_kernel::AttackStep;
+
+    #[test]
+    fn drop_irq_schedule_reduces_to_a_tiny_repro() {
+        // Blanket drop of every IRQ raise. dentry-hijack writes one
+        // watched word, so with no background noise only a couple of
+        // raise attempts happen and the minimal mask needs at most those.
+        let scenario = Scenario::new("min-drop", Mode::Hypernel)
+            .step(
+                AttackStep::DentryHijack {
+                    path: "/bin/sh".to_string(),
+                    rogue_inode: 0xBAD,
+                },
+                StepExpect::Masked,
+            )
+            .fault(FaultSpec::drop_irq(1, u64::MAX));
+        let outcome = minimize(&scenario, 1).expect("minimizes");
+        assert!(outcome.original_events >= 1);
+        assert!(
+            outcome.schedule.len() <= 3,
+            "expected a <=3-event repro, got {:?}",
+            outcome.schedule
+        );
+        assert!(outcome.schedule.len() <= outcome.original_events);
+        assert!(has_detection_gap(&outcome.record));
+        assert!(outcome.probes >= 2);
+    }
+
+    #[test]
+    fn healthy_run_has_nothing_to_minimize() {
+        let scenario = Scenario::new("min-clean", Mode::Hypernel)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Detected);
+        assert_eq!(
+            minimize(&scenario, 1).unwrap_err(),
+            MinimizeError::NoDetectionGap
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Invariant oracles: the pass/fail judgment after every run.
+//!
+//! Four oracles inspect the finished run:
+//!
+//! - **outcomes** — each step's blocked/succeeded result matches the
+//!   scenario's [`StepExpect`].
+//! - **wx** — the Hypersec audit holds: W⊕X over kernel mappings and
+//!   no stage-1 mapping targets the secure region. One violation per
+//!   audit finding.
+//! - **detection** — every monitored write that actually happened was
+//!   detected. A gap is *expected* (recorded but non-fatal) when the
+//!   scenario declared the masking condition: a `Masked` step under a
+//!   fault plan, or FIFO-overflow pressure that provably swallowed the
+//!   capture (`first_dropped_addr`).
+//! - **latency** — detected steps landed within the scenario's
+//!   `latency_bound`.
+//!
+//! Expected violations keep the run green while still appearing in the
+//! record, so `minimize` has a stable target and reports stay honest.
+
+use hypernel_hypersec::AuditReport;
+use hypernel_machine::FaultStats;
+use hypernel_mbm::MbmStats;
+
+use crate::record::{StepRecord, Violation};
+use crate::scenario::{Scenario, StepExpect};
+
+/// Everything the oracles look at.
+pub struct OracleInput<'a> {
+    /// The scenario that ran (expectations, declared faults, bounds).
+    pub scenario: &'a Scenario,
+    /// Per-step results in program order.
+    pub steps: &'a [StepRecord],
+    /// Hypersec audit of the final state (Hypernel mode).
+    pub audit: Option<&'a AuditReport>,
+    /// MBM counters at the end of the run.
+    pub mbm: Option<MbmStats>,
+    /// Injected-fault counters.
+    pub faults: Option<FaultStats>,
+}
+
+fn violation(
+    oracle: &'static str,
+    step: Option<usize>,
+    detail: impl Into<String>,
+    expected: bool,
+) -> Violation {
+    Violation {
+        oracle,
+        step,
+        detail: detail.into(),
+        expected,
+    }
+}
+
+/// Did the scenario declare FIFO-overflow pressure — a shrunken FIFO, a
+/// starved drain budget, or translator-stall faults?
+fn declared_overflow_pressure(scenario: &Scenario, faults: Option<FaultStats>) -> bool {
+    scenario.fifo_capacity.is_some()
+        || scenario.drain_budget.is_some()
+        || faults.is_some_and(|f| f.translator_stalls > 0)
+}
+
+fn check_outcomes(input: &OracleInput<'_>, out: &mut Vec<Violation>) {
+    for (i, (spec, step)) in input.scenario.steps.iter().zip(input.steps).enumerate() {
+        let ok = match spec.expect {
+            StepExpect::Blocked => step.blocked,
+            // Detected / Undetected / Masked all require the write to
+            // actually land; what happens next is the detection
+            // oracle's business.
+            StepExpect::Detected | StepExpect::Undetected | StepExpect::Masked => !step.blocked,
+            StepExpect::Any => true,
+        };
+        if !ok {
+            out.push(violation(
+                "outcomes",
+                Some(i),
+                format!(
+                    "step `{}` expected {} but was {}",
+                    step.name,
+                    spec.expect.name(),
+                    step.outcome
+                ),
+                false,
+            ));
+        }
+    }
+}
+
+fn check_wx(input: &OracleInput<'_>, out: &mut Vec<Violation>) {
+    let Some(audit) = input.audit else {
+        return;
+    };
+    for finding in &audit.violations {
+        out.push(violation("wx", None, finding.clone(), false));
+    }
+}
+
+fn check_detection(input: &OracleInput<'_>, out: &mut Vec<Violation>) {
+    // Only meaningful when something is watching.
+    if input.mbm.is_none() {
+        // Native / KVM: `Undetected` is the expectation and there is no
+        // monitor whose silence could be a bug. But a `Detected`
+        // expectation in a monitor-less mode is a scenario bug worth
+        // flagging.
+        for (i, spec) in input.scenario.steps.iter().enumerate() {
+            if spec.expect == StepExpect::Detected {
+                out.push(violation(
+                    "detection",
+                    Some(i),
+                    "scenario expects detection but the mode has no monitor",
+                    false,
+                ));
+            }
+        }
+        return;
+    }
+    let pressure = declared_overflow_pressure(input.scenario, input.faults);
+    let overflowed = input
+        .mbm
+        .is_some_and(|m| m.fifo_dropped > 0 && m.first_dropped_addr.is_some());
+    let has_faults = !input.scenario.faults.is_empty();
+    for (i, (spec, step)) in input.scenario.steps.iter().zip(input.steps).enumerate() {
+        let Some((base, len)) = step.monitored else {
+            continue;
+        };
+        if step.blocked {
+            continue;
+        }
+        match spec.expect {
+            // A monitored write the scenario claims goes unseen: if the
+            // monitor *did* see it, the scenario is wrong.
+            StepExpect::Undetected if step.detections > 0 => {
+                out.push(violation(
+                    "detection",
+                    Some(i),
+                    format!(
+                        "step `{}` expected to evade detection but was detected",
+                        step.name
+                    ),
+                    false,
+                ));
+            }
+            // Undetected with zero detections is exactly what the
+            // scenario promised.
+            StepExpect::Undetected => {}
+            _ if step.detections == 0 => {
+                // A surviving watched-word write that nobody reported.
+                // Decide whether the scenario declared the mask.
+                if spec.expect == StepExpect::Masked && has_faults {
+                    out.push(violation(
+                        "detection",
+                        Some(i),
+                        format!(
+                            "step `{}` write to [{:#x}; {}] masked by declared fault plan",
+                            step.name, base, len
+                        ),
+                        true,
+                    ));
+                } else if pressure && overflowed {
+                    let addr = input
+                        .mbm
+                        .and_then(|m| m.first_dropped_addr)
+                        .expect("overflowed implies Some");
+                    out.push(violation(
+                        "detection",
+                        Some(i),
+                        format!(
+                            "step `{}` missed by design (overflow): first capture dropped at {:#x}",
+                            step.name,
+                            addr.raw()
+                        ),
+                        true,
+                    ));
+                } else {
+                    out.push(violation(
+                        "detection",
+                        Some(i),
+                        format!(
+                            "step `{}` wrote watched span [{:#x}; {}] undetected",
+                            step.name, base, len
+                        ),
+                        false,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_latency(input: &OracleInput<'_>, out: &mut Vec<Violation>) {
+    let Some(bound) = input.scenario.latency_bound else {
+        return;
+    };
+    for (i, step) in input.steps.iter().enumerate() {
+        if step.detections == 0 {
+            continue;
+        }
+        if let Some(latency) = step.latency {
+            if latency > bound {
+                out.push(violation(
+                    "latency",
+                    Some(i),
+                    format!(
+                        "step `{}` detection latency {latency} cycles exceeds bound {bound}",
+                        step.name
+                    ),
+                    false,
+                ));
+            }
+        }
+    }
+}
+
+/// Runs all four oracles and returns every violation, expected ones
+/// included.
+pub fn evaluate(input: &OracleInput<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_outcomes(input, &mut out);
+    check_wx(input, &mut out);
+    check_detection(input, &mut out);
+    check_latency(input, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use hypernel::Mode;
+    use hypernel_kernel::AttackStep;
+    use hypernel_machine::{FaultPlan, FaultSpec};
+
+    fn step_record(blocked: bool, detections: u64, latency: u64) -> StepRecord {
+        StepRecord {
+            name: "cred-escalation".to_string(),
+            outcome: if blocked {
+                "blocked".to_string()
+            } else {
+                "succeeded".to_string()
+            },
+            blocked,
+            monitored: Some((0x4000, 64)),
+            detections,
+            latency: Some(latency),
+        }
+    }
+
+    fn mbm_stats(dropped: u64) -> MbmStats {
+        MbmStats {
+            fifo_dropped: dropped,
+            first_dropped_addr: (dropped > 0)
+                .then(|| hypernel_machine::addr::PhysAddr::new(0x4000)),
+            ..MbmStats::default()
+        }
+    }
+
+    fn scenario(expect: StepExpect) -> Scenario {
+        Scenario::new("t", Mode::Hypernel).step(AttackStep::CredEscalation { pid: 1 }, expect)
+    }
+
+    #[test]
+    fn detected_write_with_latency_in_bound_is_clean() {
+        let s = scenario(StepExpect::Detected).latency_bound(1_000);
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 1, 500)],
+            audit: None,
+            mbm: Some(mbm_stats(0)),
+            faults: None,
+        });
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn undetected_write_is_unexpected_without_declared_mask() {
+        let s = scenario(StepExpect::Detected);
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 0, 500)],
+            audit: None,
+            mbm: Some(mbm_stats(0)),
+            faults: None,
+        });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "detection");
+        assert!(!v[0].expected);
+    }
+
+    #[test]
+    fn masked_step_under_fault_plan_is_expected() {
+        let mut s = scenario(StepExpect::Masked);
+        s.faults = FaultPlan::new().with(FaultSpec::drop_irq(1, u64::MAX));
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 0, 500)],
+            audit: None,
+            mbm: Some(mbm_stats(0)),
+            faults: None,
+        });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "detection");
+        assert!(v[0].expected, "declared mask must not fail the run");
+    }
+
+    #[test]
+    fn overflow_pressure_excuses_the_miss() {
+        let mut s = scenario(StepExpect::Detected);
+        s.fifo_capacity = Some(2);
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 0, 500)],
+            audit: None,
+            mbm: Some(mbm_stats(3)),
+            faults: None,
+        });
+        assert_eq!(v.len(), 1);
+        assert!(v[0].expected);
+        assert!(v[0].detail.contains("overflow"));
+    }
+
+    #[test]
+    fn wrong_outcome_latency_excess_and_audit_findings_flag() {
+        let s = scenario(StepExpect::Blocked).latency_bound(100);
+        let audit = AuditReport {
+            tables_checked: 1,
+            leaves_checked: 1,
+            regions_checked: 1,
+            violations: vec!["writable+executable leaf".to_string()],
+        };
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 1, 500)],
+            audit: Some(&audit),
+            mbm: Some(mbm_stats(0)),
+            faults: None,
+        });
+        let oracles: Vec<&str> = v.iter().map(|x| x.oracle).collect();
+        assert!(oracles.contains(&"outcomes"));
+        assert!(oracles.contains(&"wx"));
+        assert!(oracles.contains(&"latency"));
+        assert!(v.iter().all(|x| !x.expected));
+    }
+
+    #[test]
+    fn native_mode_expecting_detection_is_a_scenario_bug() {
+        let s = Scenario::new("t", Mode::Native)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Detected);
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 0, 10)],
+            audit: None,
+            mbm: None,
+            faults: None,
+        });
+        assert_eq!(v.len(), 1);
+        assert!(!v[0].expected);
+    }
+}

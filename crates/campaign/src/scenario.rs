@@ -1,0 +1,380 @@
+//! Declarative attack/fault scenarios.
+//!
+//! A [`Scenario`] composes an attacker program from the kernel crate's
+//! attack primitives ([`AttackStep`]) with seeded background workload,
+//! a protection mode, optional MBM configuration pressure, and a
+//! [`FaultPlan`] injected at the machine/MBM boundary. Scenarios are
+//! built either in Rust (builder methods) or loaded from the TOML
+//! subset in `corpus/*.toml` (see `docs/CAMPAIGN.md` for the schema).
+
+use std::fmt;
+
+use hypernel::Mode;
+use hypernel_kernel::kernel::MonitorMode;
+use hypernel_kernel::AttackStep;
+use hypernel_machine::{FaultKind, FaultPlan, FaultSpec};
+
+use crate::toml::{self, TomlTable};
+
+/// What a step's outcome should look like under this scenario's mode —
+/// the ground truth the `outcomes` and `detection` oracles check
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepExpect {
+    /// The protection must refuse the operation.
+    Blocked,
+    /// The write completes and the MBM pipeline must flag it.
+    Detected,
+    /// The write completes and nothing watches it (baseline modes).
+    Undetected,
+    /// The write completes but a *declared fault* masks detection: the
+    /// detection oracle still flags the gap, marked expected, so the
+    /// run passes while the record shows exactly what was missed.
+    Masked,
+    /// No expectation (exploratory steps).
+    Any,
+}
+
+impl StepExpect {
+    /// Stable name used in scenario files and run records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Blocked => "blocked",
+            Self::Detected => "detected",
+            Self::Undetected => "undetected",
+            Self::Masked => "masked",
+            Self::Any => "any",
+        }
+    }
+
+    /// Inverse of [`StepExpect::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "blocked" => Self::Blocked,
+            "detected" => Self::Detected,
+            "undetected" => Self::Undetected,
+            "masked" => Self::Masked,
+            "any" => Self::Any,
+            _ => return None,
+        })
+    }
+}
+
+/// One attacker action plus its expected outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSpec {
+    /// The attack primitive to run.
+    pub step: AttackStep,
+    /// Expected outcome under this scenario's mode.
+    pub expect: StepExpect,
+}
+
+/// A complete adversarial scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique scenario name (record key; corpus file stem by convention).
+    pub name: String,
+    /// One-line description for reports.
+    pub description: String,
+    /// Protection configuration the attack runs against.
+    pub mode: Mode,
+    /// Monitoring granularity (Hypernel mode).
+    pub monitor: MonitorMode,
+    /// Background workload operations interleaved before each attack
+    /// step (seed-driven choice of operation).
+    pub background_ops: u64,
+    /// Upper bound, in cycles, on write→detection latency (checked by
+    /// the `latency` oracle when a step is detected).
+    pub latency_bound: Option<u64>,
+    /// Override for the MBM snoop-FIFO capacity (overflow-pressure
+    /// scenarios).
+    pub fifo_capacity: Option<usize>,
+    /// Override for the MBM translator drain budget per transaction.
+    pub drain_budget: Option<usize>,
+    /// The attacker program.
+    pub steps: Vec<StepSpec>,
+    /// Faults injected at the machine/MBM boundary.
+    pub faults: FaultPlan,
+}
+
+impl Scenario {
+    /// Starts a scenario running under `mode`.
+    pub fn new(name: impl Into<String>, mode: Mode) -> Self {
+        Self {
+            name: name.into(),
+            description: String::new(),
+            mode,
+            monitor: MonitorMode::SensitiveFields,
+            background_ops: 0,
+            latency_bound: None,
+            fifo_capacity: None,
+            drain_budget: None,
+            steps: Vec::new(),
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Sets the one-line description.
+    pub fn describe(mut self, text: impl Into<String>) -> Self {
+        self.description = text.into();
+        self
+    }
+
+    /// Appends an attack step with its expected outcome.
+    pub fn step(mut self, step: AttackStep, expect: StepExpect) -> Self {
+        self.steps.push(StepSpec { step, expect });
+        self
+    }
+
+    /// Interleaves `n` seeded background operations before each step.
+    pub fn background(mut self, n: u64) -> Self {
+        self.background_ops = n;
+        self
+    }
+
+    /// Bounds write→detection latency (cycles).
+    pub fn latency_bound(mut self, cycles: u64) -> Self {
+        self.latency_bound = Some(cycles);
+        self
+    }
+
+    /// Shrinks the MBM snoop FIFO (overflow pressure).
+    pub fn fifo_capacity(mut self, entries: usize) -> Self {
+        self.fifo_capacity = Some(entries);
+        self
+    }
+
+    /// Caps MBM translations per bus transaction (translator pressure).
+    pub fn drain_budget(mut self, per_txn: usize) -> Self {
+        self.drain_budget = Some(per_txn);
+        self
+    }
+
+    /// Adds a fault to the injection schedule.
+    pub fn fault(mut self, spec: FaultSpec) -> Self {
+        self.faults = self.faults.with(spec);
+        self
+    }
+
+    /// Loads a scenario from its TOML form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] for syntax errors, unknown kinds or
+    /// missing required fields.
+    pub fn from_toml(input: &str) -> Result<Self, ScenarioError> {
+        let doc = toml::parse(input).map_err(|e| ScenarioError::new(e.to_string()))?;
+        Self::from_table(&doc)
+    }
+
+    fn from_table(doc: &TomlTable) -> Result<Self, ScenarioError> {
+        let name = doc
+            .get_str("name")
+            .ok_or_else(|| ScenarioError::new("missing `name`"))?;
+        let mode = match doc.get_str("mode").unwrap_or("hypernel") {
+            "native" => Mode::Native,
+            "kvm" => Mode::KvmGuest,
+            "hypernel" => Mode::Hypernel,
+            other => {
+                return Err(ScenarioError::new(format!(
+                    "unknown mode `{other}` (native | kvm | hypernel)"
+                )))
+            }
+        };
+        let mut scenario = Scenario::new(name, mode);
+        scenario.description = doc.get_str("description").unwrap_or("").to_string();
+        scenario.monitor = match doc.get_str("monitor").unwrap_or("sensitive-fields") {
+            "sensitive-fields" => MonitorMode::SensitiveFields,
+            "whole-object" => MonitorMode::WholeObject,
+            other => {
+                return Err(ScenarioError::new(format!(
+                    "unknown monitor mode `{other}` (sensitive-fields | whole-object)"
+                )))
+            }
+        };
+        scenario.background_ops = doc.get_u64("background-ops").unwrap_or(0);
+        scenario.latency_bound = doc.get_u64("latency-bound");
+        scenario.fifo_capacity = doc.get_u64("fifo-capacity").map(|v| v as usize);
+        scenario.drain_budget = doc.get_u64("drain-budget").map(|v| v as usize);
+
+        if doc.array("step").is_empty() {
+            return Err(ScenarioError::new("a scenario needs at least one [[step]]"));
+        }
+        for (i, t) in doc.array("step").iter().enumerate() {
+            let spec = parse_step(t).map_err(|e| e.context(format!("step {}", i + 1)))?;
+            scenario.steps.push(spec);
+        }
+        for (i, t) in doc.array("fault").iter().enumerate() {
+            let spec = parse_fault(t).map_err(|e| e.context(format!("fault {}", i + 1)))?;
+            scenario.faults = scenario.faults.with(spec);
+        }
+        Ok(scenario)
+    }
+}
+
+fn parse_step(t: &TomlTable) -> Result<StepSpec, ScenarioError> {
+    let kind = t
+        .get_str("kind")
+        .ok_or_else(|| ScenarioError::new("missing `kind`"))?;
+    let pid = || t.get_u64("pid").unwrap_or(1);
+    let path = || t.get_str("path").unwrap_or("/bin/sh").to_string();
+    let step = match kind {
+        "cred-escalation" => AttackStep::CredEscalation { pid: pid() },
+        "dentry-hijack" => AttackStep::DentryHijack {
+            path: path(),
+            rogue_inode: t.get_u64("rogue-inode").unwrap_or(0xBAD),
+        },
+        "map-secure-region" => AttackStep::MapSecureRegion { pid: pid() },
+        "pt-direct-write" => AttackStep::PtDirectWrite {
+            pid: pid(),
+            value: t.get_u64("value").unwrap_or(0xBAD),
+        },
+        "ttbr-redirect" => AttackStep::TtbrRedirect,
+        "code-injection" => AttackStep::CodeInjection,
+        "text-patch" => AttackStep::TextPatch,
+        "atra-cred" => AttackStep::AtraCred { pid: pid() },
+        "atra-dentry" => AttackStep::AtraDentry { path: path() },
+        "double-map-cred" => AttackStep::DoubleMapCred { pid: pid() },
+        other => return Err(ScenarioError::new(format!("unknown step kind `{other}`"))),
+    };
+    let expect = match t.get_str("expect") {
+        Some(text) => StepExpect::parse(text)
+            .ok_or_else(|| ScenarioError::new(format!("unknown expect `{text}`")))?,
+        None => StepExpect::Any,
+    };
+    Ok(StepSpec { step, expect })
+}
+
+fn parse_fault(t: &TomlTable) -> Result<FaultSpec, ScenarioError> {
+    let kind_name = t
+        .get_str("kind")
+        .ok_or_else(|| ScenarioError::new("missing `kind`"))?;
+    let kind = FaultKind::parse(kind_name)
+        .ok_or_else(|| ScenarioError::new(format!("unknown fault kind `{kind_name}`")))?;
+    let at = t.get_u64("at").unwrap_or(1);
+    let count = t.get_u64("count").unwrap_or(1);
+    // `count = -1` reads as "every occurrence from `at` on".
+    let count = if t.get("count").and_then(crate::toml::TomlValue::as_int) == Some(-1) {
+        u64::MAX
+    } else {
+        count
+    };
+    let param = match kind {
+        FaultKind::DelayIrq => t.get_u64("steps").unwrap_or(1),
+        FaultKind::FlipSnoopAddr => t.get_u64("bit").unwrap_or(12),
+        FaultKind::LoseHypercall => t.get_u64("call").unwrap_or(u64::MAX),
+        _ => 0,
+    };
+    Ok(FaultSpec {
+        kind,
+        at,
+        count,
+        param,
+    })
+}
+
+/// A scenario parsing/validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// Human-readable cause, innermost first.
+    pub message: String,
+}
+
+impl ScenarioError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    fn context(self, outer: impl fmt::Display) -> Self {
+        Self {
+            message: format!("{outer}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_toml_agree() {
+        let toml = r#"
+            name = "demo"
+            description = "escalate then patch"
+            mode = "hypernel"
+            background-ops = 3
+            latency-bound = 250000
+
+            [[step]]
+            kind = "cred-escalation"
+            pid = 1
+            expect = "detected"
+
+            [[step]]
+            kind = "text-patch"
+            expect = "blocked"
+
+            [[fault]]
+            kind = "drop-irq"
+            at = 1
+            count = 1
+        "#;
+        let parsed = Scenario::from_toml(toml).expect("parses");
+        let built = Scenario::new("demo", Mode::Hypernel)
+            .describe("escalate then patch")
+            .background(3)
+            .latency_bound(250_000)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Detected)
+            .step(AttackStep::TextPatch, StepExpect::Blocked)
+            .fault(FaultSpec::drop_irq(1, 1));
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn fault_params_map_per_kind() {
+        let toml = r#"
+            name = "faults"
+            [[step]]
+            kind = "ttbr-redirect"
+            [[fault]]
+            kind = "delay-irq"
+            at = 2
+            count = -1
+            steps = 7
+            [[fault]]
+            kind = "flip-snoop-addr"
+            bit = 5
+            [[fault]]
+            kind = "lose-hypercall"
+            call = 0x130
+        "#;
+        let s = Scenario::from_toml(toml).expect("parses");
+        assert_eq!(s.faults.specs.len(), 3);
+        assert_eq!(s.faults.specs[0], FaultSpec::delay_irq(2, u64::MAX, 7));
+        assert_eq!(s.faults.specs[1], FaultSpec::flip_snoop_addr(1, 1, 5));
+        assert_eq!(s.faults.specs[2], FaultSpec::lose_hypercall(1, 1, 0x130));
+    }
+
+    #[test]
+    fn rejects_unknowns_with_context() {
+        assert!(Scenario::from_toml("name = \"x\"").is_err(), "no steps");
+        let e =
+            Scenario::from_toml("name = \"x\"\n[[step]]\nkind = \"warp-core-breach\"").unwrap_err();
+        assert!(e.message.contains("step 1"), "{e}");
+        assert!(e.message.contains("warp-core-breach"));
+        let e =
+            Scenario::from_toml("name = \"x\"\nmode = \"xen\"\n[[step]]\nkind = \"text-patch\"")
+                .unwrap_err();
+        assert!(e.message.contains("xen"));
+    }
+}

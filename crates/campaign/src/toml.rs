@@ -1,0 +1,364 @@
+//! A dependency-free parser for the TOML subset scenario files use.
+//!
+//! Supported: top-level `key = value` pairs, `[table]` sections,
+//! `[[array-of-tables]]` sections, `#` comments, and the value forms
+//! strings (`"..."`), integers (decimal, `0x` hex, `_` separators,
+//! negative), booleans, and flat arrays. That is the whole scenario
+//! schema (see `docs/CAMPAIGN.md`); anything fancier is a parse error,
+//! not silently misread.
+
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// `"..."`.
+    Str(String),
+    /// Decimal or `0x` hex integer (underscore separators allowed).
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[v, v, ...]` of the scalar forms above.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Self::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as `u64`, if non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_int().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A table: scalar entries plus named sub-tables and arrays-of-tables,
+/// in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlTable {
+    /// `key = value` pairs.
+    pub values: Vec<(String, TomlValue)>,
+    /// `[name]` sub-tables.
+    pub tables: Vec<(String, TomlTable)>,
+    /// `[[name]]` arrays of tables.
+    pub arrays: Vec<(String, Vec<TomlTable>)>,
+}
+
+impl TomlTable {
+    /// Scalar value for `key`.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.values.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String value for `key`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(TomlValue::as_str)
+    }
+
+    /// Non-negative integer value for `key`.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(TomlValue::as_u64)
+    }
+
+    /// Boolean value for `key`.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(TomlValue::as_bool)
+    }
+
+    /// Sub-table `[name]`.
+    pub fn table(&self, name: &str) -> Option<&TomlTable> {
+        self.tables.iter().find(|(k, _)| k == name).map(|(_, t)| t)
+    }
+
+    /// Array-of-tables `[[name]]` (empty slice if absent).
+    pub fn array(&self, name: &str) -> &[TomlTable] {
+        self.arrays
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, a)| a.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: usize, message: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips a trailing comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_int(text: &str, line: usize) -> Result<i64, TomlError> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let (negative, digits) = match cleaned.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, cleaned.as_str()),
+    };
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
+        i64::from_str_radix(hex, 16)
+    } else {
+        digits.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("invalid integer `{text}`")))?;
+    Ok(if negative { -value } else { value })
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<TomlValue, TomlError> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(err(line, "unterminated string"));
+        };
+        if inner.contains('"') {
+            return Err(err(line, "escapes and embedded quotes are not supported"));
+        }
+        return Ok(TomlValue::Str(inner.to_string()));
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    parse_int(text, line).map(TomlValue::Int)
+}
+
+fn parse_value(text: &str, line: usize) -> Result<TomlValue, TomlError> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(err(line, "unterminated array"));
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(TomlValue::Array(Vec::new()));
+        }
+        let items = inner
+            .split(',')
+            .map(|item| parse_scalar(item, line))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(TomlValue::Array(items));
+    }
+    parse_scalar(text, line)
+}
+
+fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// Parses a scenario document.
+///
+/// # Errors
+///
+/// Returns a [`TomlError`] naming the offending line for any construct
+/// outside the supported subset.
+pub fn parse(input: &str) -> Result<TomlTable, TomlError> {
+    let mut root = TomlTable::default();
+    // Where new `key = value` pairs go: the root, a `[table]`, or the
+    // latest element of a `[[array]]`.
+    enum Cursor {
+        Root,
+        Table(usize),
+        Array(usize),
+    }
+    let mut cursor = Cursor::Root;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return Err(err(lineno, "malformed [[header]]"));
+            };
+            let name = name.trim();
+            if !valid_key(name) {
+                return Err(err(lineno, format!("invalid table name `{name}`")));
+            }
+            let pos = match root.arrays.iter().position(|(k, _)| k == name) {
+                Some(pos) => pos,
+                None => {
+                    root.arrays.push((name.to_string(), Vec::new()));
+                    root.arrays.len() - 1
+                }
+            };
+            root.arrays[pos].1.push(TomlTable::default());
+            cursor = Cursor::Array(pos);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(lineno, "malformed [header]"));
+            };
+            let name = name.trim();
+            if !valid_key(name) {
+                return Err(err(lineno, format!("invalid table name `{name}`")));
+            }
+            if root.tables.iter().any(|(k, _)| k == name) {
+                return Err(err(lineno, format!("duplicate table `{name}`")));
+            }
+            root.tables.push((name.to_string(), TomlTable::default()));
+            cursor = Cursor::Table(root.tables.len() - 1);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = line[..eq].trim();
+        if !valid_key(key) {
+            return Err(err(lineno, format!("invalid key `{key}`")));
+        }
+        let value = parse_value(&line[eq + 1..], lineno)?;
+        let target = match cursor {
+            Cursor::Root => &mut root,
+            Cursor::Table(pos) => &mut root.tables[pos].1,
+            Cursor::Array(pos) => root.arrays[pos]
+                .1
+                .last_mut()
+                .expect("array cursor points at a pushed element"),
+        };
+        if target.values.iter().any(|(k, _)| k == key) {
+            return Err(err(lineno, format!("duplicate key `{key}`")));
+        }
+        target.values.push((key.to_string(), value));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scenario_shape() {
+        let doc = parse(
+            r#"
+            # a scenario
+            name = "drop-irq"
+            seeds = 64            # trailing comment
+            enabled = true
+            bits = [1, 2, 0x10]
+
+            [limits]
+            latency-bound = 200_000
+
+            [[step]]
+            kind = "cred-escalation"
+            pid = 1
+
+            [[step]]
+            kind = "text-patch"
+
+            [[fault]]
+            kind = "drop-irq"
+            at = 1
+            count = 1
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(doc.get_str("name"), Some("drop-irq"));
+        assert_eq!(doc.get_u64("seeds"), Some(64));
+        assert_eq!(doc.get_bool("enabled"), Some(true));
+        assert_eq!(
+            doc.get("bits"),
+            Some(&TomlValue::Array(vec![
+                TomlValue::Int(1),
+                TomlValue::Int(2),
+                TomlValue::Int(16)
+            ]))
+        );
+        assert_eq!(
+            doc.table("limits").unwrap().get_u64("latency-bound"),
+            Some(200_000)
+        );
+        let steps = doc.array("step");
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].get_str("kind"), Some("cred-escalation"));
+        assert_eq!(steps[0].get_u64("pid"), Some(1));
+        assert_eq!(steps[1].get_str("kind"), Some("text-patch"));
+        assert_eq!(doc.array("fault").len(), 1);
+        assert_eq!(doc.array("missing").len(), 0);
+    }
+
+    #[test]
+    fn hex_and_negative_integers() {
+        let doc = parse("a = 0xFF\nb = -3\nc = 1_000").expect("parses");
+        assert_eq!(doc.get("a"), Some(&TomlValue::Int(255)));
+        assert_eq!(doc.get("b"), Some(&TomlValue::Int(-3)));
+        assert_eq!(doc.get("c"), Some(&TomlValue::Int(1000)));
+        assert_eq!(doc.get_u64("b"), None, "negative is not a u64");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse(r##"path = "/tmp/#x""##).expect("parses");
+        assert_eq!(doc.get_str("path"), Some("/tmp/#x"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nnope").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("x = \"unterminated").is_err());
+        assert!(parse("x = zzz").is_err());
+        assert!(parse("[t]\n[t]").unwrap_err().message.contains("duplicate"));
+        assert!(parse("x = 1\nx = 2").is_err());
+    }
+}

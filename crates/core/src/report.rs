@@ -4,6 +4,7 @@
 use hypernel_kernel::kernel::KernelStats;
 use hypernel_machine::cache::CacheStats;
 use hypernel_machine::cost::CostModel;
+use hypernel_machine::fault::FaultStats;
 use hypernel_machine::machine::MachineStats;
 use hypernel_machine::tlb::TlbStats;
 use hypernel_mbm::MbmStats;
@@ -39,6 +40,9 @@ pub struct RunReport {
     pub cache: CacheStats,
     /// MBM statistics (Hypernel mode only).
     pub mbm: Option<MbmStats>,
+    /// Injected-fault counters (only when the system was built with a
+    /// [`crate::system::SystemBuilder::fault_plan`]).
+    pub faults: Option<FaultStats>,
     /// Telemetry aggregates (only when the system has telemetry
     /// enabled): latency histograms per span and point-event counters.
     pub telemetry: Option<Snapshot>,
@@ -55,6 +59,7 @@ impl RunReport {
             tlb: system.machine().tlb().stats(),
             cache: system.machine().data_cache().stats(),
             mbm: system.mbm_stats(),
+            faults: system.fault_stats(),
             telemetry: system.telemetry_snapshot(),
         }
     }
@@ -204,12 +209,27 @@ impl RunReport {
             ),
         ];
         if let Some(mbm) = self.mbm {
+            let mut mbm_fields = vec![
+                ("events_matched", Json::UInt(mbm.events_matched)),
+                ("irqs_raised", Json::UInt(mbm.irqs_raised)),
+                ("fifo_dropped", Json::UInt(mbm.fifo_dropped)),
+            ];
+            if let Some(addr) = mbm.first_dropped_addr {
+                mbm_fields.push(("first_dropped_addr", Json::UInt(addr.raw())));
+            }
+            fields.push(("mbm", Json::obj(mbm_fields)));
+        }
+        if let Some(f) = self.faults {
             fields.push((
-                "mbm",
+                "faults",
                 Json::obj(vec![
-                    ("events_matched", Json::UInt(mbm.events_matched)),
-                    ("irqs_raised", Json::UInt(mbm.irqs_raised)),
-                    ("fifo_dropped", Json::UInt(mbm.fifo_dropped)),
+                    ("irqs_dropped", Json::UInt(f.irqs_dropped)),
+                    ("irqs_delayed", Json::UInt(f.irqs_delayed)),
+                    ("translator_stalls", Json::UInt(f.translator_stalls)),
+                    ("snoop_addr_flips", Json::UInt(f.snoop_addr_flips)),
+                    ("hypercalls_lost", Json::UInt(f.hypercalls_lost)),
+                    ("bitmap_desyncs", Json::UInt(f.bitmap_desyncs)),
+                    ("total", Json::UInt(f.total())),
                 ]),
             ));
         }

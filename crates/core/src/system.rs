@@ -14,6 +14,7 @@ use hypernel_hypervisor::{KvmConfig, KvmHypervisor};
 use hypernel_kernel::kernel::{Kernel, KernelConfig, KernelError, MonitorHooks};
 use hypernel_kernel::layout;
 use hypernel_machine::addr::PhysAddr;
+use hypernel_machine::fault::{self, FaultHit, FaultPlan, FaultStats};
 use hypernel_machine::machine::{Hyp, Machine, MachineConfig, NullHyp};
 use hypernel_mbm::{Mbm, MbmConfig, MbmStats};
 use hypernel_telemetry::{Event, FanoutSink, RingSink, SharedSink, Snapshot, Telemetry};
@@ -117,6 +118,7 @@ pub struct SystemBuilder {
     section_linear_map: bool,
     mbm_config: Option<MbmConfig>,
     telemetry_capacity: Option<usize>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -143,6 +145,7 @@ impl SystemBuilder {
             section_linear_map: false,
             mbm_config: None,
             telemetry_capacity: None,
+            fault_plan: None,
         }
     }
 
@@ -186,6 +189,18 @@ impl SystemBuilder {
     /// Use [`System::enable_telemetry`] instead to skip boot noise.
     pub fn telemetry(mut self, ring_capacity: usize) -> Self {
         self.telemetry_capacity = Some(ring_capacity);
+        self
+    }
+
+    /// Injects faults at the machine/MBM boundary during the run:
+    /// dropped or delayed MBM interrupts, translator stalls (FIFO
+    /// pressure), bit-flipped snoop addresses, lost hypercalls, and
+    /// watch-bitmap desyncs. The injector is installed *after* boot, so
+    /// spec occurrence counts start at the first post-boot event — a
+    /// scenario's `at = 1` means "the first IRQ the workload raises",
+    /// not whatever boot happened to do.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -259,6 +274,15 @@ impl SystemBuilder {
         if let El2Software::Kvm(kvm) = &mut el2 {
             let watermark = kernel.frames_watermark();
             kvm.prefault(&mut machine, watermark);
+        }
+
+        // Faults arm only after boot completes (see `fault_plan`).
+        if let Some(plan) = self.fault_plan {
+            let injector = fault::share(plan);
+            machine.set_fault_injector(Some(injector.clone()));
+            if let Some(mbm) = machine.bus_mut().snooper_mut::<Mbm>() {
+                mbm.set_fault_injector(Some(injector));
+            }
         }
 
         Ok(System {
@@ -341,6 +365,20 @@ impl System {
         if let Some(mbm) = self.machine.bus_mut().snooper_mut::<Mbm>() {
             mbm.reset_stats();
         }
+    }
+
+    /// Per-kind counters of injected faults, if a
+    /// [`SystemBuilder::fault_plan`] was installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.machine.fault_stats()
+    }
+
+    /// Chronological log of every fault that fired, if an injector is
+    /// installed.
+    pub fn fault_log(&self) -> Option<Vec<FaultHit>> {
+        self.machine
+            .fault_injector()
+            .map(|f| f.borrow().log().to_vec())
     }
 
     /// The Hypersec runtime (Hypernel mode only).

@@ -16,7 +16,7 @@ use hypernel_machine::regs::SysReg;
 
 use crate::abi::Hypercall;
 use crate::kernel::{Kernel, KernelError};
-use crate::kobj::{CredField, DentryField};
+use crate::kobj::{CredField, DentryField, ObjectKind};
 use crate::layout;
 use crate::pgtable::PtRoute;
 use crate::task::Pid;
@@ -55,6 +55,91 @@ fn outcome_of(result: Result<(), Exception>) -> AttackOutcome {
         Ok(()) => AttackOutcome::Succeeded,
         Err(e) => AttackOutcome::Blocked { why: e.to_string() },
     }
+}
+
+/// A single composable attacker action — the unit from which campaign
+/// scenarios assemble attacker programs. Each variant names one of the
+/// attack primitives below with enough parameters to run it against a
+/// booted kernel, so scenario files can express attacks declaratively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackStep {
+    /// [`Kernel::attack_cred_escalation`] against task `pid`.
+    CredEscalation {
+        /// Victim task.
+        pid: u64,
+    },
+    /// [`Kernel::attack_dentry_hijack`] of `path`.
+    DentryHijack {
+        /// Cached path whose dentry is redirected.
+        path: String,
+        /// Forged inode value.
+        rogue_inode: u64,
+    },
+    /// [`Kernel::attack_map_secure_region`] through task `pid`'s user
+    /// root table.
+    MapSecureRegion {
+        /// Task whose user page-table root carries the forged entry.
+        pid: u64,
+    },
+    /// [`Kernel::attack_pt_direct_write`] of `value` into task `pid`'s
+    /// user root table.
+    PtDirectWrite {
+        /// Task whose user page-table root is targeted.
+        pid: u64,
+        /// Raw descriptor value stored.
+        value: u64,
+    },
+    /// [`Kernel::attack_ttbr_redirect`].
+    TtbrRedirect,
+    /// [`Kernel::attack_code_injection`].
+    CodeInjection,
+    /// [`Kernel::attack_text_patch`].
+    TextPatch,
+    /// [`Kernel::attack_atra`] relocating task `pid`'s cred object.
+    AtraCred {
+        /// Task whose cred page is shadowed.
+        pid: u64,
+    },
+    /// [`Kernel::attack_atra`] relocating `path`'s dentry.
+    AtraDentry {
+        /// Cached path whose dentry page is shadowed.
+        path: String,
+    },
+    /// [`Kernel::attack_double_map`] aliasing task `pid`'s cred page.
+    DoubleMapCred {
+        /// Task whose cred page is double-mapped.
+        pid: u64,
+    },
+}
+
+impl AttackStep {
+    /// Stable kebab-case identifier (scenario files and run records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::CredEscalation { .. } => "cred-escalation",
+            Self::DentryHijack { .. } => "dentry-hijack",
+            Self::MapSecureRegion { .. } => "map-secure-region",
+            Self::PtDirectWrite { .. } => "pt-direct-write",
+            Self::TtbrRedirect => "ttbr-redirect",
+            Self::CodeInjection => "code-injection",
+            Self::TextPatch => "text-patch",
+            Self::AtraCred { .. } => "atra-cred",
+            Self::AtraDentry { .. } => "atra-dentry",
+            Self::DoubleMapCred { .. } => "double-map-cred",
+        }
+    }
+}
+
+/// What running one [`AttackStep`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepResult {
+    /// Whether the malicious operation completed or was refused.
+    pub outcome: AttackOutcome,
+    /// Physical span `(base, len)` inside a *monitored* kernel object
+    /// that the step wrote (or tried to write), if any. When the outcome
+    /// is `Succeeded` and the object is watched, the MBM must have seen
+    /// a write in this span — the detection oracle's ground truth.
+    pub monitored: Option<(PhysAddr, u64)>,
 }
 
 impl Kernel {
@@ -387,6 +472,171 @@ impl Kernel {
         }
         Ok((outcome_of(result), shadow))
     }
+
+    /// **Double mapping**: alias a scratch page's linear-map leaf onto a
+    /// victim page, creating a second writable mapping, then race the
+    /// monitor by storing through the alias. The linear-map VA of the
+    /// victim still reads consistently, so in-kernel integrity checks
+    /// walking the expected VA see nothing amiss. Hypersec's
+    /// linear-identity rule (`kva(p)` must map `p`, paper §5.3) rejects
+    /// the aliasing remap outright.
+    ///
+    /// On success the store lands at `target`'s physical word — on the
+    /// bus, at the true address — so a *bus-level* monitor still sees it;
+    /// the attack defeats VA-based protections, not the MBM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::OutOfFrames`] if no scratch frame is
+    /// available for the alias.
+    pub fn attack_double_map(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        target: PhysAddr,
+        value: u64,
+    ) -> Result<AttackOutcome, KernelError> {
+        let alias = self.alloc_raw_frame()?;
+        m.debug_zero_page(alias);
+        let alias_va = layout::kva(alias);
+        let write = {
+            let mut view = m.pt_view();
+            pagetable::plan_protect(
+                &mut view,
+                self.kernel_root(),
+                alias_va.raw(),
+                PagePerms::KERNEL_DATA,
+            )
+        };
+        let Some(mut w) = write else {
+            return Ok(AttackOutcome::Blocked {
+                why: "alias page not mapped".into(),
+            });
+        };
+        w.value = Descriptor::Leaf {
+            out: target.page_base(),
+            perms: PagePerms::KERNEL_DATA,
+        }
+        .encode();
+        let remap = match self.config().pt_route {
+            PtRoute::Hypercall => {
+                let (nr, args) = Hypercall::PtWrite {
+                    table: w.table,
+                    index: w.index,
+                    value: w.value,
+                }
+                .encode();
+                m.hvc(nr, args, hyp).map(|_| ())
+            }
+            PtRoute::Direct => m.write_u64(layout::kva(w.addr()), w.value, hyp),
+        };
+        if let Err(e) = remap {
+            return Ok(AttackOutcome::Blocked { why: e.to_string() });
+        }
+        m.tlbi_va(alias_va);
+        // Store through the alias at the victim's in-page offset.
+        let off = target.offset_from(target.page_base());
+        Ok(outcome_of(m.write_u64(
+            layout::kva(alias.add(off)),
+            value,
+            hyp,
+        )))
+    }
+
+    /// Runs one composable [`AttackStep`], resolving its parameters
+    /// (pids, paths) against live kernel state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchTask`] / [`KernelError::NoSuchPath`]
+    /// for dangling references and propagates allocation failures from
+    /// the underlying primitives.
+    pub fn run_attack_step(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        step: &AttackStep,
+    ) -> Result<StepResult, KernelError> {
+        let cred_of = |k: &mut Kernel, pid: u64| {
+            k.task(Pid(pid))
+                .map(|t| t.cred)
+                .ok_or(KernelError::NoSuchTask(Pid(pid)))
+        };
+        let dentry_at = |k: &mut Kernel, path: &str| {
+            k.dentry_of(path)
+                .ok_or_else(|| KernelError::NoSuchPath(path.to_string()))
+        };
+        Ok(match step {
+            AttackStep::CredEscalation { pid } => {
+                let cred = cred_of(self, *pid)?;
+                StepResult {
+                    outcome: self.attack_cred_escalation(m, hyp, Pid(*pid))?,
+                    monitored: Some((cred, ObjectKind::Cred.bytes())),
+                }
+            }
+            AttackStep::DentryHijack { path, rogue_inode } => {
+                let dentry = dentry_at(self, path)?;
+                StepResult {
+                    outcome: self.attack_dentry_hijack(m, hyp, path, *rogue_inode)?,
+                    monitored: Some((dentry.add(DentryField::Inode.byte_offset()), 8)),
+                }
+            }
+            AttackStep::MapSecureRegion { pid } => {
+                let root = self
+                    .task(Pid(*pid))
+                    .map(|t| t.user_root)
+                    .ok_or(KernelError::NoSuchTask(Pid(*pid)))?;
+                StepResult {
+                    outcome: self.attack_map_secure_region(m, hyp, root, 5),
+                    monitored: None,
+                }
+            }
+            AttackStep::PtDirectWrite { pid, value } => {
+                let root = self
+                    .task(Pid(*pid))
+                    .map(|t| t.user_root)
+                    .ok_or(KernelError::NoSuchTask(Pid(*pid)))?;
+                StepResult {
+                    outcome: self.attack_pt_direct_write(m, hyp, root, 5, *value),
+                    monitored: None,
+                }
+            }
+            AttackStep::TtbrRedirect => StepResult {
+                outcome: self.attack_ttbr_redirect(m, hyp)?,
+                monitored: None,
+            },
+            AttackStep::CodeInjection => StepResult {
+                outcome: self.attack_code_injection(m, hyp)?,
+                monitored: None,
+            },
+            AttackStep::TextPatch => StepResult {
+                outcome: self.attack_text_patch(m, hyp)?,
+                monitored: None,
+            },
+            AttackStep::AtraCred { pid } => {
+                let cred = cred_of(self, *pid)?;
+                StepResult {
+                    outcome: self.attack_atra(m, hyp, cred)?.0,
+                    monitored: None,
+                }
+            }
+            AttackStep::AtraDentry { path } => {
+                let dentry = dentry_at(self, path)?;
+                StepResult {
+                    outcome: self.attack_atra(m, hyp, dentry)?.0,
+                    monitored: None,
+                }
+            }
+            AttackStep::DoubleMapCred { pid } => {
+                let cred = cred_of(self, *pid)?;
+                let euid = cred.add(CredField::Euid.byte_offset());
+                StepResult {
+                    outcome: self.attack_double_map(m, hyp, euid, 0)?,
+                    monitored: Some((euid, 8)),
+                }
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +721,58 @@ mod tests {
             .attack_code_injection(&mut m, &mut hyp)
             .expect("attack runs");
         assert!(outcome.succeeded(), "{outcome}");
+    }
+
+    #[test]
+    fn native_kernel_allows_double_mapping() {
+        let (mut m, mut hyp, mut k) = boot();
+        let cred = k.task(Pid(1)).unwrap().cred;
+        let euid = cred.add(CredField::Euid.byte_offset());
+        let outcome = k
+            .attack_double_map(&mut m, &mut hyp, euid, 0x1337)
+            .expect("attack runs");
+        assert!(outcome.succeeded(), "{outcome}");
+        // The aliased store landed on the victim's physical word.
+        assert_eq!(m.debug_read_phys(euid), 0x1337);
+    }
+
+    #[test]
+    fn run_attack_step_resolves_parameters() {
+        let (mut m, mut hyp, mut k) = boot();
+        let cred = k.task(Pid(1)).unwrap().cred;
+        let r = k
+            .run_attack_step(&mut m, &mut hyp, &AttackStep::CredEscalation { pid: 1 })
+            .expect("step runs");
+        assert!(r.outcome.succeeded());
+        assert_eq!(r.monitored, Some((cred, ObjectKind::Cred.bytes())));
+        let r = k
+            .run_attack_step(&mut m, &mut hyp, &AttackStep::TtbrRedirect)
+            .expect("step runs");
+        assert!(r.outcome.succeeded());
+        assert_eq!(r.monitored, None);
+        // Dangling references surface as kernel errors, not outcomes.
+        assert!(k
+            .run_attack_step(&mut m, &mut hyp, &AttackStep::CredEscalation { pid: 999 })
+            .is_err());
+    }
+
+    #[test]
+    fn attack_step_names_are_stable() {
+        assert_eq!(
+            AttackStep::CredEscalation { pid: 1 }.name(),
+            "cred-escalation"
+        );
+        assert_eq!(
+            AttackStep::DoubleMapCred { pid: 1 }.name(),
+            "double-map-cred"
+        );
+        assert_eq!(
+            AttackStep::AtraDentry {
+                path: "/bin/sh".into()
+            }
+            .name(),
+            "atra-dentry"
+        );
     }
 
     #[test]

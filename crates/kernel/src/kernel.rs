@@ -904,9 +904,17 @@ impl Kernel {
     ///
     /// Propagates hypercall denials.
     pub fn poll_irqs(&mut self, m: &mut Machine, hyp: &mut dyn Hyp) -> Result<u64, KernelError> {
-        m.step_devices();
         let mut handled = 0;
-        while let Some(line) = m.irq_mut().ack_next() {
+        loop {
+            // Step devices on every iteration, not just once up front:
+            // servicing an interrupt can drain the MBM ring while the
+            // snoop FIFO still holds captures, and those only become new
+            // interrupts after another pipeline step. A single pre-loop
+            // step would return with IRQs still pending.
+            m.step_devices();
+            let Some(line) = m.irq_mut().ack_next() else {
+                break;
+            };
             let mbm = line == IrqLine::MBM;
             if mbm {
                 m.emit_begin(SpanKind::MbmIrqService, u64::from(line.0));

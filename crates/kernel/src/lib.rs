@@ -16,7 +16,7 @@ pub mod sched;
 pub mod slab;
 pub mod task;
 
-pub use attack::AttackOutcome;
+pub use attack::{AttackOutcome, AttackStep, StepResult};
 pub use kernel::{Kernel, KernelConfig, KernelError, KernelStats, MonitorHooks, MonitorMode};
 pub use pgtable::{LinearMapMode, PtRoute};
 pub use task::{Pid, Task};

@@ -14,6 +14,7 @@
 use std::any::Any;
 
 use crate::addr::PhysAddr;
+use crate::fault::SharedFaults;
 use crate::irq::IrqController;
 use crate::mem::PhysMemory;
 
@@ -114,6 +115,7 @@ pub struct MemoryBus {
     snoopers: Vec<Box<dyn BusSnooper>>,
     reads: u64,
     writes: u64,
+    faults: Option<SharedFaults>,
 }
 
 impl std::fmt::Debug for MemoryBus {
@@ -141,6 +143,33 @@ impl MemoryBus {
     /// Detaches and returns all snoopers (used by tests to inspect state).
     pub fn detach_all(&mut self) -> Vec<Box<dyn BusSnooper>> {
         std::mem::take(&mut self.snoopers)
+    }
+
+    /// Installs (or removes) the fault injector. The only fault the bus
+    /// itself executes is snoop-path address corruption
+    /// ([`crate::fault::FaultKind::FlipSnoopAddr`]): DRAM always receives
+    /// the true write; the corrupted address is what snoopers observe.
+    pub fn set_fault_injector(&mut self, faults: Option<SharedFaults>) {
+        self.faults = faults;
+    }
+
+    /// The write transaction snoopers will observe for `txn` — identical
+    /// unless a snoop-corruption fault fires.
+    fn snooped_view(&mut self, txn: &BusTransaction) -> BusTransaction {
+        let Some(faults) = &self.faults else {
+            return *txn;
+        };
+        match *txn {
+            BusTransaction::WriteWord { addr, value } => BusTransaction::WriteWord {
+                addr: faults.borrow_mut().on_snoop_write(addr),
+                value,
+            },
+            BusTransaction::WriteLine { addr, data } => BusTransaction::WriteLine {
+                addr: faults.borrow_mut().on_snoop_write(addr),
+                data,
+            },
+            read => read,
+        }
     }
 
     /// Returns a reference to the first attached snooper of type `T`.
@@ -193,6 +222,7 @@ impl MemoryBus {
                 data[0]
             }
         };
+        let snooped = self.snooped_view(&txn);
         for s in &mut self.snoopers {
             let mut ctx = BusContext {
                 mem,
@@ -200,7 +230,7 @@ impl MemoryBus {
                 extra_mem_accesses: &mut extra,
                 cycles,
             };
-            s.on_transaction(&txn, &mut ctx);
+            s.on_transaction(&snooped, &mut ctx);
         }
         (value, extra)
     }

@@ -39,6 +39,7 @@ pub mod addr;
 pub mod bus;
 pub mod cache;
 pub mod cost;
+pub mod fault;
 pub mod irq;
 pub mod machine;
 pub mod mem;
@@ -48,5 +49,6 @@ pub mod tlb;
 pub mod trace;
 
 pub use addr::{IntermAddr, PhysAddr, VirtAddr};
+pub use fault::{FaultHit, FaultKind, FaultPlan, FaultSpec, FaultStats, IrqFault, SharedFaults};
 pub use machine::{AccessKind, Exception, Hyp, Machine, MachineConfig, NullHyp, PolicyViolation};
 pub use regs::{ExceptionLevel, SysReg};

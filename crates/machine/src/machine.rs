@@ -14,6 +14,7 @@ use crate::addr::{IntermAddr, PhysAddr, VirtAddr};
 use crate::bus::{BusTransaction, MemoryBus, LINE_WORDS};
 use crate::cache::{CachePlan, DataCache, LINE_SIZE};
 use crate::cost::CostModel;
+use crate::fault::{FaultStats, SharedFaults};
 use crate::irq::IrqController;
 use crate::mem::PhysMemory;
 use crate::pagetable::{self, PagePerms, WalkFault};
@@ -321,6 +322,7 @@ pub struct Machine {
     stats: MachineStats,
     trace: Option<TraceBuffer>,
     sink: Option<SharedSink>,
+    faults: Option<SharedFaults>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -351,7 +353,27 @@ impl Machine {
             stats: MachineStats::default(),
             trace: None,
             sink: None,
+            faults: None,
         }
+    }
+
+    /// Installs (or removes) the fault injector on the machine's own
+    /// fault sites — lost hypercalls here, snoop corruption on the bus.
+    /// The same shared injector is typically also handed to bus devices
+    /// (the MBM) so one schedule covers the whole pipeline.
+    pub fn set_fault_injector(&mut self, faults: Option<SharedFaults>) {
+        self.bus.set_fault_injector(faults.clone());
+        self.faults = faults;
+    }
+
+    /// The installed fault injector, for cloning into devices.
+    pub fn fault_injector(&self) -> Option<SharedFaults> {
+        self.faults.clone()
+    }
+
+    /// Injection counters of the installed fault injector, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.borrow().stats())
     }
 
     /// Enables architectural event tracing with a ring of `capacity`
@@ -673,6 +695,13 @@ impl Machine {
         self.stats.hypercalls += 1;
         self.trace_event(TraceEvent::Hypercall { call });
         self.cycles += self.cost.hyp_roundtrip;
+        // Fault site: the trap is taken (cycles charged, event traced)
+        // but the EL2 handler never runs — a lost doorbell.
+        if let Some(faults) = &self.faults {
+            if faults.borrow_mut().on_hypercall(call) {
+                return Ok(0);
+            }
+        }
         let from = self.el;
         self.el = ExceptionLevel::El2;
         self.emit_begin(SpanKind::HypercallVerify, call);

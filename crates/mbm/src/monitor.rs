@@ -20,6 +20,7 @@ use std::any::Any;
 
 use hypernel_machine::addr::PhysAddr;
 use hypernel_machine::bus::{BusContext, BusSnooper, BusTransaction};
+use hypernel_machine::fault::{IrqFault, SharedFaults};
 use hypernel_machine::irq::IrqLine;
 use hypernel_telemetry::{Event, PointKind, SharedSink, SpanKind, Track};
 
@@ -93,6 +94,11 @@ pub struct MbmStats {
     pub captured: u64,
     /// Captured writes lost to FIFO overflow.
     pub fifo_dropped: u64,
+    /// Address of the first capture lost to FIFO overflow, so verdict
+    /// oracles can tell "missed by design (overflow)" from "missed
+    /// (bug)" — a watched word inside the page of this address was
+    /// provably never translated.
+    pub first_dropped_addr: Option<PhysAddr>,
     /// Bitmap lookups performed by the translator.
     pub bitmap_lookups: u64,
     /// Events whose watch bit was set (the paper's "interrupts generated"
@@ -133,6 +139,10 @@ pub struct Mbm {
     cache: BitmapCache,
     stats: MbmStats,
     sink: Option<SharedSink>,
+    faults: Option<SharedFaults>,
+    /// Interrupt assertions a fault is holding back: `(remaining pipeline
+    /// steps, triggering write address)`.
+    delayed_irqs: Vec<(u64, u64)>,
 }
 
 impl std::fmt::Debug for Mbm {
@@ -159,7 +169,17 @@ impl Mbm {
             },
             stats: MbmStats::default(),
             sink: None,
+            faults: None,
+            delayed_irqs: Vec::new(),
         }
+    }
+
+    /// Installs (or removes) the fault injector covering the monitor's
+    /// fault sites: IRQ drop/delay, translator stalls and bitmap
+    /// desync. Share the same injector with the machine so one schedule
+    /// spans the whole pipeline.
+    pub fn set_fault_injector(&mut self, faults: Option<SharedFaults>) {
+        self.faults = faults;
     }
 
     /// Installs (or removes) the telemetry sink; MBM events are stamped
@@ -180,6 +200,12 @@ impl Mbm {
     /// The monitor's configuration.
     pub fn config(&self) -> &MbmConfig {
         &self.config
+    }
+
+    /// Mutable configuration access — experiments and stress tests
+    /// adjust the drain rate mid-run to model translator backpressure.
+    pub fn config_mut(&mut self) -> &mut MbmConfig {
+        &mut self.config
     }
 
     /// Running statistics.
@@ -214,11 +240,65 @@ impl Mbm {
             );
         } else {
             self.stats.fifo_dropped += 1;
+            if self.stats.first_dropped_addr.is_none() {
+                self.stats.first_dropped_addr = Some(write.addr);
+            }
             self.emit(
                 cycles,
                 PointKind::MbmFifoDrop,
                 write.addr.raw(),
                 write.value,
+            );
+        }
+    }
+
+    /// Asserts the MBM interrupt line, subject to drop/delay faults.
+    /// `trigger` is the write address that caused the assertion.
+    fn raise_irq(&mut self, ctx: &mut BusContext<'_>, trigger: u64) {
+        let fault = match &self.faults {
+            Some(f) => f.borrow_mut().on_irq_raise(trigger),
+            None => IrqFault::None,
+        };
+        match fault {
+            IrqFault::None => {
+                self.stats.irqs_raised += 1;
+                ctx.irq.raise(IrqLine::MBM);
+                self.emit(
+                    ctx.cycles,
+                    PointKind::IrqRaised,
+                    u64::from(IrqLine::MBM.0),
+                    trigger,
+                );
+            }
+            IrqFault::Drop => {}
+            IrqFault::Delay(steps) => self.delayed_irqs.push((steps.max(1), trigger)),
+        }
+    }
+
+    /// Advances delayed interrupt assertions by one pipeline step,
+    /// delivering any that have run out their delay.
+    fn tick_delayed_irqs(&mut self, ctx: &mut BusContext<'_>) {
+        if self.delayed_irqs.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        self.delayed_irqs.retain_mut(|(remaining, trigger)| {
+            *remaining -= 1;
+            if *remaining == 0 {
+                due.push(*trigger);
+                false
+            } else {
+                true
+            }
+        });
+        for trigger in due {
+            self.stats.irqs_raised += 1;
+            ctx.irq.raise(IrqLine::MBM);
+            self.emit(
+                ctx.cycles,
+                PointKind::IrqRaised,
+                u64::from(IrqLine::MBM.0),
+                trigger,
             );
         }
     }
@@ -234,7 +314,7 @@ impl Mbm {
             return true;
         };
         self.stats.bitmap_lookups += 1;
-        let word_value = match self.cache.lookup(bitmap_word) {
+        let mut word_value = match self.cache.lookup(bitmap_word) {
             Some(v) => v,
             None => {
                 let v = ctx.mem.read_u64(bitmap_word);
@@ -244,6 +324,13 @@ impl Mbm {
                 v
             }
         };
+        // Fault site: a desynchronized bitmap word reads back as zero,
+        // blinding the decision unit for this lookup.
+        if let Some(faults) = &self.faults {
+            if faults.borrow_mut().on_bitmap_lookup(bitmap_word.raw()) {
+                word_value = 0;
+            }
+        }
         // Decision unit.
         if word_value & mask != 0 {
             self.stats.events_matched += 1;
@@ -262,14 +349,7 @@ impl Mbm {
             );
             self.stats.device_writes += 3; // entry (2 words) + tail index
             if pushed {
-                self.stats.irqs_raised += 1;
-                ctx.irq.raise(IrqLine::MBM);
-                self.emit(
-                    ctx.cycles,
-                    PointKind::IrqRaised,
-                    u64::from(IrqLine::MBM.0),
-                    write.addr.raw(),
-                );
+                self.raise_irq(ctx, write.addr.raw());
             } else {
                 self.stats.ring_overflows += 1;
             }
@@ -278,6 +358,14 @@ impl Mbm {
     }
 
     fn drain(&mut self, ctx: &mut BusContext<'_>) {
+        self.tick_delayed_irqs(ctx);
+        // Fault site: a stalled translator skips this whole drain
+        // opportunity, letting the FIFO back up.
+        if let Some(faults) = &self.faults {
+            if faults.borrow_mut().on_drain() {
+                return;
+            }
+        }
         let budget = self.config.drain_per_transaction.unwrap_or(usize::MAX);
         let backlog = self.fifo.len() as u64;
         if backlog > 0 {
@@ -317,13 +405,7 @@ impl Mbm {
         if let Some((base, len)) = self.config.secure_guard {
             if addr >= base && addr.raw() < base.raw() + len {
                 self.stats.secure_alarms += 1;
-                ctx.irq.raise(IrqLine::MBM);
-                self.emit(
-                    ctx.cycles,
-                    PointKind::IrqRaised,
-                    u64::from(IrqLine::MBM.0),
-                    addr.raw(),
-                );
+                self.raise_irq(ctx, addr.raw());
             }
         }
     }
@@ -648,5 +730,97 @@ mod tests {
         assert_ne!(rig.mbm.stats(), MbmStats::default());
         rig.mbm.reset_stats();
         assert_eq!(rig.mbm.stats(), MbmStats::default());
+    }
+
+    #[test]
+    fn fifo_overflow_records_first_dropped_addr() {
+        let mut cfg = config();
+        cfg.fifo_capacity = 2;
+        cfg.drain_per_transaction = Some(0); // translator stalled
+        let mut rig = Rig::new(cfg);
+        rig.watch(0x7000, 64);
+        for w in 0..5u64 {
+            rig.write(0x7000 + w * 8, w);
+        }
+        // Capacity 2 ⇒ writes 0 and 1 queue; write 2 (addr 0x7010) is the
+        // first casualty and must be the one remembered.
+        assert_eq!(rig.mbm.stats().fifo_dropped, 3);
+        assert_eq!(
+            rig.mbm.stats().first_dropped_addr,
+            Some(PhysAddr::new(0x7010))
+        );
+    }
+
+    #[test]
+    fn drop_irq_fault_suppresses_assertion_but_event_lands_in_ring() {
+        use hypernel_machine::fault::{share, FaultPlan, FaultSpec};
+        let mut rig = Rig::new(config());
+        rig.mbm.set_fault_injector(Some(share(
+            FaultPlan::new().with(FaultSpec::drop_irq(1, 1)),
+        )));
+        rig.watch(0x1000, 8);
+        rig.write(0x1000, 99);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+        assert_eq!(rig.mbm.stats().irqs_raised, 0);
+        assert!(!rig.irq.is_pending(IrqLine::MBM));
+        // The ring still holds the event: the monitor saw the write, only
+        // the line assertion was swallowed.
+        assert!(rig.pop_event().is_some());
+    }
+
+    #[test]
+    fn delay_irq_fault_defers_assertion_by_pipeline_steps() {
+        use hypernel_machine::fault::{share, FaultPlan, FaultSpec};
+        let mut rig = Rig::new(config());
+        let faults = share(FaultPlan::new().with(FaultSpec::delay_irq(1, 1, 2)));
+        rig.mbm.set_fault_injector(Some(faults));
+        rig.watch(0x1000, 8);
+        rig.write(0x1000, 7);
+        assert!(!rig.irq.is_pending(IrqLine::MBM));
+        // Each step (or drain) ticks the delay once; two ticks deliver it.
+        let mut ctx = BusContext {
+            mem: &mut rig.mem,
+            irq: &mut rig.irq,
+            extra_mem_accesses: &mut rig.extra,
+            cycles: 0,
+        };
+        rig.mbm.step(&mut ctx);
+        assert!(!ctx.irq.is_pending(IrqLine::MBM));
+        rig.mbm.step(&mut ctx);
+        assert!(ctx.irq.is_pending(IrqLine::MBM));
+        assert_eq!(rig.mbm.stats().irqs_raised, 1);
+    }
+
+    #[test]
+    fn stall_translator_fault_backs_up_fifo() {
+        use hypernel_machine::fault::{share, FaultPlan, FaultSpec};
+        let mut rig = Rig::new(config());
+        rig.watch(0x1000, 8);
+        // Stall the next two drain opportunities (installed after `watch`
+        // so the bitmap-update transactions don't consume the window).
+        rig.mbm.set_fault_injector(Some(share(
+            FaultPlan::new().with(FaultSpec::stall_translator(1, 2)),
+        )));
+        rig.write(0x1000, 1); // drain stalled: capture stays queued
+        assert_eq!(rig.mbm.fifo_len(), 1);
+        rig.write(0x2000, 2); // unwatched, but its drain is stalled too
+        assert_eq!(rig.mbm.fifo_len(), 2);
+        rig.write(0x3000, 3); // third drain runs, clears the backlog
+        assert_eq!(rig.mbm.fifo_len(), 0);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+    }
+
+    #[test]
+    fn desync_bitmap_fault_blinds_one_lookup() {
+        use hypernel_machine::fault::{share, FaultPlan, FaultSpec};
+        let mut rig = Rig::new(config());
+        rig.mbm.set_fault_injector(Some(share(
+            FaultPlan::new().with(FaultSpec::desync_bitmap(1, 1)),
+        )));
+        rig.watch(0x1000, 8);
+        rig.write(0x1000, 1); // lookup desynced: watched write missed
+        assert_eq!(rig.mbm.stats().events_matched, 0);
+        rig.write(0x1000, 2); // fault window exhausted: detected again
+        assert_eq!(rig.mbm.stats().events_matched, 1);
     }
 }

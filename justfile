@@ -45,3 +45,27 @@ bench-baseline:
     cargo run -q -p hypernel-analyze -- bench \
         --dir {{justfile_directory()}}/target/bench-summaries \
         --out {{justfile_directory()}}/benchmarks/baseline.json
+
+# Full adversarial campaign: sweep the shipped scenario corpus across
+# 64 seeds and enforce the invariant oracles. Artifacts land in
+# target/campaign/.
+campaign:
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus \
+        --seeds 64 --jobs 8 \
+        --out {{justfile_directory()}}/target/campaign/campaign.jsonl \
+        --summary {{justfile_directory()}}/target/campaign/campaign-summary.json
+    cargo run -q --release -p hypernel-analyze -- campaign \
+        {{justfile_directory()}}/target/campaign/campaign.jsonl
+
+# The CI campaign gate: a 16-seed corpus sweep; any oracle violation a
+# scenario did not declare exits nonzero.
+campaign-smoke:
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus \
+        --seeds 16 --jobs 4 \
+        --out {{justfile_directory()}}/target/campaign/campaign.jsonl \
+        --summary {{justfile_directory()}}/target/campaign/campaign-summary.json
+    cargo run -q --release -p hypernel-campaign -- minimize \
+        --corpus {{justfile_directory()}}/corpus \
+        --scenario fault-drop-irq --seed 0

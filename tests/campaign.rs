@@ -1,0 +1,160 @@
+//! Integration tests for the adversarial campaign engine, run against
+//! the shipped scenario corpus in `corpus/`.
+
+use std::path::PathBuf;
+
+use hypernel_campaign::engine::run_one;
+use hypernel_campaign::minimize::minimize;
+use hypernel_campaign::scenario::Scenario;
+use hypernel_campaign::sweep::{run_sweep, SweepConfig};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+fn load_corpus() -> Vec<Scenario> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).expect("readable");
+            Scenario::from_toml(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", p.display()))
+        })
+        .collect()
+}
+
+fn find(scenarios: &[Scenario], name: &str) -> Scenario {
+    scenarios
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("corpus is missing `{name}`"))
+        .clone()
+}
+
+#[test]
+fn corpus_parses_and_is_large_enough() {
+    let scenarios = load_corpus();
+    assert!(
+        scenarios.len() >= 8,
+        "the shipped corpus must hold at least 8 scenarios, found {}",
+        scenarios.len()
+    );
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+    names.dedup();
+    assert_eq!(
+        names.len(),
+        scenarios.len(),
+        "scenario names must be unique"
+    );
+}
+
+#[test]
+fn corpus_sweep_has_zero_unexpected_violations() {
+    let scenarios = load_corpus();
+    let outcome = run_sweep(&scenarios, SweepConfig { seeds: 2, jobs: 2 });
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    for record in &outcome.records {
+        let unexpected: Vec<_> = record.unexpected_violations().collect();
+        assert!(
+            unexpected.is_empty(),
+            "{} seed {}: {unexpected:?}",
+            record.scenario,
+            record.seed
+        );
+    }
+}
+
+#[test]
+fn same_scenario_and_seed_produce_byte_identical_records() {
+    let scenario = find(&load_corpus(), "cred-escalation");
+    let a = run_one(&scenario, 42).expect("run").to_json().to_string();
+    let b = run_one(&scenario, 42).expect("run").to_json().to_string();
+    assert_eq!(a, b);
+    let c = run_one(&scenario, 43).expect("run").to_json().to_string();
+    assert_ne!(a, c, "the seed must actually steer the run");
+}
+
+#[test]
+fn parallel_sweep_output_is_independent_of_job_count() {
+    let scenarios = vec![
+        find(&load_corpus(), "cred-escalation"),
+        find(&load_corpus(), "native-baseline"),
+    ];
+    let serial = run_sweep(&scenarios, SweepConfig { seeds: 3, jobs: 1 });
+    let pooled = run_sweep(&scenarios, SweepConfig { seeds: 3, jobs: 8 });
+    let a: Vec<String> = serial
+        .records
+        .iter()
+        .map(|r| r.to_json().to_string())
+        .collect();
+    let b: Vec<String> = pooled
+        .records
+        .iter()
+        .map(|r| r.to_json().to_string())
+        .collect();
+    assert_eq!(a, b, "scheduling must not leak into the artifact");
+}
+
+#[test]
+fn drop_irq_corpus_scenario_is_flagged_by_the_detection_oracle() {
+    let scenario = find(&load_corpus(), "fault-drop-irq");
+    let record = run_one(&scenario, 0).expect("run");
+    assert!(
+        record.passed,
+        "the mask is declared: {:?}",
+        record.violations
+    );
+    let detection_flags: Vec<_> = record
+        .violations
+        .iter()
+        .filter(|v| v.oracle == "detection")
+        .collect();
+    assert_eq!(detection_flags.len(), 1, "{:?}", record.violations);
+    assert!(detection_flags[0].expected);
+    assert!(
+        record.faults.expect("fault counters").irqs_dropped > 0,
+        "the fault actually fired"
+    );
+    assert_eq!(record.detections_total, 0, "the mask held");
+}
+
+#[test]
+fn minimize_reduces_the_drop_irq_schedule_to_a_tiny_repro() {
+    let scenario = find(&load_corpus(), "fault-drop-irq");
+    let outcome = minimize(&scenario, 0).expect("minimizes");
+    assert!(
+        outcome.schedule.len() <= 3,
+        "expected a <=3-event repro, got {:?}",
+        outcome.schedule
+    );
+    assert!(!outcome.schedule.is_empty(), "no faults, no mask");
+    // The reduced schedule still reproduces the miss.
+    assert_eq!(outcome.record.detections_total, 0);
+}
+
+#[test]
+fn overflow_scenario_attributes_the_miss_to_the_first_dropped_capture() {
+    let scenario = find(&load_corpus(), "fifo-overflow");
+    let record = run_one(&scenario, 0).expect("run");
+    assert!(record.passed, "{:?}", record.violations);
+    let mbm = record.mbm.expect("hypernel mode");
+    assert!(mbm.fifo_dropped > 0, "pressure must actually overflow");
+    let addr = mbm.first_dropped_addr.expect("first drop recorded");
+    let excused: Vec<_> = record
+        .violations
+        .iter()
+        .filter(|v| v.oracle == "detection" && v.expected)
+        .collect();
+    assert_eq!(excused.len(), 1, "{:?}", record.violations);
+    assert!(
+        excused[0].detail.contains(&format!("{:#x}", addr.raw())),
+        "the violation names the dropped address: {}",
+        excused[0].detail
+    );
+}

@@ -1,0 +1,86 @@
+//! Property tests over the attack-primitive corpus: for *any* attack
+//! primitive and *any* workload interleaving seed,
+//!
+//! - under **Hypernel** the primitive is either blocked outright or it
+//!   succeeds and every watched word it wrote is detected (and the W⊕X
+//!   audit stays clean either way);
+//! - under **Native** the same primitive succeeds and nothing notices.
+//!
+//! Runs go through the campaign engine, so these properties exercise
+//! the exact pipeline the corpus sweeps use.
+
+use hypernel::Mode;
+use hypernel_campaign::engine::run_one;
+use hypernel_campaign::scenario::{Scenario, StepExpect};
+use hypernel_kernel::AttackStep;
+use proptest::prelude::*;
+
+fn arb_attack() -> impl Strategy<Value = AttackStep> {
+    prop_oneof![
+        any::<u8>().prop_map(|_| AttackStep::CredEscalation { pid: 1 }),
+        any::<u16>().prop_map(|inode| AttackStep::DentryHijack {
+            path: "/bin/sh".to_string(),
+            rogue_inode: 0xE00 + u64::from(inode % 256),
+        }),
+        Just(AttackStep::MapSecureRegion { pid: 1 }),
+        any::<u16>().prop_map(|v| AttackStep::PtDirectWrite {
+            pid: 1,
+            value: u64::from(v),
+        }),
+        Just(AttackStep::TtbrRedirect),
+        Just(AttackStep::CodeInjection),
+        Just(AttackStep::TextPatch),
+        Just(AttackStep::AtraCred { pid: 1 }),
+        Just(AttackStep::AtraDentry {
+            path: "/bin/sh".to_string()
+        }),
+        Just(AttackStep::DoubleMapCred { pid: 1 }),
+    ]
+}
+
+fn scenario(name: &str, mode: Mode, step: AttackStep, background: u64) -> Scenario {
+    Scenario::new(name, mode)
+        .background(background % 5)
+        .step(step, StepExpect::Any)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hypernel_blocks_or_detects_every_primitive(
+        step in arb_attack(),
+        seed in any::<u64>(),
+        background in any::<u64>(),
+    ) {
+        let s = scenario("prop-hypernel", Mode::Hypernel, step.clone(), background);
+        let record = run_one(&s, seed).expect("run");
+        let sr = &record.steps[0];
+        prop_assert!(
+            sr.blocked || sr.detections > 0,
+            "{} (seed {seed}) succeeded undetected: {:?}",
+            sr.name,
+            record.violations
+        );
+        // Whatever the primitive did, the protected invariants hold.
+        prop_assert!(
+            record.violations.iter().all(|v| v.oracle != "wx"),
+            "audit violations: {:?}",
+            record.violations
+        );
+        prop_assert!(record.passed, "unexpected violations: {:?}", record.violations);
+    }
+
+    #[test]
+    fn native_lets_every_primitive_through_silently(
+        step in arb_attack(),
+        seed in any::<u64>(),
+        background in any::<u64>(),
+    ) {
+        let s = scenario("prop-native", Mode::Native, step.clone(), background);
+        let record = run_one(&s, seed).expect("run");
+        let sr = &record.steps[0];
+        prop_assert!(!sr.blocked, "{} blocked on a bare kernel", sr.name);
+        prop_assert_eq!(record.detections_total, 0, "nothing watches a bare kernel");
+    }
+}
