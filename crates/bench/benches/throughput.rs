@@ -1,0 +1,124 @@
+//! **Host throughput** — how fast the simulator itself runs, as
+//! opposed to what it simulates.
+//!
+//! Every other bench target reports *simulated* cycles, which the
+//! hot-path work (L0 micro-TLB, MBM watch-page filter, bulk memory
+//! ops, warm-boot forking) must leave bit-identical. This target
+//! measures the other axis: simulated work retired per host second.
+//! Two workloads bracket the hot paths:
+//!
+//! * `untar` under Hypernel — kernel-heavy syscall streams through the
+//!   bulk read/write path, every access through the TLB front, every
+//!   bus write past the MBM filter;
+//! * a small campaign sweep — the full scenario engine including the
+//!   warm-boot template cache.
+//!
+//! Metrics ending in `_mops` are throughput (higher is better); the
+//! perf gate treats a *drop* as the regression. Run with
+//! `cargo bench -p hypernel-bench --bench throughput`, or via
+//! `just bench-throughput`.
+
+use std::time::Instant;
+
+use hypernel::{Mode, System};
+use hypernel_bench::rule;
+use hypernel_bench::summary::BenchSummary;
+use hypernel_campaign::scenario::{Scenario, StepExpect};
+use hypernel_campaign::sweep::{run_sweep, SweepConfig};
+use hypernel_kernel::AttackStep;
+use hypernel_workloads::AppBenchmark;
+
+/// Repetitions per workload, honoring `HYPERNEL_BENCH_ITERS` (the CI
+/// smoke path sets a small count); throughput needs a few repeats to
+/// amortize process-level noise.
+fn reps() -> u64 {
+    std::env::var("HYPERNEL_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Runs `untar` under Hypernel `reps` times; returns
+/// `(simulated memory accesses, host seconds)`.
+fn untar_throughput(reps: u64) -> (u64, f64) {
+    use hypernel_workloads::apps;
+    let mut accesses = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            apps::prepare(kernel, machine, hyp, AppBenchmark::Untar).expect("prepare");
+            apps::run(kernel, machine, hyp, AppBenchmark::Untar, 1, 42).expect("untar run");
+        }
+        let stats = sys.machine().stats();
+        accesses += stats.reads + stats.writes;
+    }
+    (accesses, start.elapsed().as_secs_f64())
+}
+
+/// Runs a small two-scenario sweep `reps` times; returns
+/// `(simulated cycles across all records, host seconds)`.
+fn sweep_throughput(reps: u64, seeds: u64) -> (u64, f64) {
+    let scenarios = vec![
+        Scenario::new("throughput-cred", Mode::Hypernel)
+            .background(2)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Detected),
+        Scenario::new("throughput-native", Mode::Native).step(
+            AttackStep::CredEscalation { pid: 1 },
+            StepExpect::Undetected,
+        ),
+    ];
+    let mut cycles = 0u64;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let outcome = run_sweep(&scenarios, SweepConfig { seeds, jobs: 1 });
+        assert!(outcome.failures.is_empty(), "sweep must run cleanly");
+        cycles += outcome.records.iter().map(|r| r.cycles).sum::<u64>();
+    }
+    (cycles, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let reps = reps();
+    let seeds = 8;
+    println!("Host throughput: simulated work retired per host second");
+    println!("(higher is better; simulated-cycle results are unaffected by design)");
+    rule(72);
+    println!(
+        "{:<16} | {:>14} | {:>10} | {:>12}",
+        "workload", "simulated", "host (s)", "sim Mops/s"
+    );
+    rule(72);
+
+    let (accesses, untar_s) = untar_throughput(reps);
+    let untar_mops = accesses as f64 / 1e6 / untar_s;
+    println!(
+        "{:<16} | {:>11} acc | {:>10.3} | {:>12.2}",
+        "untar (hypernel)", accesses, untar_s, untar_mops
+    );
+
+    let (cycles, sweep_s) = sweep_throughput(reps, seeds);
+    let sweep_mops = cycles as f64 / 1e6 / sweep_s;
+    println!(
+        "{:<16} | {:>11} cyc | {:>10.3} | {:>12.2}",
+        "campaign sweep", cycles, sweep_s, sweep_mops
+    );
+    rule(72);
+    println!("fastpaths: {}", fastpath_label());
+
+    let mut summary = BenchSummary::new("throughput");
+    summary
+        .metric("untar sim mops", untar_mops)
+        .metric("campaign sweep sim mops", sweep_mops);
+    summary.write_if_requested();
+}
+
+fn fastpath_label() -> &'static str {
+    if hypernel_machine::fastpath_enabled() {
+        "enabled"
+    } else {
+        "disabled (HYPERNEL_NO_FASTPATH)"
+    }
+}

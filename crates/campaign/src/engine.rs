@@ -87,7 +87,15 @@ impl From<KernelError> for EngineError {
     }
 }
 
-fn build_system(scenario: &Scenario) -> Result<System, EngineError> {
+/// Boots the system a scenario runs on. The result depends only on the
+/// scenario — never the seed — so sweeps boot each scenario **once** and
+/// [`System::fork`] a copy per seed (the warm-boot fast path); a fork is
+/// observationally identical to a fresh boot.
+///
+/// # Errors
+///
+/// Propagates boot failures as [`EngineError`].
+pub fn boot_system(scenario: &Scenario) -> Result<System, EngineError> {
     let mut builder = SystemBuilder::new(scenario.mode);
     if !scenario.faults.is_empty() {
         builder = builder.fault_plan(scenario.faults.clone());
@@ -158,8 +166,22 @@ pub fn run_one_logged(
     scenario: &Scenario,
     seed: u64,
 ) -> Result<(RunRecord, Vec<hypernel_machine::FaultHit>), EngineError> {
+    run_one_on(boot_system(scenario)?, scenario, seed)
+}
+
+/// [`run_one_logged`] on an already-booted system — the warm-boot entry
+/// point. `sys` must come from [`boot_system`] (or a [`System::fork`] of
+/// one) for the same scenario; the record is identical either way.
+///
+/// # Errors
+///
+/// Same as [`run_one`].
+pub fn run_one_on(
+    mut sys: System,
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<(RunRecord, Vec<hypernel_machine::FaultHit>), EngineError> {
     let mut rng = SplitMix64::new(seed ^ fnv1a(&scenario.name));
-    let mut sys = build_system(scenario)?;
 
     // (step index, cycles at step start, cycles after its service pass)
     let mut timings: Vec<(u64, u64)> = Vec::new();
@@ -275,6 +297,36 @@ mod tests {
         assert_eq!(a, b, "determinism: same (scenario, seed), same bytes");
         let c = run_one(&scenario, 12).expect("runs").to_json().to_string();
         assert_ne!(a, c, "different seed must change the interleaving");
+    }
+
+    #[test]
+    fn warm_boot_fork_yields_identical_record() {
+        let scenario = cred_scenario();
+        let cold = run_one(&scenario, 5).expect("cold").to_json().to_string();
+        let template = boot_system(&scenario).expect("template");
+        for seed in [5, 9] {
+            let (warm, _) = run_one_on(template.fork(), &scenario, seed).expect("warm");
+            let reference = run_one(&scenario, seed)
+                .expect("cold")
+                .to_json()
+                .to_string();
+            assert_eq!(warm.to_json().to_string(), reference, "seed {seed}");
+        }
+        // The template itself is untouched and still usable.
+        let (again, _) = run_one_on(template.fork(), &scenario, 5).expect("reuse");
+        assert_eq!(again.to_json().to_string(), cold);
+    }
+
+    #[test]
+    fn warm_boot_fork_matches_under_faults() {
+        let scenario = Scenario::new("unit-drop", Mode::Hypernel)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Masked)
+            .fault(FaultSpec::drop_irq(1, u64::MAX));
+        let template = boot_system(&scenario).expect("template");
+        let (warm, warm_log) = run_one_on(template.fork(), &scenario, 3).expect("warm");
+        let (cold, cold_log) = run_one_logged(&scenario, 3).expect("cold");
+        assert_eq!(warm.to_json().to_string(), cold.to_json().to_string());
+        assert_eq!(warm_log, cold_log, "fault hit logs must agree");
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! the output is independent of scheduling — the same campaign at
 //! `--jobs 1` and `--jobs 8` produces byte-identical artifacts.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+
+use hypernel::System;
+use hypernel_machine::fastpath_enabled;
 
 use crate::engine::{self, EngineError};
 use crate::record::RunRecord;
@@ -66,12 +69,29 @@ fn worker(
     queue: &Mutex<VecDeque<WorkItem>>,
     tx: &mpsc::Sender<WorkResult>,
 ) {
+    // Warm-boot cache: booting a scenario's system is seed-independent
+    // (see `engine::boot_system`), so each worker boots a template once
+    // per scenario and forks a copy per seed. Forks are observationally
+    // identical to fresh boots, so the records — and the campaign
+    // artifact — are byte-identical with the cache on or off
+    // (`HYPERNEL_NO_FASTPATH=1` disables it for the determinism gate).
+    let mut templates: HashMap<usize, System> = HashMap::new();
     loop {
         let item = queue.lock().expect("queue poisoned").pop_front();
         let Some((scenario_idx, seed)) = item else {
             break;
         };
-        let result = engine::run_one(&scenarios[scenario_idx], seed);
+        let scenario = &scenarios[scenario_idx];
+        let result = if fastpath_enabled() {
+            use std::collections::hash_map::Entry;
+            match templates.entry(scenario_idx) {
+                Entry::Occupied(e) => Ok(&*e.into_mut()),
+                Entry::Vacant(v) => engine::boot_system(scenario).map(|sys| &*v.insert(sys)),
+            }
+            .and_then(|t| engine::run_one_on(t.fork(), scenario, seed).map(|(record, _)| record))
+        } else {
+            engine::run_one(scenario, seed)
+        };
         if tx.send((scenario_idx, seed, result)).is_err() {
             break;
         }
@@ -177,6 +197,34 @@ mod tests {
             .map(|r| r.to_json().to_string())
             .collect();
         assert_eq!(a, b, "parallelism must not leak into records");
+    }
+
+    #[test]
+    fn warm_boot_cache_does_not_change_the_artifact() {
+        // Same campaign with the per-worker template cache exercised
+        // hard (one worker, many seeds per scenario) must serialize
+        // identically to an independent in-process reference built run
+        // by run — the exact comparison the CI determinism gate repeats
+        // across processes with HYPERNEL_NO_FASTPATH=1.
+        let scenarios = scenarios();
+        let swept = run_sweep(&scenarios, SweepConfig { seeds: 3, jobs: 1 });
+        let mut reference = Vec::new();
+        for scenario in &scenarios {
+            for seed in 0..3 {
+                reference.push(
+                    crate::engine::run_one(scenario, seed)
+                        .expect("runs")
+                        .to_json()
+                        .to_string(),
+                );
+            }
+        }
+        let swept: Vec<String> = swept
+            .records
+            .iter()
+            .map(|r| r.to_json().to_string())
+            .collect();
+        assert_eq!(swept, reference);
     }
 
     #[test]

@@ -263,6 +263,38 @@ impl RunReport {
         Json::obj(fields)
     }
 
+    /// Host-side fast-path telemetry: L0 micro-TLB and MBM watch-page
+    /// filter counters, rendered as markdown.
+    ///
+    /// These counters are *deliberately excluded* from
+    /// [`RunReport::to_json`] and [`RunReport::to_markdown`]: they
+    /// describe how fast the simulator ran (and legitimately differ
+    /// under `HYPERNEL_NO_FASTPATH`), not what the simulated machine
+    /// did — and the deterministic run artifacts must stay
+    /// byte-identical with the fast paths on or off.
+    pub fn host_fastpath_markdown(&self) -> String {
+        let mut out = String::from("#### Host fast paths (not part of the run artifact)\n\n");
+        out.push_str("| counter | value |\n|---|---|\n");
+        out.push_str(&format!("| L0 micro-TLB hits | {} |\n", self.tlb.l0_hits));
+        out.push_str(&format!(
+            "| L0 micro-TLB fall-throughs | {} |\n",
+            self.tlb.l0_misses
+        ));
+        if let Some(rate) = self.tlb.l0_hit_rate() {
+            out.push_str(&format!(
+                "| L0 share of all lookups | {:.1}% |\n",
+                rate * 100.0
+            ));
+        }
+        if let Some(mbm) = self.mbm {
+            out.push_str(&format!(
+                "| MBM watch-page filter skips | {} |\n",
+                mbm.page_filter_skips
+            ));
+        }
+        out
+    }
+
     /// Deltas of the headline counters versus an earlier snapshot of the
     /// same system (for before/after experiment phases).
     ///
@@ -435,6 +467,42 @@ mod tests {
         let doc = Json::parse(&RunReport::capture(&sys).to_json().to_string()).unwrap();
         assert!(doc.get("telemetry").is_none());
         assert!(doc.get("mbm").is_none());
+    }
+
+    #[test]
+    fn host_fastpath_counters_stay_out_of_the_artifact() {
+        let mut sys = System::boot(Mode::Hypernel).expect("boot");
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            let child = kernel.sys_fork(machine, hyp).expect("fork");
+            kernel.switch_to(machine, hyp, child).expect("switch");
+            kernel
+                .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                .expect("exit");
+        }
+        let report = RunReport::capture(&sys);
+
+        // The host-side surface exposes the L0 and MBM filter counters…
+        let host = report.host_fastpath_markdown();
+        assert!(host.contains("| L0 micro-TLB hits |"));
+        assert!(host.contains("| L0 micro-TLB fall-throughs |"));
+        assert!(host.contains("| MBM watch-page filter skips |"));
+
+        // …but the deterministic artifacts must not mention them: they
+        // differ under HYPERNEL_NO_FASTPATH, and the run artifact is
+        // required to be byte-identical with fast paths on or off.
+        let json = report.to_json().to_string();
+        assert!(!json.contains("l0_"), "l0 counters leaked into JSON");
+        assert!(
+            !json.contains("page_filter_skips"),
+            "filter counter leaked into JSON"
+        );
+        let md = report.to_markdown();
+        assert!(!md.contains("L0"), "l0 counters leaked into markdown");
+        assert!(
+            !md.contains("filter skips"),
+            "filter counter leaked into markdown"
+        );
     }
 
     #[test]

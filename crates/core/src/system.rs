@@ -85,6 +85,7 @@ impl std::fmt::Display for Mode {
 
 /// The EL2 software installed on the machine.
 #[allow(clippy::large_enum_variant)] // one instance per system; boxing buys nothing
+#[derive(Clone)]
 enum El2Software {
     Native(NullHyp),
     Kvm(KvmHypervisor),
@@ -461,6 +462,49 @@ impl System {
         self.telemetry.as_ref().map(|t| t.ring.borrow().dropped())
     }
 
+    /// Forks this booted system into an independent copy (warm-boot
+    /// reuse): all architectural and software state — memory, TLB,
+    /// cache, registers, bus devices, kernel tables, EL2 software — is
+    /// deep-copied, and the two host-side shared attachments are
+    /// re-wired so the copy never aliases the original:
+    ///
+    /// * the fault injector (machine, bus and MBM handles) is replaced
+    ///   by a fresh `Rc` around a copy of its current state, so the
+    ///   fork's occurrence counters advance independently;
+    /// * telemetry sinks are detached on the copy (enable telemetry on
+    ///   the fork afterwards if the experiment needs it).
+    ///
+    /// A fork taken immediately after boot is observationally identical
+    /// to a fresh [`SystemBuilder::build`] with the same settings: the
+    /// campaign engine relies on this to boot each scenario once and
+    /// fork per seed.
+    pub fn fork(&self) -> System {
+        let mut machine = self.machine.clone();
+        // The clone shares the original's telemetry fan-out (an `Rc`);
+        // detach it so the fork cannot feed the original's ring.
+        machine.set_telemetry_sink(None);
+        if let Some(mbm) = machine.bus_mut().snooper_mut::<Mbm>() {
+            mbm.set_telemetry_sink(None);
+        }
+        // Same for the fault injector: give the fork its own copy of the
+        // injector state behind a fresh handle, wired to machine, bus
+        // and MBM alike.
+        if let Some(shared) = machine.fault_injector() {
+            let fresh: fault::SharedFaults = Rc::new(RefCell::new(shared.borrow().clone()));
+            machine.set_fault_injector(Some(fresh.clone()));
+            if let Some(mbm) = machine.bus_mut().snooper_mut::<Mbm>() {
+                mbm.set_fault_injector(Some(fresh));
+            }
+        }
+        System {
+            mode: self.mode,
+            machine,
+            kernel: self.kernel.clone(),
+            el2: self.el2.clone(),
+            telemetry: None,
+        }
+    }
+
     /// Runs Hypersec's invariant auditor against the live machine state
     /// (Hypernel mode only). See [`Hypersec::audit`].
     pub fn audit_hypersec(&mut self) -> Option<hypernel_hypersec::AuditReport> {
@@ -587,6 +631,59 @@ mod tests {
         assert!(n > 0, "enabled telemetry records syscall spans");
         sys.disable_telemetry();
         assert!(sys.telemetry_snapshot().is_none());
+    }
+
+    #[test]
+    fn fork_after_boot_matches_fresh_boot() {
+        for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+            let template = System::boot(mode).expect("boot template");
+            let mut forked = template.fork();
+            let mut fresh = System::boot(mode).expect("boot fresh");
+            for sys in [&mut forked, &mut fresh] {
+                let (kernel, machine, hyp) = sys.parts();
+                let child = kernel.sys_fork(machine, hyp).expect("fork");
+                kernel.switch_to(machine, hyp, child).expect("switch");
+                kernel
+                    .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                    .expect("exit");
+            }
+            assert_eq!(forked.cycles(), fresh.cycles(), "cycles diverge ({mode})");
+            assert_eq!(forked.mbm_stats(), fresh.mbm_stats(), "mbm ({mode})");
+            assert_eq!(
+                forked.machine().stats().hypercalls,
+                fresh.machine().stats().hypercalls,
+                "hypercalls ({mode})"
+            );
+            // Work on the fork must not leak back into the template.
+            assert_eq!(template.cycles(), System::boot(mode).unwrap().cycles());
+        }
+    }
+
+    #[test]
+    fn fork_rewires_fault_injector() {
+        use hypernel_machine::fault::FaultSpec;
+        let template = SystemBuilder::new(Mode::Hypernel)
+            .fault_plan(FaultPlan::new().with(FaultSpec::drop_irq(1, 1)))
+            .build()
+            .expect("boot");
+        let mut forked = template.fork();
+        // The fork carries its own injector handle (same plan state, no
+        // sharing): driving one must never advance the other's counters.
+        let original = template.machine().fault_injector().expect("installed");
+        let copy = forked.machine().fault_injector().expect("rewired");
+        assert!(!Rc::ptr_eq(&original, &copy), "injector must not alias");
+        copy.borrow_mut().on_irq_raise(0xDEAD);
+        assert_eq!(template.fault_stats().map(|s| s.total()), Some(0));
+        assert_eq!(forked.fault_stats().map(|s| s.total()), Some(1));
+        // And the MBM inside the forked bus sees the fork's handle, not
+        // the template's.
+        let mbm_handle = forked
+            .machine_mut()
+            .bus_mut()
+            .snooper_mut::<Mbm>()
+            .and_then(|m| m.fault_injector())
+            .expect("mbm handle");
+        assert!(Rc::ptr_eq(&mbm_handle, &copy), "mbm shares fork handle");
     }
 
     #[test]

@@ -213,6 +213,11 @@ pub struct HypersecStats {
 
 /// The Hypersec EL2 runtime. Implements [`Hyp`]; create with
 /// [`Hypersec::install`] on a machine still in its EL2 boot state.
+///
+/// `Clone` deep-copies the whole EL2 state — table shadows, regions,
+/// security apps (via [`SecurityApp::clone_box`]), detections and stats —
+/// supporting warm-boot forking of a booted system.
+#[derive(Clone)]
 pub struct Hypersec {
     config: HypersecConfig,
     tables: HashMap<u64, TableInfo>,

@@ -90,10 +90,21 @@ pub trait SecurityApp {
 
     /// Judges one monitored write.
     fn on_event(&mut self, event: &MonitorEvent) -> Verdict;
+
+    /// Deep-copies the app (including any accumulated per-object state),
+    /// so a whole [`crate::hypersec::Hypersec`] instance — and with it a
+    /// booted system — can be snapshotted and forked for warm-boot reuse.
+    fn clone_box(&self) -> Box<dyn SecurityApp>;
+}
+
+impl Clone for Box<dyn SecurityApp> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Tracks per-word write counts to implement the write-once invariant.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct WriteOnce {
     writes: HashMap<u64, u32>,
 }
@@ -148,7 +159,7 @@ fn field_offset_words(kind: ObjectKind, event: &MonitorEvent) -> u64 {
 
 /// The cred-integrity monitor: watches user/group ids, capabilities and
 /// secure bits; flags any mutation after the commit write.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CredMonitor {
     state: WriteOnce,
     events_seen: u64,
@@ -167,6 +178,10 @@ impl CredMonitor {
 }
 
 impl SecurityApp for CredMonitor {
+    fn clone_box(&self) -> Box<dyn SecurityApp> {
+        Box::new(self.clone())
+    }
+
     fn on_region_registered(&mut self, machine: &mut Machine, region: &Region) {
         self.state.preconsume(machine, region);
     }
@@ -208,7 +223,7 @@ impl SecurityApp for CredMonitor {
 
 /// The dentry-integrity monitor: watches identity/redirection fields
 /// (`d_inode`, `d_parent`, `d_op`, name hash, flags).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DentryMonitor {
     state: WriteOnce,
     events_seen: u64,
@@ -227,6 +242,10 @@ impl DentryMonitor {
 }
 
 impl SecurityApp for DentryMonitor {
+    fn clone_box(&self) -> Box<dyn SecurityApp> {
+        Box::new(self.clone())
+    }
+
     fn on_region_registered(&mut self, machine: &mut Machine, region: &Region) {
         self.state.preconsume(machine, region);
     }
@@ -359,7 +378,7 @@ mod tests {
 /// use is function-pointer fields (`d_op` vtables): only pointers into
 /// known vtable sets are legitimate, and a single forged write is caught
 /// on its *first* occurrence — even during an object's construction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ValueWhitelistMonitor {
     sid: u32,
     name: String,
@@ -394,6 +413,10 @@ impl ValueWhitelistMonitor {
 }
 
 impl SecurityApp for ValueWhitelistMonitor {
+    fn clone_box(&self) -> Box<dyn SecurityApp> {
+        Box::new(self.clone())
+    }
+
     fn sid(&self) -> u32 {
         self.sid
     }

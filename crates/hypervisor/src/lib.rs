@@ -108,7 +108,7 @@ pub mod codes {
 /// kvm.install(&mut machine);
 /// assert!(machine.regs().stage2_enabled());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KvmHypervisor {
     config: KvmConfig,
     s2_root: PhysAddr,

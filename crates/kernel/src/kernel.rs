@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use hypernel_machine::addr::{PhysAddr, VirtAddr, PAGE_SIZE};
 use hypernel_machine::irq::IrqLine;
-use hypernel_machine::machine::{Exception, Hyp, Machine};
+use hypernel_machine::machine::{BlockFault, Exception, Hyp, Machine};
 use hypernel_machine::pagetable::PagePerms;
 use hypernel_machine::regs::{sctlr, ExceptionLevel, SysReg};
 use hypernel_telemetry::SpanKind;
@@ -222,7 +222,10 @@ impl From<crate::pgalloc::OutOfFramesError> for KernelError {
 const SIGNAL_HANDLER_ADDR: u64 = 0x40_2000;
 
 /// The kernel.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies every allocator, slab and task table, so a booted
+/// kernel can be snapshotted alongside its machine for warm-boot forking.
+#[derive(Debug, Clone)]
 pub struct Kernel {
     config: KernelConfig,
     frames: FrameAllocator,
@@ -478,6 +481,110 @@ impl Kernel {
         va: VirtAddr,
     ) -> Result<u64, KernelError> {
         Ok(m.read_u64(va, hyp)?)
+    }
+
+    /// Block variant of [`Kernel::kwrite`]: writes `words` consecutive
+    /// words starting at `va`, word `j` taking `value_of(j)`. Model-
+    /// equivalent to one `kwrite` per word — including the granularity-
+    /// gap emulation fallback, applied per faulting word.
+    fn kwrite_block(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        va: VirtAddr,
+        words: u64,
+        mut value_of: impl FnMut(u64) -> u64,
+    ) -> Result<(), KernelError> {
+        let mut done = 0u64;
+        while done < words {
+            match m.write_block(va.add(done * 8), words - done, hyp, |j| value_of(done + j)) {
+                Ok(()) => return Ok(()),
+                Err(BlockFault {
+                    completed,
+                    exception,
+                }) => {
+                    done += completed;
+                    // The faulting word's machine attempt already
+                    // happened inside write_block; resolve it the way
+                    // kwrite would, without replaying the access.
+                    match exception {
+                        Exception::DataAbort {
+                            permission: true, ..
+                        } if self.locked => {
+                            m.charge_fault();
+                            self.stats.emulated_writes += 1;
+                            let (nr, args) = Hypercall::EmulateWrite {
+                                va: va.add(done * 8),
+                                value: value_of(done),
+                            }
+                            .encode();
+                            m.hvc(nr, args, hyp)?;
+                            done += 1;
+                        }
+                        e => return Err(e.into()),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Block variant of [`Kernel::kread`]: reads `words` consecutive
+    /// words starting at `va`, returning the last one.
+    fn kread_block(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        va: VirtAddr,
+        words: u64,
+    ) -> Result<u64, KernelError> {
+        m.read_block(va, words, hyp).map_err(|f| f.exception.into())
+    }
+
+    /// Streams `words` sequential writes through the page-cache copy
+    /// pattern: stream word `i` goes to `base + (i % 512) * 8` (the VA
+    /// wraps modulo one page) with value `first_value + i`. Splits the
+    /// stream into contiguous page runs for [`Kernel::kwrite_block`];
+    /// model-equivalent to one `kwrite` per word.
+    fn kcopy_to_page(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        base: PhysAddr,
+        words: u64,
+        first_value: u64,
+    ) -> Result<(), KernelError> {
+        const WORDS_PER_PAGE: u64 = PAGE_SIZE / 8;
+        let mut i = 0u64;
+        while i < words {
+            let off = i % WORDS_PER_PAGE;
+            let run = (WORDS_PER_PAGE - off).min(words - i);
+            let start = i;
+            self.kwrite_block(m, hyp, layout::kva(base.add(off * 8)), run, |j| {
+                first_value + start + j
+            })?;
+            i += run;
+        }
+        Ok(())
+    }
+
+    /// Read counterpart of [`Kernel::kcopy_to_page`].
+    fn kread_from_page(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        base: PhysAddr,
+        words: u64,
+    ) -> Result<(), KernelError> {
+        const WORDS_PER_PAGE: u64 = PAGE_SIZE / 8;
+        let mut i = 0u64;
+        while i < words {
+            let off = i % WORDS_PER_PAGE;
+            let run = (WORDS_PER_PAGE - off).min(words - i);
+            self.kread_block(m, hyp, layout::kva(base.add(off * 8)), run)?;
+            i += run;
+        }
+        Ok(())
     }
 
     /// Prepares a freshly allocated frame: zeroes it and performs one
@@ -978,9 +1085,8 @@ impl Kernel {
         let inode = self.dentry_read(m, hyp, dentry, DentryField::Inode)?;
         // Fill the user's stat buffer (8 words on the stack page).
         let sp = VirtAddr::new(layout::USER_STACK_TOP);
-        for i in 0..8u64 {
-            m.write_u64(sp.add(i * 8), inode + i, hyp)?;
-        }
+        m.write_block(sp, 8, hyp, |i| inode + i)
+            .map_err(|f| f.exception)?;
         self.dput(m, hyp, dentry)?;
         Self::syscall_epilogue(m);
         Ok(())
@@ -1028,13 +1134,9 @@ impl Kernel {
         // "run" the handler, then sigreturn (second kernel entry).
         self.kread(m, hyp, layout::kva(base.add((sig % 64) * 16)))?;
         let sp = VirtAddr::new(layout::USER_STACK_TOP);
-        for i in 0..16u64 {
-            m.write_u64(sp.add(i * 8), i, hyp)?;
-        }
+        m.write_block(sp, 16, hyp, |i| i).map_err(|f| f.exception)?;
         m.charge_syscall(); // sigreturn
-        for i in 0..16u64 {
-            m.read_u64(sp.add(i * 8), hyp)?;
-        }
+        m.read_block(sp, 16, hyp).map_err(|f| f.exception)?;
         Self::syscall_epilogue(m);
         Ok(())
     }
@@ -1559,11 +1661,7 @@ impl Kernel {
             }
         };
         m.charge((bytes / PAGE_SIZE + 1) * tuning::FILE_COPY_COMPUTE_PER_PAGE);
-        let words = (bytes / 8).max(1);
-        for i in 0..words {
-            let va = layout::kva(data.add((i % (PAGE_SIZE / 8)) * 8));
-            self.kwrite(m, hyp, va, i)?;
-        }
+        self.kcopy_to_page(m, hyp, data, (bytes / 8).max(1), 0)?;
         // File writes update the *inode* mtime, not the dentry — dentry
         // fields stay untouched on the data path.
         self.dput(m, hyp, dentry)?;
@@ -1587,11 +1685,7 @@ impl Kernel {
         let dentry = self.lookup(m, hyp, path)?;
         if let Some(&data) = self.file_data.get(&dentry) {
             m.charge((bytes / PAGE_SIZE + 1) * tuning::FILE_COPY_COMPUTE_PER_PAGE);
-            let words = (bytes / 8).max(1);
-            for i in 0..words {
-                let va = layout::kva(data.add((i % (PAGE_SIZE / 8)) * 8));
-                self.kread(m, hyp, va)?;
-            }
+            self.kread_from_page(m, hyp, data, (bytes / 8).max(1))?;
         }
         self.dput(m, hyp, dentry)?;
         Self::syscall_epilogue(m);
@@ -1689,11 +1783,7 @@ impl Kernel {
             }
         };
         m.charge((bytes / PAGE_SIZE + 1) * tuning::FILE_COPY_COMPUTE_PER_PAGE);
-        let words = (bytes / 8).max(1);
-        for i in 0..words {
-            let va = layout::kva(data.add((i % (PAGE_SIZE / 8)) * 8));
-            self.kwrite(m, hyp, va, i)?;
-        }
+        self.kcopy_to_page(m, hyp, data, (bytes / 8).max(1), 0)?;
         Self::syscall_epilogue(m);
         Ok(())
     }
@@ -1714,11 +1804,7 @@ impl Kernel {
         let dentry = self.fd_dentry(fd)?;
         if let Some(&data) = self.file_data.get(&dentry) {
             m.charge((bytes / PAGE_SIZE + 1) * tuning::FILE_COPY_COMPUTE_PER_PAGE);
-            let words = (bytes / 8).max(1);
-            for i in 0..words {
-                let va = layout::kva(data.add((i % (PAGE_SIZE / 8)) * 8));
-                self.kread(m, hyp, va)?;
-            }
+            self.kread_from_page(m, hyp, data, (bytes / 8).max(1))?;
         }
         Self::syscall_epilogue(m);
         Ok(())
@@ -1744,9 +1830,7 @@ impl Kernel {
         // Writer side.
         self.syscall_prologue(m);
         m.charge(tuning::PIPE_COMPUTE);
-        for i in 0..words {
-            self.kwrite(m, hyp, layout::kva(buf.add((i % 512) * 8)), i)?;
-        }
+        self.kcopy_to_page(m, hyp, buf, words, 0)?;
         // Wake the peer: cross-CPU IPI (a vGIC trap under KVM).
         m.send_sgi(hyp);
         Self::syscall_epilogue(m);
@@ -1754,25 +1838,19 @@ impl Kernel {
         // Reader side.
         self.syscall_prologue(m);
         m.charge(tuning::PIPE_COMPUTE);
-        for i in 0..words {
-            self.kread(m, hyp, layout::kva(buf.add((i % 512) * 8)))?;
-        }
+        self.kread_from_page(m, hyp, buf, words)?;
         Self::syscall_epilogue(m);
         // Reply.
         self.syscall_prologue(m);
         m.charge(tuning::PIPE_COMPUTE);
-        for i in 0..words {
-            self.kwrite(m, hyp, layout::kva(buf.add((i % 512) * 8)), i + 1)?;
-        }
+        self.kcopy_to_page(m, hyp, buf, words, 1)?;
         m.send_sgi(hyp);
         Self::syscall_epilogue(m);
         self.switch_to(m, hyp, me)?;
         // Original task consumes the reply.
         self.syscall_prologue(m);
         m.charge(tuning::PIPE_COMPUTE);
-        for i in 0..words {
-            self.kread(m, hyp, layout::kva(buf.add((i % 512) * 8)))?;
-        }
+        self.kread_from_page(m, hyp, buf, words)?;
         Self::syscall_epilogue(m);
         Ok(())
     }

@@ -104,6 +104,11 @@ pub trait BusSnooper: Any {
 
     /// Mutable upcast to [`Any`].
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Deep-copies the device (including any queued internal state), so
+    /// a whole bus — and with it a whole machine — can be snapshotted
+    /// and forked for warm-boot reuse.
+    fn clone_box(&self) -> Box<dyn BusSnooper>;
 }
 
 /// The memory bus: DRAM plus an ordered list of snooping devices.
@@ -125,6 +130,20 @@ impl std::fmt::Debug for MemoryBus {
             .field("reads", &self.reads)
             .field("writes", &self.writes)
             .finish()
+    }
+}
+
+impl Clone for MemoryBus {
+    /// Deep-copies every attached snooper via
+    /// [`BusSnooper::clone_box`]. A fault injector is shared (`Rc`) —
+    /// callers forking a machine re-wire it afterwards.
+    fn clone(&self) -> Self {
+        Self {
+            snoopers: self.snoopers.iter().map(|s| s.clone_box()).collect(),
+            reads: self.reads,
+            writes: self.writes,
+            faults: self.faults.clone(),
+        }
     }
 }
 
@@ -270,7 +289,7 @@ impl MemoryBus {
 mod tests {
     use super::*;
 
-    #[derive(Debug, Default)]
+    #[derive(Debug, Default, Clone)]
     struct Recorder {
         seen: Vec<BusTransaction>,
     }
@@ -284,6 +303,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+        fn clone_box(&self) -> Box<dyn BusSnooper> {
+            Box::new(self.clone())
         }
     }
 

@@ -243,6 +243,7 @@ pub enum IrqFault {
     Delay(u64),
 }
 
+#[derive(Clone)]
 struct SpecState {
     spec: FaultSpec,
     seen: u64,
@@ -259,6 +260,12 @@ impl SpecState {
 
 /// Executes a [`FaultPlan`]: each site consults the injector, which
 /// tracks occurrence counts per spec and records every injection.
+///
+/// `Clone` copies the occurrence counters, stats and log as they stand,
+/// so a forked system resumes fault injection exactly where the original
+/// was at fork time (for warm-boot reuse, that is the fresh post-boot
+/// state).
+#[derive(Clone)]
 pub struct FaultInjector {
     specs: Vec<SpecState>,
     stats: FaultStats,

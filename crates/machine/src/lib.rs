@@ -39,6 +39,7 @@ pub mod addr;
 pub mod bus;
 pub mod cache;
 pub mod cost;
+pub mod fastpath;
 pub mod fault;
 pub mod irq;
 pub mod machine;
@@ -49,6 +50,9 @@ pub mod tlb;
 pub mod trace;
 
 pub use addr::{IntermAddr, PhysAddr, VirtAddr};
+pub use fastpath::fastpath_enabled;
 pub use fault::{FaultHit, FaultKind, FaultPlan, FaultSpec, FaultStats, IrqFault, SharedFaults};
-pub use machine::{AccessKind, Exception, Hyp, Machine, MachineConfig, NullHyp, PolicyViolation};
+pub use machine::{
+    AccessKind, BlockFault, Exception, Hyp, Machine, MachineConfig, NullHyp, PolicyViolation,
+};
 pub use regs::{ExceptionLevel, SysReg};

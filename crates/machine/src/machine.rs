@@ -132,6 +132,27 @@ impl From<PolicyViolation> for Exception {
     }
 }
 
+/// A fault part-way through a block access ([`Machine::read_block`] /
+/// [`Machine::write_block`]): `completed` words transferred, then the
+/// next word raised `exception`. The faulting word's attempt has the
+/// exact side effects a per-word access would have had, so callers can
+/// resume (or emulate the faulting word) without replaying it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockFault {
+    /// Words successfully transferred before the fault.
+    pub completed: u64,
+    /// The exception the faulting word raised.
+    pub exception: Exception,
+}
+
+impl std::fmt::Display for BlockFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {} words", self.exception, self.completed)
+    }
+}
+
+impl std::error::Error for BlockFault {}
+
 /// Resolution of a stage-2 fault by the hypervisor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage2Outcome {
@@ -309,6 +330,13 @@ impl Default for MachineConfig {
 /// let machine = Machine::new(MachineConfig::default());
 /// assert_eq!(machine.cycles(), 0);
 /// ```
+///
+/// `Clone` deep-copies all architectural state (memory, TLB, cache,
+/// registers, attached bus devices), supporting warm-boot forking. Two
+/// host-side attachments are shared handles and are *not* deepened: the
+/// telemetry sink and the fault injector (both `Rc`). Callers forking a
+/// machine must re-wire those (see `System::fork` in `hypernel-core`).
+#[derive(Clone)]
 pub struct Machine {
     mem: PhysMemory,
     bus: MemoryBus,
@@ -323,6 +351,9 @@ pub struct Machine {
     trace: Option<TraceBuffer>,
     sink: Option<SharedSink>,
     faults: Option<SharedFaults>,
+    /// Host-side switch for the block-access streaming path. Model
+    /// state is byte-identical either way; see [`crate::fastpath`].
+    block_fastpath: bool,
 }
 
 impl std::fmt::Debug for Machine {
@@ -354,7 +385,15 @@ impl Machine {
             trace: None,
             sink: None,
             faults: None,
+            block_fastpath: crate::fastpath::fastpath_enabled(),
         }
+    }
+
+    /// Enables or disables the block-access streaming fast path
+    /// (testing hook; the default follows
+    /// [`crate::fastpath::fastpath_enabled`]).
+    pub fn set_block_fastpath(&mut self, enabled: bool) {
+        self.block_fastpath = enabled;
     }
 
     /// Installs (or removes) the fault injector on the machine's own
@@ -649,11 +688,17 @@ impl Machine {
                     result.map_err(Exception::Denied)
                 } else {
                     self.regs.write(reg, value);
+                    if reg.affects_translation() {
+                        self.tlb.l0_invalidate();
+                    }
                     Ok(())
                 }
             }
             ExceptionLevel::El2 => {
                 self.regs.write(reg, value);
+                if reg.affects_translation() {
+                    self.tlb.l0_invalidate();
+                }
                 Ok(())
             }
         }
@@ -673,6 +718,9 @@ impl Machine {
             "el2_write_sysreg requires EL2 execution"
         );
         self.regs.write(reg, value);
+        if reg.affects_translation() {
+            self.tlb.l0_invalidate();
+        }
     }
 
     /// Reads a system register (reads are not trapped by TVM).
@@ -865,6 +913,133 @@ impl Machine {
         assert_ne!(self.el, ExceptionLevel::El2, "EL2 must use el2_write_u64");
         self.stats.writes += 1;
         self.access_el01(va, AccessKind::Write, Some(value), hyp)?;
+        Ok(())
+    }
+
+    /// Reads `words` consecutive 64-bit words starting at `va`, returning
+    /// the last word read (0 when `words == 0`).
+    ///
+    /// Model-equivalent to calling [`Machine::read_u64`] once per word:
+    /// identical cycles, statistics, bus traffic and fault behavior. The
+    /// host fast path takes the first word of each page through the full
+    /// reference access, then streams the rest of the page through the
+    /// translation that access just resolved (and proved permissions
+    /// for) — so only the first word of a page run can fault.
+    ///
+    /// # Errors
+    ///
+    /// The exception the faulting word raised, with the count of words
+    /// that completed before it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not 8-byte aligned or if called at EL2.
+    pub fn read_block(
+        &mut self,
+        va: VirtAddr,
+        words: u64,
+        hyp: &mut dyn Hyp,
+    ) -> Result<u64, BlockFault> {
+        let mut last = 0u64;
+        let mut i = 0u64;
+        while i < words {
+            let cur = va.add(i * 8);
+            match self.read_u64(cur, hyp) {
+                Ok(v) => last = v,
+                Err(exception) => {
+                    return Err(BlockFault {
+                        completed: i,
+                        exception,
+                    })
+                }
+            }
+            i += 1;
+            if !self.block_fastpath {
+                continue;
+            }
+            let in_page = ((crate::addr::PAGE_SIZE - cur.page_offset() - 8) / 8).min(words - i);
+            if in_page == 0 {
+                continue;
+            }
+            let regime = Regime::El1 {
+                asid: Some(self.current_asid()),
+            };
+            // An emulated access leaves no TLB entry behind; stay on the
+            // reference path then.
+            let Some(entry) = self.tlb.peek(regime, cur) else {
+                continue;
+            };
+            self.tlb.record_block_hits(in_page);
+            self.stats.reads += in_page;
+            for _ in 0..in_page {
+                self.cycles += self.cost.tlb_lookup;
+                let pa = entry.pa_page.add(va.add(i * 8).page_offset());
+                last = self.perform(pa, AccessKind::Read, None, entry.perms.cacheable);
+                i += 1;
+            }
+        }
+        Ok(last)
+    }
+
+    /// Writes `words` consecutive 64-bit words starting at `va`, taking
+    /// the value of word `i` from `value_of(i)`.
+    ///
+    /// Model-equivalent to calling [`Machine::write_u64`] once per word;
+    /// see [`Machine::read_block`] for the fast-path contract. On a
+    /// fault, `value_of` has been consulted for words `0..=completed`.
+    ///
+    /// # Errors
+    ///
+    /// The exception the faulting word raised, with the count of words
+    /// that completed before it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not 8-byte aligned or if called at EL2.
+    pub fn write_block(
+        &mut self,
+        va: VirtAddr,
+        words: u64,
+        hyp: &mut dyn Hyp,
+        mut value_of: impl FnMut(u64) -> u64,
+    ) -> Result<(), BlockFault> {
+        let mut i = 0u64;
+        while i < words {
+            let cur = va.add(i * 8);
+            if let Err(exception) = self.write_u64(cur, value_of(i), hyp) {
+                return Err(BlockFault {
+                    completed: i,
+                    exception,
+                });
+            }
+            i += 1;
+            if !self.block_fastpath {
+                continue;
+            }
+            let in_page = ((crate::addr::PAGE_SIZE - cur.page_offset() - 8) / 8).min(words - i);
+            if in_page == 0 {
+                continue;
+            }
+            let regime = Regime::El1 {
+                asid: Some(self.current_asid()),
+            };
+            let Some(entry) = self.tlb.peek(regime, cur) else {
+                continue;
+            };
+            self.tlb.record_block_hits(in_page);
+            self.stats.writes += in_page;
+            for _ in 0..in_page {
+                self.cycles += self.cost.tlb_lookup;
+                let pa = entry.pa_page.add(va.add(i * 8).page_offset());
+                self.perform(
+                    pa,
+                    AccessKind::Write,
+                    Some(value_of(i)),
+                    entry.perms.cacheable,
+                );
+                i += 1;
+            }
+        }
         Ok(())
     }
 

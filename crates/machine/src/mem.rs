@@ -2,11 +2,19 @@
 //!
 //! [`PhysMemory`] models the DRAM of the simulated platform. It is sparse:
 //! pages are allocated lazily on first touch so a multi-gigabyte address
-//! space costs only what the workload actually uses. All accesses are raw —
+//! space costs only what the workload actually uses. Pages live in a
+//! frame-indexed vector (one pointer-sized slot per frame), so the hot
+//! page lookup is an index instead of a hash probe. All accesses are raw —
 //! translation, permissions, caching and bus visibility are handled by the
 //! layers above ([`crate::machine::Machine`]).
+//!
+//! Pages are reference-counted and copy-on-write: `Clone` shares every
+//! resident page and the first write through either copy detaches just
+//! that page. This makes snapshotting a booted machine (warm-boot
+//! forking) an O(resident pages) pointer copy instead of a DRAM-sized
+//! memcpy, while reads and unshared writes stay as fast as before.
 
-use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::addr::{PhysAddr, PAGE_SIZE};
 
@@ -43,7 +51,8 @@ impl std::error::Error for AccessOutOfRangeError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct PhysMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: Vec<Option<Rc<[u8; PAGE_SIZE as usize]>>>,
+    resident: usize,
     size: u64,
 }
 
@@ -57,7 +66,8 @@ impl PhysMemory {
         assert!(size > 0, "DRAM size must be non-zero");
         let size = (size + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
         Self {
-            pages: HashMap::new(),
+            pages: vec![None; (size / PAGE_SIZE) as usize],
+            resident: 0,
             size,
         }
     }
@@ -69,7 +79,7 @@ impl PhysMemory {
 
     /// Number of pages lazily materialized so far.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     /// Returns `true` if `addr..addr+len` lies inside DRAM.
@@ -79,10 +89,28 @@ impl PhysMemory {
             .is_some_and(|end| end <= self.size)
     }
 
+    /// Writable view of a frame: materializes the page if absent and —
+    /// when the page is shared with a forked memory — detaches a private
+    /// copy first (copy-on-write).
     fn page(&mut self, frame: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages
-            .entry(frame)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+        let slot = &mut self.pages[frame as usize];
+        if slot.is_none() {
+            *slot = Some(Rc::new([0u8; PAGE_SIZE as usize]));
+            self.resident += 1;
+        }
+        Rc::make_mut(slot.as_mut().expect("just populated"))
+    }
+
+    /// Read-only view of a frame: materializes absent pages (so resident
+    /// accounting matches the write path) but never detaches a shared
+    /// one — reads through a fork stay zero-copy.
+    fn page_ref(&mut self, frame: u64) -> &[u8; PAGE_SIZE as usize] {
+        let slot = &mut self.pages[frame as usize];
+        if slot.is_none() {
+            *slot = Some(Rc::new([0u8; PAGE_SIZE as usize]));
+            self.resident += 1;
+        }
+        slot.as_deref().expect("just populated")
     }
 
     fn check(&self, addr: PhysAddr, len: u64) {
@@ -116,7 +144,7 @@ impl PhysMemory {
     /// Panics if the address is outside DRAM.
     pub fn read_u8(&mut self, addr: PhysAddr) -> u8 {
         self.check(addr, 1);
-        self.page(addr.page_index())[addr.page_offset() as usize]
+        self.page_ref(addr.page_index())[addr.page_offset() as usize]
     }
 
     /// Writes one byte.
@@ -138,7 +166,7 @@ impl PhysMemory {
     pub fn read_u64(&mut self, addr: PhysAddr) -> u64 {
         self.check(addr, 8);
         if addr.page_offset() <= PAGE_SIZE - 8 {
-            let page = self.page(addr.page_index());
+            let page = self.page_ref(addr.page_index());
             let off = addr.page_offset() as usize;
             u64::from_le_bytes(page[off..off + 8].try_into().expect("8-byte slice"))
         } else {
@@ -219,11 +247,9 @@ impl PartialEq for PhysMemory {
             return false;
         }
         let zero = [0u8; PAGE_SIZE as usize];
-        let frames: std::collections::HashSet<_> =
-            self.pages.keys().chain(other.pages.keys()).collect();
-        frames.into_iter().all(|f| {
-            let a = self.pages.get(f).map(|p| &p[..]).unwrap_or(&zero);
-            let b = other.pages.get(f).map(|p| &p[..]).unwrap_or(&zero);
+        self.pages.iter().zip(&other.pages).all(|(a, b)| {
+            let a = a.as_deref().map_or(&zero[..], |p| &p[..]);
+            let b = b.as_deref().map_or(&zero[..], |p| &p[..]);
             a == b
         })
     }
@@ -300,6 +326,23 @@ mod tests {
     fn size_rounds_to_page() {
         let mem = PhysMemory::new(100);
         assert_eq!(mem.size(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut a = PhysMemory::new(1 << 16);
+        a.write_u64(PhysAddr::new(0x100), 11);
+        a.write_u64(PhysAddr::new(PAGE_SIZE + 8), 22);
+        let mut b = a.clone();
+        // Writes through either copy never leak into the other.
+        b.write_u64(PhysAddr::new(0x100), 99);
+        a.write_u64(PhysAddr::new(PAGE_SIZE + 8), 33);
+        assert_eq!(a.read_u64(PhysAddr::new(0x100)), 11);
+        assert_eq!(b.read_u64(PhysAddr::new(0x100)), 99);
+        assert_eq!(a.read_u64(PhysAddr::new(PAGE_SIZE + 8)), 33);
+        assert_eq!(b.read_u64(PhysAddr::new(PAGE_SIZE + 8)), 22);
+        // Reads alone keep the untouched page shared (no divergence).
+        assert_eq!(b.read_u64(PhysAddr::new(PAGE_SIZE + 8)), 22);
     }
 
     #[test]

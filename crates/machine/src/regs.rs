@@ -72,6 +72,23 @@ impl SysReg {
             Self::HCR_EL2 | Self::VTTBR_EL2 | Self::TTBR0_EL2 | Self::VBAR_EL2 | Self::SP_EL2
         )
     }
+
+    /// Registers whose value participates in address translation — a
+    /// write to any of them invalidates the L0 micro-TLB (the
+    /// architectural TLB is tagged and keyed, so it survives).
+    pub fn affects_translation(self) -> bool {
+        matches!(
+            self,
+            Self::TTBR0_EL1
+                | Self::TTBR1_EL1
+                | Self::SCTLR_EL1
+                | Self::TCR_EL1
+                | Self::MAIR_EL1
+                | Self::HCR_EL2
+                | Self::VTTBR_EL2
+                | Self::TTBR0_EL2
+        )
+    }
 }
 
 impl std::fmt::Display for SysReg {

@@ -10,13 +10,28 @@
 //!   nested walks resolve stage-1 table accesses. It only fills when a
 //!   hypervisor enables stage-2 translation.
 //!
-//! Both are finite and FIFO-replaced; misses are what make nested paging
-//! expensive, so the sizes matter for reproducing the paper's KVM numbers.
+//! **Replacement policy:** both TLBs are true LRU. A lookup hit and a
+//! re-insert of an existing key refresh the entry's recency; capacity
+//! eviction always discards the least-recently-used entry. Misses are
+//! what make nested paging expensive, so sizes and policy matter for
+//! reproducing the paper's KVM numbers.
+//!
+//! In front of the main TLB sits a host-side **L0 micro-TLB**: a small
+//! direct-mapped array of recently resolved lookups, turning the
+//! dominant hit path into an index + key compare instead of a hash-map
+//! probe. The L0 is *model-invisible* — an L0 hit performs the same LRU
+//! recency update and the same `hits` accounting as the map path, so
+//! simulated state is byte-identical whether it is enabled or not; only
+//! the host-observability counters `l0_hits`/`l0_misses` differ. It is
+//! invalidated on every flush, on inserts covering its slot, and by
+//! [`Tlb::l0_invalidate`] (which the machine calls on every TLBI and
+//! translation-system-register write).
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::hash::Hash;
 
 use crate::addr::{PhysAddr, VirtAddr};
+use crate::fastpath::fastpath_enabled;
 use crate::pagetable::PagePerms;
 
 /// Translation regime a main-TLB entry belongs to.
@@ -55,6 +70,12 @@ pub struct TlbStats {
     pub evictions: u64,
     /// Entries discarded by explicit invalidation.
     pub flushes: u64,
+    /// Hits served by the L0 micro-TLB (host observability; subset of
+    /// `hits`, zero when the L0 is disabled).
+    pub l0_hits: u64,
+    /// Lookups that consulted the L0 micro-TLB and fell through to the
+    /// main map (host observability, zero when the L0 is disabled).
+    pub l0_misses: u64,
 }
 
 impl TlbStats {
@@ -62,6 +83,13 @@ impl TlbStats {
     pub fn hit_rate(&self) -> Option<f64> {
         let total = self.hits + self.misses;
         (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Fraction of all lookups served by the L0 micro-TLB; `None`
+    /// before the first lookup.
+    pub fn l0_hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.l0_hits as f64 / total as f64)
     }
 }
 
@@ -71,7 +99,179 @@ struct Key {
     va_page: u64,
 }
 
-/// Finite, FIFO-replaced TLB.
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<K> {
+    key: K,
+    entry: TlbEntry,
+    prev: usize,
+    next: usize,
+    live: bool,
+}
+
+/// A fixed-capacity LRU map: slab of slots + intrusive doubly-linked
+/// recency list + key index. Hit/re-insert moves the slot to the MRU
+/// head in O(1); eviction pops the LRU tail.
+#[derive(Debug, Clone)]
+struct LruMap<K: Eq + Hash + Copy> {
+    index: HashMap<K, usize>,
+    slots: Vec<Slot<K>>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Copy> LruMap<K> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Self {
+            index: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Moves slot `i` to the MRU position.
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    /// Looks up `key`; a hit refreshes recency. Returns the slot index.
+    fn get(&mut self, key: &K) -> Option<usize> {
+        let i = *self.index.get(key)?;
+        self.touch(i);
+        Some(i)
+    }
+
+    fn entry(&self, i: usize) -> &TlbEntry {
+        &self.slots[i].entry
+    }
+
+    /// Inserts or refreshes `key`; returns `true` when a capacity
+    /// eviction happened.
+    fn insert(&mut self, key: K, entry: TlbEntry) -> bool {
+        if let Some(&i) = self.index.get(&key) {
+            self.slots[i].entry = entry;
+            self.touch(i);
+            return false;
+        }
+        let mut evicted = false;
+        let i = if self.index.len() >= self.capacity {
+            // Reuse the LRU tail slot in place.
+            let t = self.tail;
+            self.unlink(t);
+            self.index.remove(&self.slots[t].key);
+            evicted = true;
+            t
+        } else if let Some(i) = self.free.pop() {
+            i
+        } else {
+            self.slots.push(Slot {
+                key,
+                entry,
+                prev: NIL,
+                next: NIL,
+                live: false,
+            });
+            self.slots.len() - 1
+        };
+        self.slots[i].key = key;
+        self.slots[i].entry = entry;
+        self.slots[i].live = true;
+        self.push_front(i);
+        self.index.insert(key, i);
+        evicted
+    }
+
+    /// Removes every entry failing `keep`; returns how many were
+    /// removed.
+    fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) -> u64 {
+        let mut removed = 0u64;
+        let mut i = self.head;
+        while i != NIL {
+            let next = self.slots[i].next;
+            if !keep(&self.slots[i].key) {
+                self.unlink(i);
+                self.index.remove(&self.slots[i].key);
+                self.slots[i].live = false;
+                self.free.push(i);
+                removed += 1;
+            }
+            i = next;
+        }
+        removed
+    }
+
+    /// Drops everything; returns how many entries were removed.
+    fn clear(&mut self) -> u64 {
+        let removed = self.index.len() as u64;
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        removed
+    }
+}
+
+/// Number of direct-mapped L0 micro-TLB slots (power of two).
+const L0_SLOTS: usize = 64;
+
+/// One L0 slot: the VA page it answers for and the main-map slot the
+/// resolution lives in. Self-validating — a hit requires the slab slot
+/// to still be live with an acceptable key, so stale pointers can never
+/// produce a wrong translation, only a fall-through to the map.
+#[derive(Debug, Clone, Copy)]
+struct L0Entry {
+    va_page: u64,
+    slot: usize,
+}
+
+const L0_EMPTY: L0Entry = L0Entry {
+    va_page: 0,
+    slot: NIL,
+};
+
+/// Finite, LRU-replaced TLB with an L0 micro-TLB front cache.
 ///
 /// ```
 /// use hypernel_machine::addr::{PhysAddr, VirtAddr};
@@ -91,12 +291,10 @@ struct Key {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    main: HashMap<Key, TlbEntry>,
-    main_order: VecDeque<Key>,
-    main_capacity: usize,
-    stage2: HashMap<u64, TlbEntry>,
-    stage2_order: VecDeque<u64>,
-    stage2_capacity: usize,
+    main: LruMap<Key>,
+    stage2: LruMap<u64>,
+    l0: [L0Entry; L0_SLOTS],
+    l0_enabled: bool,
     stats: TlbStats,
     s2_stats: TlbStats,
 }
@@ -108,17 +306,11 @@ impl Tlb {
     ///
     /// Panics if either capacity is zero.
     pub fn new(main_capacity: usize, stage2_capacity: usize) -> Self {
-        assert!(
-            main_capacity > 0 && stage2_capacity > 0,
-            "capacities must be non-zero"
-        );
         Self {
-            main: HashMap::new(),
-            main_order: VecDeque::new(),
-            main_capacity,
-            stage2: HashMap::new(),
-            stage2_order: VecDeque::new(),
-            stage2_capacity,
+            main: LruMap::new(main_capacity),
+            stage2: LruMap::new(stage2_capacity),
+            l0: [L0_EMPTY; L0_SLOTS],
+            l0_enabled: fastpath_enabled(),
             stats: TlbStats::default(),
             s2_stats: TlbStats::default(),
         }
@@ -147,32 +339,85 @@ impl Tlb {
 
     /// Returns `true` if the main TLB holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.main.is_empty()
+        self.main.len() == 0
     }
 
-    /// Looks up `va` in `regime`, recording a hit or miss. Global (kernel)
-    /// entries match any ASID of the same EL1 regime.
+    /// Enables or disables the L0 micro-TLB (testing hook; the default
+    /// follows [`fastpath_enabled`]). Simulated state is identical
+    /// either way.
+    pub fn set_l0_enabled(&mut self, enabled: bool) {
+        self.l0_enabled = enabled;
+        self.l0 = [L0_EMPTY; L0_SLOTS];
+    }
+
+    /// Drops every L0 micro-TLB slot. The machine calls this on every
+    /// TLBI and on writes to translation system registers (TTBR/SCTLR/
+    /// TCR/VTTBR…); flushes and covering inserts also invalidate
+    /// internally.
+    pub fn l0_invalidate(&mut self) {
+        self.l0 = [L0_EMPTY; L0_SLOTS];
+    }
+
+    #[inline]
+    fn l0_index(va_page: u64) -> usize {
+        (va_page as usize) & (L0_SLOTS - 1)
+    }
+
+    /// Whether a stored key satisfies a lookup key — exact match, or a
+    /// global (ASID-less) kernel entry answering any EL1 ASID.
+    #[inline]
+    fn key_serves(stored: &Key, regime: Regime, va_page: u64) -> bool {
+        stored.va_page == va_page
+            && (stored.regime == regime
+                || (stored.regime == Regime::El1 { asid: None }
+                    && matches!(regime, Regime::El1 { asid: Some(_) })))
+    }
+
+    /// Looks up `va` in `regime`, recording a hit or miss and (on a hit)
+    /// refreshing the entry's LRU recency. Global (kernel) entries match
+    /// any ASID of the same EL1 regime.
     pub fn lookup(&mut self, regime: Regime, va: VirtAddr) -> Option<TlbEntry> {
         let va_page = va.page_index();
-        let direct = self.main.get(&Key { regime, va_page }).copied();
-        let entry = direct.or_else(|| {
-            // Global kernel entries are stored with asid: None and hit for
-            // any EL1 ASID.
+        if self.l0_enabled {
+            let cached = self.l0[Self::l0_index(va_page)];
+            let mut served = None;
+            if cached.va_page == va_page {
+                if let Some(slot) = self.main.slots.get(cached.slot) {
+                    if slot.live && Self::key_serves(&slot.key, regime, va_page) {
+                        served = Some(slot.entry);
+                    }
+                }
+            }
+            if let Some(entry) = served {
+                // Same accounting + recency update as the map path;
+                // only the l0_* observability counters differ.
+                self.stats.l0_hits += 1;
+                self.stats.hits += 1;
+                self.main.touch(cached.slot);
+                return Some(entry);
+            }
+            self.stats.l0_misses += 1;
+        }
+        let exact = Key { regime, va_page };
+        let resolved = self.main.get(&exact).or_else(|| {
+            // Global kernel entries are stored with asid: None and hit
+            // for any EL1 ASID.
             if let Regime::El1 { asid: Some(_) } = regime {
-                self.main
-                    .get(&Key {
-                        regime: Regime::El1 { asid: None },
-                        va_page,
-                    })
-                    .copied()
+                self.main.get(&Key {
+                    regime: Regime::El1 { asid: None },
+                    va_page,
+                })
             } else {
                 None
             }
         });
-        match entry {
-            Some(e) => {
+        match resolved {
+            Some(i) => {
                 self.stats.hits += 1;
-                Some(e)
+                if self.l0_enabled {
+                    self.l0[Self::l0_index(va_page)] = L0Entry { va_page, slot: i };
+                }
+                Some(*self.main.entry(i))
             }
             None => {
                 self.stats.misses += 1;
@@ -181,31 +426,66 @@ impl Tlb {
         }
     }
 
-    /// Inserts a completed translation, evicting the oldest entry if full.
-    pub fn insert(&mut self, regime: Regime, va: VirtAddr, entry: TlbEntry) {
-        let key = Key {
-            regime,
-            va_page: va.page_index(),
-        };
-        if self.main.insert(key, entry).is_none() {
-            self.main_order.push_back(key);
-            if self.main.len() > self.main_capacity {
-                while let Some(old) = self.main_order.pop_front() {
-                    if self.main.remove(&old).is_some() {
-                        self.stats.evictions += 1;
-                        break;
-                    }
+    /// Consults the main TLB without touching statistics or recency — a
+    /// host-side peek used by the block-access fast path right after a
+    /// reference access resolved (and proved permissions for) `va`.
+    /// Global kernel entries match any EL1 ASID, as in [`Tlb::lookup`].
+    pub fn peek(&self, regime: Regime, va: VirtAddr) -> Option<TlbEntry> {
+        let va_page = va.page_index();
+        let i = self
+            .main
+            .index
+            .get(&Key { regime, va_page })
+            .copied()
+            .or_else(|| {
+                if let Regime::El1 { asid: Some(_) } = regime {
+                    self.main
+                        .index
+                        .get(&Key {
+                            regime: Regime::El1 { asid: None },
+                            va_page,
+                        })
+                        .copied()
+                } else {
+                    None
                 }
-            }
+            })?;
+        Some(self.main.slots[i].entry)
+    }
+
+    /// Records `n` main-TLB hits without performing lookups. The block-
+    /// access fast path streams words through a translation it already
+    /// resolved; this keeps `hits` identical to the per-word reference
+    /// path. (Recency needs no update: the resolving access made the
+    /// entry MRU and nothing ran in between.)
+    pub fn record_block_hits(&mut self, n: u64) {
+        self.stats.hits += n;
+    }
+
+    /// Inserts a completed translation, refreshing recency when the key
+    /// already exists and evicting the least-recently-used entry when
+    /// full.
+    pub fn insert(&mut self, regime: Regime, va: VirtAddr, entry: TlbEntry) {
+        let va_page = va.page_index();
+        let key = Key { regime, va_page };
+        // The covering L0 slot may cache a resolution this insert
+        // shadows (e.g. a global entry when an exact one appears);
+        // dropping it keeps the micro-TLB coherent for O(1).
+        if self.l0_enabled {
+            self.l0[Self::l0_index(va_page)] = L0_EMPTY;
+        }
+        if self.main.insert(key, entry) {
+            self.stats.evictions += 1;
         }
     }
 
-    /// Looks up an IPA page in the stage-2 TLB.
+    /// Looks up an IPA page in the stage-2 TLB, refreshing recency on a
+    /// hit.
     pub fn lookup_stage2(&mut self, ipa_page: u64) -> Option<TlbEntry> {
-        match self.stage2.get(&ipa_page).copied() {
-            Some(e) => {
+        match self.stage2.get(&ipa_page) {
+            Some(i) => {
                 self.s2_stats.hits += 1;
-                Some(e)
+                Some(*self.stage2.entry(i))
             }
             None => {
                 self.s2_stats.misses += 1;
@@ -214,50 +494,38 @@ impl Tlb {
         }
     }
 
-    /// Inserts a stage-2 translation.
+    /// Inserts a stage-2 translation (LRU replacement, recency refresh
+    /// on re-insert).
     pub fn insert_stage2(&mut self, ipa_page: u64, entry: TlbEntry) {
-        if self.stage2.insert(ipa_page, entry).is_none() {
-            self.stage2_order.push_back(ipa_page);
-            if self.stage2.len() > self.stage2_capacity {
-                while let Some(old) = self.stage2_order.pop_front() {
-                    if self.stage2.remove(&old).is_some() {
-                        self.s2_stats.evictions += 1;
-                        break;
-                    }
-                }
-            }
+        if self.stage2.insert(ipa_page, entry) {
+            self.s2_stats.evictions += 1;
         }
     }
 
     /// Invalidates everything (`TLBI VMALLS12`, roughly).
     pub fn flush_all(&mut self) {
-        self.stats.flushes += self.main.len() as u64;
-        self.s2_stats.flushes += self.stage2.len() as u64;
-        self.main.clear();
-        self.main_order.clear();
-        self.stage2.clear();
-        self.stage2_order.clear();
+        self.stats.flushes += self.main.clear();
+        self.s2_stats.flushes += self.stage2.clear();
+        self.l0_invalidate();
     }
 
     /// Invalidates every main-TLB entry of one ASID (`TLBI ASID`).
     pub fn flush_asid(&mut self, asid: u16) {
-        let before = self.main.len();
-        self.main.retain(|k, _| {
+        self.stats.flushes += self.main.retain(|k| {
             !matches!(
                 k.regime,
                 Regime::El1 { asid: Some(a) } if a == asid
             )
         });
-        self.stats.flushes += (before - self.main.len()) as u64;
+        self.l0_invalidate();
     }
 
     /// Invalidates the main-TLB entry covering `va` in every ASID of the
     /// regime class (`TLBI VAE1`, conservatively broad).
     pub fn flush_va(&mut self, va: VirtAddr) {
         let page = va.page_index();
-        let before = self.main.len();
-        self.main.retain(|k, _| k.va_page != page);
-        self.stats.flushes += (before - self.main.len()) as u64;
+        self.stats.flushes += self.main.retain(|k| k.va_page != page);
+        self.l0_invalidate();
     }
 
     /// Invalidates stage-2 entries (and, because the main TLB may hold
@@ -326,16 +594,59 @@ mod tests {
     }
 
     #[test]
-    fn capacity_eviction_is_fifo() {
+    fn capacity_eviction_is_lru() {
         let mut tlb = Tlb::new(2, 2);
         let r = Regime::El1 { asid: Some(1) };
         tlb.insert(r, VirtAddr::new(0x1000), entry(0x1000));
         tlb.insert(r, VirtAddr::new(0x2000), entry(0x2000));
+        // Touch 0x1000 so 0x2000 becomes the LRU victim.
+        assert!(tlb.lookup(r, VirtAddr::new(0x1000)).is_some());
         tlb.insert(r, VirtAddr::new(0x3000), entry(0x3000));
         assert_eq!(tlb.len(), 2);
-        assert!(tlb.lookup(r, VirtAddr::new(0x1000)).is_none());
-        assert!(tlb.lookup(r, VirtAddr::new(0x2000)).is_some());
+        assert!(tlb.lookup(r, VirtAddr::new(0x2000)).is_none());
+        assert!(tlb.lookup(r, VirtAddr::new(0x1000)).is_some());
+        assert!(tlb.lookup(r, VirtAddr::new(0x3000)).is_some());
         assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut tlb = Tlb::new(2, 2);
+        let r = Regime::El2;
+        tlb.insert(r, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(r, VirtAddr::new(0x2000), entry(0x2000));
+        // Re-inserting 0x1000 makes it MRU, so 0x2000 is the victim.
+        tlb.insert(r, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(r, VirtAddr::new(0x3000), entry(0x3000));
+        assert_eq!(tlb.len(), 2);
+        assert!(tlb.lookup(r, VirtAddr::new(0x1000)).is_some());
+        assert!(tlb.lookup(r, VirtAddr::new(0x2000)).is_none());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_payload() {
+        let mut tlb = Tlb::new(2, 2);
+        let r = Regime::El2;
+        tlb.insert(r, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(r, VirtAddr::new(0x1000), entry(0x7000));
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(
+            tlb.lookup(r, VirtAddr::new(0x1000)).unwrap().pa_page,
+            PhysAddr::new(0x7000)
+        );
+    }
+
+    #[test]
+    fn stage2_eviction_is_lru_too() {
+        let mut tlb = Tlb::new(2, 2);
+        tlb.insert_stage2(1, entry(0x1000));
+        tlb.insert_stage2(2, entry(0x2000));
+        assert!(tlb.lookup_stage2(1).is_some()); // 2 becomes LRU
+        tlb.insert_stage2(3, entry(0x3000));
+        assert!(tlb.lookup_stage2(2).is_none());
+        assert!(tlb.lookup_stage2(1).is_some());
+        assert_eq!(tlb.stage2_stats().evictions, 1);
     }
 
     #[test]
@@ -376,6 +687,7 @@ mod tests {
         );
         tlb.flush_va(VirtAddr::new(0x1234));
         assert!(tlb.is_empty());
+        assert_eq!(tlb.stats().flushes, 2);
     }
 
     #[test]
@@ -388,6 +700,7 @@ mod tests {
         assert!(tlb.lookup_stage2(5).is_none());
         assert_eq!(tlb.stage2_stats().hits, 1);
         assert_eq!(tlb.stage2_stats().misses, 2);
+        assert_eq!(tlb.stage2_stats().flushes, 1);
     }
 
     #[test]
@@ -399,8 +712,27 @@ mod tests {
         }
         tlb.insert(r, VirtAddr::new(0x2000), entry(0x2000));
         tlb.insert(r, VirtAddr::new(0x3000), entry(0x3000));
-        // 0x1000 was oldest; exactly one eviction happened at capacity.
+        // Exactly one eviction happened at capacity.
         assert_eq!(tlb.len(), 2);
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_and_flush_statistics_accumulate() {
+        let mut tlb = Tlb::new(2, 8);
+        let r = Regime::El1 { asid: Some(3) };
+        for page in 0..5u64 {
+            tlb.insert(r, VirtAddr::new(page * 0x1000), entry(page * 0x1000));
+        }
+        // 5 inserts into 2 slots: 3 capacity evictions.
+        assert_eq!(tlb.stats().evictions, 3);
+        tlb.flush_all();
+        assert_eq!(tlb.stats().flushes, 2);
+        assert_eq!(tlb.len(), 0);
+        // Flush counters keep accumulating across flushes.
+        tlb.insert(r, VirtAddr::new(0x9000), entry(0x9000));
+        tlb.flush_va(VirtAddr::new(0x9008));
+        assert_eq!(tlb.stats().flushes, 3);
     }
 
     #[test]
@@ -412,5 +744,134 @@ mod tests {
         tlb.insert(r, VirtAddr::new(0), entry(0));
         tlb.lookup(r, VirtAddr::new(0));
         assert_eq!(tlb.stats().hit_rate(), Some(0.5));
+    }
+
+    // ------------------------------------------------------------------
+    // L0 micro-TLB
+    // ------------------------------------------------------------------
+
+    /// Simulated state (entries, hit/miss/eviction accounting) must be
+    /// identical with the L0 on or off; only l0_* counters may differ.
+    fn strip_l0(mut s: TlbStats) -> TlbStats {
+        s.l0_hits = 0;
+        s.l0_misses = 0;
+        s
+    }
+
+    #[test]
+    fn l0_serves_repeat_lookups_and_matches_reference() {
+        let mut fast = Tlb::new(4, 4);
+        fast.set_l0_enabled(true);
+        let mut slow = Tlb::new(4, 4);
+        slow.set_l0_enabled(false);
+        let r = Regime::El1 { asid: Some(1) };
+        for t in [&mut fast, &mut slow] {
+            for page in 0..6u64 {
+                let va = VirtAddr::new(page * 0x1000);
+                t.lookup(r, va);
+                t.insert(r, va, entry(page * 0x1000));
+                t.lookup(r, va);
+                t.lookup(r, va);
+            }
+        }
+        assert_eq!(strip_l0(fast.stats()), strip_l0(slow.stats()));
+        assert!(fast.stats().l0_hits > 0, "repeat lookups hit the L0");
+        assert_eq!(slow.stats().l0_hits, 0);
+        assert_eq!(slow.stats().l0_misses, 0);
+        // Same visible contents.
+        for page in 0..6u64 {
+            let va = VirtAddr::new(page * 0x1000);
+            assert_eq!(fast.lookup(r, va).is_some(), slow.lookup(r, va).is_some());
+        }
+    }
+
+    #[test]
+    fn l0_hit_refreshes_lru_recency() {
+        let mut tlb = Tlb::new(2, 2);
+        tlb.set_l0_enabled(true);
+        let r = Regime::El2;
+        tlb.insert(r, VirtAddr::new(0x1000), entry(0x1000));
+        tlb.insert(r, VirtAddr::new(0x2000), entry(0x2000));
+        // Two lookups: the second is an L0 hit and must still bump LRU.
+        tlb.lookup(r, VirtAddr::new(0x1000));
+        tlb.lookup(r, VirtAddr::new(0x1000));
+        assert!(tlb.stats().l0_hits >= 1);
+        tlb.insert(r, VirtAddr::new(0x3000), entry(0x3000));
+        assert!(tlb.lookup(r, VirtAddr::new(0x1000)).is_some());
+        assert!(tlb.lookup(r, VirtAddr::new(0x2000)).is_none());
+    }
+
+    #[test]
+    fn l0_invalidated_by_flushes() {
+        let mut tlb = Tlb::new(8, 8);
+        tlb.set_l0_enabled(true);
+        let r = Regime::El1 { asid: Some(1) };
+        let va = VirtAddr::new(0x4000);
+        tlb.insert(r, va, entry(0x4000));
+        tlb.lookup(r, va); // map hit populates L0
+        tlb.lookup(r, va); // L0 hit
+        assert_eq!(tlb.stats().l0_hits, 1);
+        tlb.flush_va(va);
+        assert!(tlb.lookup(r, va).is_none(), "flushed entry must not hit");
+        tlb.insert(r, va, entry(0x4000));
+        tlb.lookup(r, va);
+        tlb.flush_asid(1);
+        assert!(tlb.lookup(r, va).is_none());
+        tlb.insert(r, va, entry(0x4000));
+        tlb.lookup(r, va);
+        tlb.flush_all();
+        assert!(tlb.lookup(r, va).is_none());
+    }
+
+    #[test]
+    fn l0_explicit_invalidate_falls_back_to_map() {
+        let mut tlb = Tlb::new(8, 8);
+        tlb.set_l0_enabled(true);
+        let r = Regime::El2;
+        let va = VirtAddr::new(0x7000);
+        tlb.insert(r, va, entry(0x7000));
+        tlb.lookup(r, va);
+        tlb.l0_invalidate();
+        // Entry still lives in the map; the L0 misses then repopulates.
+        let before = tlb.stats().l0_hits;
+        assert!(tlb.lookup(r, va).is_some());
+        assert!(tlb.lookup(r, va).is_some());
+        assert!(tlb.stats().l0_hits > before);
+    }
+
+    #[test]
+    fn l0_never_leaks_stale_entries_across_eviction() {
+        let mut tlb = Tlb::new(2, 2);
+        tlb.set_l0_enabled(true);
+        let r = Regime::El1 { asid: Some(1) };
+        let va = VirtAddr::new(0x1000);
+        tlb.insert(r, va, entry(0x1000));
+        tlb.lookup(r, va); // L0 now caches 0x1000's slot
+                           // Evict 0x1000 by filling the 2-entry TLB with newer pages.
+        tlb.insert(r, VirtAddr::new(0x2000), entry(0x2000));
+        tlb.lookup(r, VirtAddr::new(0x2000));
+        tlb.insert(r, VirtAddr::new(0x3000), entry(0x3000));
+        // 0x1000's slot was reused; the L0 must not resurrect it.
+        assert!(tlb.lookup(r, va).is_none());
+    }
+
+    #[test]
+    fn l0_respects_asid_and_regime_boundaries() {
+        let mut tlb = Tlb::new(8, 8);
+        tlb.set_l0_enabled(true);
+        let va = VirtAddr::new(0x2000);
+        tlb.insert(Regime::El1 { asid: Some(1) }, va, entry(0x9000));
+        tlb.lookup(Regime::El1 { asid: Some(1) }, va);
+        tlb.lookup(Regime::El1 { asid: Some(1) }, va);
+        // Another ASID or regime must not be served by the cached slot.
+        assert!(tlb.lookup(Regime::El1 { asid: Some(2) }, va).is_none());
+        assert!(tlb.lookup(Regime::El2, va).is_none());
+        // Global entries keep serving any ASID through the L0.
+        let kva = VirtAddr::new(0x8000);
+        tlb.insert(Regime::El1 { asid: None }, kva, entry(0x8000));
+        tlb.lookup(Regime::El1 { asid: Some(5) }, kva);
+        let l0_before = tlb.stats().l0_hits;
+        assert!(tlb.lookup(Regime::El1 { asid: Some(6) }, kva).is_some());
+        assert!(tlb.stats().l0_hits > l0_before);
     }
 }

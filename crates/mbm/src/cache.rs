@@ -117,6 +117,17 @@ impl BitmapCache {
         }
     }
 
+    /// Non-mutating lookup: the cached value of the bitmap word at
+    /// `addr`, with no statistics or replacement side effects. Used by
+    /// the host-side watch-page filter to predict what the translator
+    /// would read without perturbing the modeled cache.
+    pub fn peek(&self, addr: PhysAddr) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        self.entries.get(&addr.raw()).copied()
+    }
+
     /// Installs a word fetched from DRAM (read-allocate policy).
     pub fn fill(&mut self, addr: PhysAddr, value: u64) {
         if !self.enabled {

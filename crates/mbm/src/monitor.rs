@@ -15,11 +15,33 @@
 //!
 //! The bitmap and ring buffer both live in the secure region, "so the
 //! kernel cannot undermine the MBM operation" (§5.3).
+//!
+//! ## Watch-page summary filter (host fast path)
+//!
+//! Real workloads write overwhelmingly to pages with no watched word at
+//! all, so the monitor keeps a host-side per-page summary (a watched-
+//! word count per 4 KiB chunk of the window, maintained from the same
+//! snooped bitmap writes that keep the bitmap cache coherent). A write
+//! into a chunk whose count is zero is *short-circuited*: the FIFO and
+//! translator are skipped, while `captured`/`bitmap_lookups` are
+//! charged exactly as the reference pipeline would (in the lossless
+//! configuration each captured write is translated exactly once within
+//! the same transaction). Before skipping, the filter confirms the
+//! verdict against the word the decision unit would actually read
+//! (cached bitmap word, else DRAM), so bitmap updates that bypass the
+//! bus — out-of-band programming via debug writes — can never blind it. The skip is taken only when it is provably
+//! model-invisible: no fault injector, no telemetry sink, lossless
+//! drain, and a FIFO deep enough that a line write-back can never
+//! overflow it. Only the host-observability counters (`device_reads`,
+//! bitmap-cache hits/misses) may diverge — none of them feed simulated
+//! cycles or serialized artifacts. `HYPERNEL_NO_FASTPATH=1` (or
+//! [`Mbm::set_filter_enabled`]) forces the reference pipeline.
 
 use std::any::Any;
 
-use hypernel_machine::addr::PhysAddr;
+use hypernel_machine::addr::{PhysAddr, PAGE_SIZE};
 use hypernel_machine::bus::{BusContext, BusSnooper, BusTransaction};
+use hypernel_machine::fastpath_enabled;
 use hypernel_machine::fault::{IrqFault, SharedFaults};
 use hypernel_machine::irq::IrqLine;
 use hypernel_telemetry::{Event, PointKind, SharedSink, SpanKind, Track};
@@ -28,6 +50,15 @@ use crate::bitmap::BitmapLayout;
 use crate::cache::{BitmapCache, BitmapCacheStats};
 use crate::fifo::{SnoopFifo, SnoopedWrite};
 use crate::ring::{RingLayout, WriteEvent};
+
+/// Bitmap words covering one 4 KiB chunk of the window: 512 words per
+/// page, one bit per word, 64 bits per bitmap word.
+const WORDS_PER_CHUNK: usize = (PAGE_SIZE / 8 / 64) as usize;
+
+/// Most captures a single bus transaction can produce (a full cache-line
+/// write-back). A FIFO at least this deep can never overflow in the
+/// lossless configuration, which the summary filter's envelope requires.
+const MAX_CAPTURES_PER_TXN: usize = 8;
 
 /// Configuration of an MBM instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +145,9 @@ pub struct MbmStats {
     pub device_writes: u64,
     /// Bus writes into the guarded secure range (DMA-tampering alarms).
     pub secure_alarms: u64,
+    /// Captured writes short-circuited by the watch-page summary filter
+    /// (host observability; zero when the filter is disabled).
+    pub page_filter_skips: u64,
 }
 
 /// The memory bus monitor device. Attach it to a machine with
@@ -133,6 +167,7 @@ pub struct MbmStats {
 /// let mbm = Mbm::new(config);
 /// assert_eq!(mbm.stats().captured, 0);
 /// ```
+#[derive(Clone)]
 pub struct Mbm {
     config: MbmConfig,
     fifo: SnoopFifo,
@@ -143,6 +178,17 @@ pub struct Mbm {
     /// Interrupt assertions a fault is holding back: `(remaining pipeline
     /// steps, triggering write address)`.
     delayed_irqs: Vec<(u64, u64)>,
+    /// Host switch for the watch-page summary filter (see module docs).
+    filter_enabled: bool,
+    /// Host-side copy of the bitmap storage, maintained from the same
+    /// snooped writes that keep the bitmap cache coherent. `Rc` keeps
+    /// warm-boot forks O(1): the vectors cover the whole monitored
+    /// window (tens of MiB) but mutate only on bitmap programming, so
+    /// clones share them copy-on-write.
+    shadow: std::rc::Rc<Vec<u64>>,
+    /// Watched-word count per 4 KiB chunk of the monitored window
+    /// (`Rc` for the same copy-on-write forking reason as `shadow`).
+    page_watch: std::rc::Rc<Vec<u32>>,
 }
 
 impl std::fmt::Debug for Mbm {
@@ -171,7 +217,96 @@ impl Mbm {
             sink: None,
             faults: None,
             delayed_irqs: Vec::new(),
+            filter_enabled: fastpath_enabled(),
+            shadow: std::rc::Rc::new(vec![0; (config.bitmap.bitmap_bytes() / 8) as usize]),
+            page_watch: std::rc::Rc::new(vec![
+                0;
+                config.bitmap.window_len().div_ceil(PAGE_SIZE)
+                    as usize
+            ]),
         }
+    }
+
+    /// Enables or disables the watch-page summary filter (testing hook;
+    /// the default follows [`fastpath_enabled`]). The summary itself is
+    /// maintained either way, so toggling is always safe.
+    pub fn set_filter_enabled(&mut self, enabled: bool) {
+        self.filter_enabled = enabled;
+    }
+
+    /// Rebuilds the watch-page summary from the bitmap's backing memory.
+    /// Correctness never requires this — [`Mbm::filter_skips`] confirms
+    /// every skip against the decision unit's view — but it restores the
+    /// summary's precision after bitmap storage was modified without bus
+    /// visibility (e.g. debug writes in tests); Hypersec's non-cacheable
+    /// mapping makes every real update snoopable.
+    pub fn resync_filter(&mut self, mem: &mut hypernel_machine::mem::PhysMemory) {
+        let base = self.config.bitmap.bitmap_base();
+        let shadow = std::rc::Rc::make_mut(&mut self.shadow);
+        let page_watch = std::rc::Rc::make_mut(&mut self.page_watch);
+        page_watch.iter_mut().for_each(|c| *c = 0);
+        for (wi, slot) in shadow.iter_mut().enumerate() {
+            *slot = mem.read_u64(base.add(wi as u64 * 8));
+            page_watch[wi / WORDS_PER_CHUNK] += slot.count_ones();
+        }
+    }
+
+    /// Updates the shadow bitmap + per-chunk summary from a snooped
+    /// bitmap-storage write. Runs regardless of `filter_enabled` so the
+    /// filter can be toggled at any time.
+    fn note_bitmap_write(&mut self, addr: PhysAddr, value: u64) {
+        let off = addr.raw() - self.config.bitmap.bitmap_base().raw();
+        let wi = (off / 8) as usize;
+        // Peek before `make_mut`: a write that changes nothing must not
+        // detach a page-watch/shadow copy shared with a fork template.
+        let old = match self.shadow.get(wi) {
+            Some(&old) if old != value => old,
+            _ => return,
+        };
+        std::rc::Rc::make_mut(&mut self.shadow)[wi] = value;
+        let count = &mut std::rc::Rc::make_mut(&mut self.page_watch)[wi / WORDS_PER_CHUNK];
+        *count = count
+            .wrapping_add(value.count_ones())
+            .wrapping_sub(old.count_ones());
+    }
+
+    /// Is the short-circuit provably model-invisible right now? (See
+    /// module docs for the envelope.)
+    fn filter_safe(&self) -> bool {
+        self.faults.is_none()
+            && self.sink.is_none()
+            && self.config.drain_per_transaction.is_none()
+            && self.config.fifo_capacity >= MAX_CAPTURES_PER_TXN
+    }
+
+    /// Whether a captured write at `addr` may skip the FIFO/translator:
+    /// its page summary shows no watched word, the envelope holds, and
+    /// the word the decision unit would actually consult (cached bitmap
+    /// word, else DRAM — exactly [`Mbm::translate_one`]'s order) agrees.
+    /// The confirmation makes the skip correct even when the bitmap was
+    /// programmed without bus visibility (debug writes), where the
+    /// snoop-maintained summary is stale.
+    fn filter_skips(&self, addr: PhysAddr, mem: &mut hypernel_machine::mem::PhysMemory) -> bool {
+        if !self.filter_enabled || !self.filter_safe() {
+            return false;
+        }
+        let chunk = ((addr.raw() - self.config.bitmap.window_base().raw()) / PAGE_SIZE) as usize;
+        if self.page_watch.get(chunk).is_none_or(|&c| c != 0) {
+            return false;
+        }
+        let Some((word, mask)) = self.config.bitmap.locate(addr) else {
+            return false;
+        };
+        let effective = self.cache.peek(word).unwrap_or_else(|| mem.read_u64(word));
+        effective & mask == 0
+    }
+
+    /// Charges what the reference pipeline would have charged for a
+    /// short-circuited write: one capture, one (lossless) translation.
+    fn skip_capture(&mut self) {
+        self.stats.captured += 1;
+        self.stats.bitmap_lookups += 1;
+        self.stats.page_filter_skips += 1;
     }
 
     /// Installs (or removes) the fault injector covering the monitor's
@@ -180,6 +315,12 @@ impl Mbm {
     /// spans the whole pipeline.
     pub fn set_fault_injector(&mut self, faults: Option<SharedFaults>) {
         self.faults = faults;
+    }
+
+    /// The installed fault-injector handle, if any (an owned `Rc`
+    /// clone). Forking callers use this to verify re-wiring.
+    pub fn fault_injector(&self) -> Option<SharedFaults> {
+        self.faults.clone()
     }
 
     /// Installs (or removes) the telemetry sink; MBM events are stamped
@@ -421,8 +562,13 @@ impl BusSnooper for Mbm {
                 self.stats.bus_writes_seen += 1;
                 if self.config.bitmap.in_bitmap_storage(addr) {
                     self.cache.snoop_update(addr, value);
+                    self.note_bitmap_write(addr, value);
                 } else if self.config.bitmap.covers(addr) {
-                    self.capture(SnoopedWrite { addr, value }, ctx.cycles);
+                    if self.filter_skips(addr, ctx.mem) {
+                        self.skip_capture();
+                    } else {
+                        self.capture(SnoopedWrite { addr, value }, ctx.cycles);
+                    }
                 }
             }
             BusTransaction::WriteLine { addr, data } => {
@@ -431,14 +577,19 @@ impl BusSnooper for Mbm {
                     let word_addr = addr.add(i as u64 * 8);
                     if self.config.bitmap.in_bitmap_storage(word_addr) {
                         self.cache.snoop_update(word_addr, *value);
+                        self.note_bitmap_write(word_addr, *value);
                     } else if self.config.bitmap.covers(word_addr) {
-                        self.capture(
-                            SnoopedWrite {
-                                addr: word_addr,
-                                value: *value,
-                            },
-                            ctx.cycles,
-                        );
+                        if self.filter_skips(word_addr, ctx.mem) {
+                            self.skip_capture();
+                        } else {
+                            self.capture(
+                                SnoopedWrite {
+                                    addr: word_addr,
+                                    value: *value,
+                                },
+                                ctx.cycles,
+                            );
+                        }
                     }
                 }
             }
@@ -457,6 +608,10 @@ impl BusSnooper for Mbm {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn BusSnooper> {
+        Box::new(self.clone())
     }
 }
 
@@ -808,6 +963,159 @@ mod tests {
         rig.write(0x3000, 3); // third drain runs, clears the backlog
         assert_eq!(rig.mbm.fifo_len(), 0);
         assert_eq!(rig.mbm.stats().events_matched, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Watch-page summary filter
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn filter_short_circuits_unwatched_pages() {
+        let mut rig = Rig::new(config());
+        rig.mbm.set_filter_enabled(true);
+        rig.watch(0x1000, 8);
+        // Writes to a page with no watched word skip the pipeline…
+        for w in 0..100u64 {
+            rig.write(0x9000 + w * 8, w);
+        }
+        assert_eq!(rig.mbm.stats().page_filter_skips, 100);
+        // …but charge the same capture/lookup counters as the reference.
+        assert_eq!(rig.mbm.stats().captured, 100);
+        assert_eq!(rig.mbm.stats().bitmap_lookups, 100);
+        assert_eq!(rig.mbm.stats().events_matched, 0);
+        // Watched writes still go through the real pipeline and match.
+        rig.write(0x1000, 7);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+        assert!(rig.irq.is_pending(IrqLine::MBM));
+    }
+
+    #[test]
+    fn filter_coherent_when_watch_bits_set_and_cleared_mid_run() {
+        let mut rig = Rig::new(config());
+        rig.mbm.set_filter_enabled(true);
+        // Initially unwatched: writes to the page are skipped.
+        rig.write(0x6000, 1);
+        assert_eq!(rig.mbm.stats().page_filter_skips, 1);
+        // Hypersec sets the watch bit (bus-visible bitmap write): the
+        // very next write must take the real pipeline and match.
+        rig.watch(0x6000, 8);
+        rig.write(0x6000, 2);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+        // Clearing it re-arms the short circuit.
+        let updates = rig
+            .mbm
+            .config()
+            .bitmap
+            .plan_update(PhysAddr::new(0x6000), 8, false);
+        for u in updates {
+            let cur = rig.mem.read_u64(u.word);
+            let val = u.apply_to(cur);
+            rig.mem.write_u64(u.word, val);
+            rig.txn(BusTransaction::WriteWord {
+                addr: u.word,
+                value: val,
+            });
+        }
+        rig.write(0x6000, 3);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+        assert_eq!(rig.mbm.stats().page_filter_skips, 2);
+        // A *different* word of the same page keeps the page hot while
+        // any bit in it is set.
+        rig.watch(0x6100, 8);
+        rig.write(0x6008, 4); // unwatched word, watched page: no skip
+        assert_eq!(rig.mbm.stats().page_filter_skips, 2);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+    }
+
+    #[test]
+    fn filter_matches_reference_pipeline_statistics() {
+        let mut runs = Vec::new();
+        for enabled in [true, false] {
+            let mut rig = Rig::new(config());
+            rig.mbm.set_filter_enabled(enabled);
+            rig.watch(0x2000, 16);
+            for w in 0..64u64 {
+                rig.write(0x4000 + w * 8, w); // unwatched page
+            }
+            rig.write(0x2008, 1); // watched
+            rig.txn(BusTransaction::WriteLine {
+                addr: PhysAddr::new(0x4100),
+                data: [9; 8],
+            });
+            let mut stats = rig.mbm.stats();
+            assert_eq!(stats.page_filter_skips > 0, enabled);
+            // Host-observability fields are allowed to diverge.
+            stats.page_filter_skips = 0;
+            stats.device_reads = 0;
+            runs.push((stats, rig.irq.is_pending(IrqLine::MBM)));
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn filter_self_disables_outside_safety_envelope() {
+        // A lossy FIFO (or throttled drain) can drop captures; skipping
+        // would change which ones. The filter must stand down.
+        let mut cfg = config();
+        cfg.fifo_capacity = 2;
+        let mut rig = Rig::new(cfg);
+        rig.mbm.set_filter_enabled(true);
+        rig.write(0x9000, 1);
+        assert_eq!(rig.mbm.stats().page_filter_skips, 0);
+
+        let mut cfg = config();
+        cfg.drain_per_transaction = Some(1);
+        let mut rig = Rig::new(cfg);
+        rig.mbm.set_filter_enabled(true);
+        rig.write(0x9000, 1);
+        assert_eq!(rig.mbm.stats().page_filter_skips, 0);
+
+        // A fault injector also forces the reference pipeline.
+        use hypernel_machine::fault::{share, FaultPlan};
+        let mut rig = Rig::new(config());
+        rig.mbm.set_filter_enabled(true);
+        rig.mbm.set_fault_injector(Some(share(FaultPlan::new())));
+        rig.write(0x9000, 1);
+        assert_eq!(rig.mbm.stats().page_filter_skips, 0);
+    }
+
+    #[test]
+    fn filter_confirms_against_memory_for_non_bus_bitmap_writes() {
+        // Out-of-band bitmap programming (no bus transaction, *no*
+        // resync — the bare-monitor ATRA rig does exactly this): the
+        // stale summary alone would skip; the decision-unit confirmation
+        // must not.
+        let mut rig = Rig::new(config());
+        rig.mbm.set_filter_enabled(true);
+        let (word, mask) = rig
+            .mbm
+            .config()
+            .bitmap
+            .locate(PhysAddr::new(0x3000))
+            .unwrap();
+        rig.mem.write_u64(word, mask);
+        rig.write(0x3000, 5);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+        assert_eq!(rig.mbm.stats().page_filter_skips, 0);
+    }
+
+    #[test]
+    fn filter_resync_recovers_from_non_bus_bitmap_writes() {
+        let mut rig = Rig::new(config());
+        rig.mbm.set_filter_enabled(true);
+        // Set a watch bit behind the monitor's back (no bus transaction).
+        let (word, mask) = rig
+            .mbm
+            .config()
+            .bitmap
+            .locate(PhysAddr::new(0x3000))
+            .unwrap();
+        rig.mem.write_u64(word, mask);
+        // The stale summary would skip; resync restores coherence.
+        rig.mbm.resync_filter(&mut rig.mem);
+        rig.write(0x3000, 5);
+        assert_eq!(rig.mbm.stats().events_matched, 1);
+        assert_eq!(rig.mbm.stats().page_filter_skips, 0);
     }
 
     #[test]

@@ -46,6 +46,54 @@ bench-baseline:
         --dir {{justfile_directory()}}/target/bench-summaries \
         --out {{justfile_directory()}}/benchmarks/baseline.json
 
+# Host-throughput bench: simulated work retired per host second (the
+# other perf axis — simulated-cycle results are unaffected by design).
+# Gated at ±20% against the committed throughput baseline; `*_mops`
+# metrics regress when they DROP. See docs/PERF.md.
+bench-throughput:
+    rm -rf {{justfile_directory()}}/target/throughput-summaries
+    HYPERNEL_BENCH_DIR={{justfile_directory()}}/target/throughput-summaries \
+        cargo bench -q -p hypernel-bench --bench throughput
+    cargo run -q -p hypernel-analyze -- bench \
+        --dir {{justfile_directory()}}/target/throughput-summaries \
+        --out-dir {{justfile_directory()}}/target/throughput-trajectory \
+        --baseline {{justfile_directory()}}/benchmarks/throughput-baseline.json \
+        --threshold 0.20
+
+# Regenerate the committed host-throughput baseline (run on the
+# reference machine after an intentional fast-path change, then commit
+# benchmarks/throughput-baseline.json).
+bench-throughput-baseline:
+    rm -rf {{justfile_directory()}}/target/throughput-summaries
+    HYPERNEL_BENCH_DIR={{justfile_directory()}}/target/throughput-summaries \
+        cargo bench -q -p hypernel-bench --bench throughput
+    cargo run -q -p hypernel-analyze -- bench \
+        --dir {{justfile_directory()}}/target/throughput-summaries \
+        --out {{justfile_directory()}}/benchmarks/throughput-baseline.json
+
+# Determinism gate: the fast paths must be model-invisible. Sweep the
+# corpus with fast paths on (at two worker counts) and off, and demand
+# byte-identical campaign.jsonl artifacts.
+determinism:
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --seeds 8 --jobs 4 \
+        --out {{justfile_directory()}}/target/determinism/fast.jsonl \
+        --summary {{justfile_directory()}}/target/determinism/fast-summary.json
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --seeds 8 --jobs 1 \
+        --out {{justfile_directory()}}/target/determinism/fast-j1.jsonl \
+        --summary {{justfile_directory()}}/target/determinism/fast-j1-summary.json
+    HYPERNEL_NO_FASTPATH=1 \
+        cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --seeds 8 --jobs 4 \
+        --out {{justfile_directory()}}/target/determinism/slow.jsonl \
+        --summary {{justfile_directory()}}/target/determinism/slow-summary.json
+    diff {{justfile_directory()}}/target/determinism/fast.jsonl \
+         {{justfile_directory()}}/target/determinism/fast-j1.jsonl
+    diff {{justfile_directory()}}/target/determinism/fast.jsonl \
+         {{justfile_directory()}}/target/determinism/slow.jsonl
+    @echo "determinism: campaign.jsonl byte-identical (fastpath on/off, jobs 1/4)"
+
 # Full adversarial campaign: sweep the shipped scenario corpus across
 # 64 seeds and enforce the invariant oracles. Artifacts land in
 # target/campaign/.
