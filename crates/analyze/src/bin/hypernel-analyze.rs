@@ -7,6 +7,7 @@
 //!                              [--threshold 0.05] [--json]
 //! hypernel-analyze bench       --dir <summaries> [--out <file> | --out-dir <dir>]
 //!                              [--baseline <trajectory.json>] [--threshold 0.10]
+//! hypernel-analyze audit       <report.json>...
 //! hypernel-analyze selftest
 //! ```
 //!
@@ -51,6 +52,10 @@ USAGE:
       pass-rate drops, detection-latency growth beyond the threshold,
       default 0.10 = 10%). Exits 1 whenever unexpected violations are
       present.
+  hypernel-analyze audit <report.json>...
+      Ingests one or more `hypernel-audit` static-audit reports and
+      prints a per-invariant finding breakdown for each; exits 1 when
+      any report is not clean.
 ";
 
 fn main() -> ExitCode {
@@ -66,6 +71,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "bench" => cmd_bench(rest),
         "campaign" => cmd_campaign(rest),
+        "audit" => cmd_audit(rest),
         "selftest" => cmd_selftest(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -355,6 +361,30 @@ fn cmd_campaign(rest: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_audit(rest: &[String]) -> Result<ExitCode, String> {
+    use hypernel_analyze::audit::ingest_report;
+
+    if rest.is_empty() || rest.iter().any(|a| a.starts_with("--")) {
+        return Err("usage: audit <report.json>...".into());
+    }
+    let mut dirty = 0usize;
+    for path in rest {
+        let summary = ingest_report(&load_report(path)?).map_err(|e| format!("`{path}`: {e}"))?;
+        println!("{path}:");
+        for line in summary.render_text().lines() {
+            println!("  {line}");
+        }
+        if !summary.clean {
+            dirty += 1;
+        }
+    }
+    if dirty > 0 {
+        eprintln!("{dirty} of {} report(s) not clean", rest.len());
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_selftest() -> Result<ExitCode, String> {

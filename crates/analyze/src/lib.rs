@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # hypernel-analyze
 //!
@@ -20,16 +21,20 @@
 //!   perf gate CI runs on every push.
 //! * [`bench`] — aggregation of `crates/bench` machine-readable
 //!   summaries into dated `BENCH_<date>.json` trajectory artifacts.
+//! * [`audit`] — ingestion of `hypernel-audit` static-audit reports
+//!   with per-invariant finding breakdowns.
 //!
-//! The `hypernel-analyze` binary fronts all four; see its `--help`.
+//! The `hypernel-analyze` binary fronts all of these; see its `--help`.
 
 pub mod attribution;
+pub mod audit;
 pub mod bench;
 pub mod campaign;
 pub mod compare;
 pub mod forensics;
 
 pub use attribution::{attribute, Attribution, AttributionRow};
+pub use audit::{ingest_report, AuditFinding, AuditSummary};
 pub use bench::{read_summaries_dir, trajectory_json, BenchEntry};
 pub use campaign::{diff_campaigns, ingest_records, CampaignFinding, CampaignRow};
 pub use compare::{compare_reports, flatten_metrics, Comparison, MetricDelta};

@@ -1,0 +1,276 @@
+//! `hypernel-audit` — static whole-system invariant auditor.
+//!
+//! ```text
+//! hypernel-audit corpus <dir> [--seed N] [--sanitize]
+//! hypernel-audit scenario <file> [--mode native|kvm|hypernel] [--seed N]
+//!                                [--sanitize] [--json <file>]
+//! ```
+//!
+//! Both commands run a campaign scenario to completion and then audit
+//! the *final* state from scratch: every stage-1 table reachable from
+//! the active and hypervisor-known roots is walked and the protected
+//! invariants are checked statically, independent of the incremental
+//! verdict Hypersec accumulated during the run (the two are compared —
+//! any disagreement is a verifier bug and always fails).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hypernel::audit::StaticAuditReport;
+use hypernel::Mode;
+use hypernel_campaign::engine::{boot_system, run_one_full, EngineError};
+use hypernel_campaign::scenario::Scenario;
+
+const USAGE: &str = "\
+hypernel-audit — static whole-system invariant auditor for Hypernel
+
+USAGE:
+  hypernel-audit corpus <dir> [--seed N] [--sanitize]
+      Runs every scenario in <dir> to completion and statically audits
+      its final state. Under Hypernel any finding (or a differential
+      disagreement with the incremental verifier, in any mode) fails;
+      under native/kvm findings are reported as the attack's footprint.
+      Exits 2 on failure.
+  hypernel-audit scenario <file> [--mode native|kvm|hypernel] [--seed N]
+                                 [--sanitize] [--json <file>]
+      Runs one scenario (optionally forcing the mode) and prints the
+      full audit report as JSON. Exits 2 when the report is not clean.
+
+  --sanitize  Enable the guest-memory ownership sanitizer before the
+              run; its per-write verdicts land in the report.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "corpus" => cmd_corpus(&args[1..]),
+        "scenario" => cmd_scenario(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("hypernel-audit: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    positional: Vec<String>,
+    seed: u64,
+    sanitize: bool,
+    mode: Option<Mode>,
+    json: Option<String>,
+}
+
+fn parse_options(rest: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        positional: Vec::new(),
+        seed: 0,
+        sanitize: false,
+        mode: None,
+        json: None,
+    };
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--sanitize" => options.sanitize = true,
+            "--seed" => {
+                let value = iter.next().ok_or("`--seed` needs a value")?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("`--seed`: invalid number `{value}`"))?;
+            }
+            "--mode" => {
+                let value = iter.next().ok_or("`--mode` needs a value")?;
+                options.mode = Some(match value.as_str() {
+                    "native" => Mode::Native,
+                    "kvm" => Mode::KvmGuest,
+                    "hypernel" => Mode::Hypernel,
+                    other => {
+                        return Err(format!(
+                            "`--mode`: unknown mode `{other}` (native | kvm | hypernel)"
+                        ))
+                    }
+                });
+            }
+            "--json" => {
+                let value = iter.next().ok_or("`--json` needs a value")?;
+                options.json = Some(value.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            positional => options.positional.push(positional.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+/// Runs `scenario` to completion and statically audits the final state.
+fn audit_scenario(
+    scenario: &Scenario,
+    seed: u64,
+    sanitize: bool,
+) -> Result<StaticAuditReport, EngineError> {
+    let mut sys = boot_system(scenario)?;
+    if sanitize {
+        sys.enable_sanitizer();
+    }
+    let (_record, _faults, mut sys) = run_one_full(sys, scenario, seed)?;
+    Ok(sys.audit_static())
+}
+
+/// The gate: what fails a corpus audit. Under Hypernel the invariants
+/// must hold outright; in the baseline modes findings are the expected
+/// footprint of a successful attack, but a static-vs-incremental
+/// disagreement is a verifier bug in any mode.
+fn gate_failure(mode: Mode, report: &StaticAuditReport) -> Option<String> {
+    if let Some(diff) = &report.differential {
+        if !diff.agrees() {
+            return Some(format!(
+                "static/incremental disagreement: {}",
+                diff.disagreements.join("; ")
+            ));
+        }
+    }
+    if mode == Mode::Hypernel && !report.is_clean() {
+        let first = report
+            .findings
+            .first()
+            .map(ToString::to_string)
+            .unwrap_or_else(|| "sanitizer denial".to_string());
+        return Some(format!(
+            "{} finding(s) under Hypernel; first: {first}",
+            report.findings.len()
+        ));
+    }
+    None
+}
+
+fn load_corpus(dir: &str) -> Result<Vec<Scenario>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir `{dir}`: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no `*.toml` scenarios in `{dir}`"));
+    }
+    let mut scenarios = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        let scenario =
+            Scenario::from_toml(&text).map_err(|e| format!("`{}`: {e}", path.display()))?;
+        scenarios.push(scenario);
+    }
+    Ok(scenarios)
+}
+
+fn summary_line(scenario: &Scenario, report: &StaticAuditReport) -> String {
+    let differential = match &report.differential {
+        Some(d) if d.agrees() => "  differential agrees",
+        Some(_) => "  differential DISAGREES",
+        None => "",
+    };
+    format!(
+        "{:<28} {:<10} roots {:>2}  tables {:>3}  leaves {:>5}  findings {:>2}{differential}",
+        scenario.name,
+        scenario.mode.to_string(),
+        report.roots_walked,
+        report.tables_walked,
+        report.leaves_checked,
+        report.findings.len(),
+    )
+}
+
+fn cmd_corpus(rest: &[String]) -> Result<ExitCode, String> {
+    let options = parse_options(rest)?;
+    let [dir] = options.positional.as_slice() else {
+        return Err("`corpus` needs exactly one directory argument".to_string());
+    };
+    if options.mode.is_some() || options.json.is_some() {
+        return Err("`--mode` and `--json` only apply to `scenario`".to_string());
+    }
+    let scenarios = load_corpus(dir)?;
+    let mut failures = 0usize;
+    for scenario in &scenarios {
+        let report = match audit_scenario(scenario, options.seed, options.sanitize) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{:<28} ERROR: {e}", scenario.name);
+                failures += 1;
+                continue;
+            }
+        };
+        eprintln!("{}", summary_line(scenario, &report));
+        if let Some(why) = gate_failure(scenario.mode, &report) {
+            eprintln!("{:<28} FAILED: {why}", scenario.name);
+            for finding in &report.findings {
+                eprintln!("  {finding}");
+            }
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "audit FAILED: {failures} of {} scenario(s)",
+            scenarios.len()
+        );
+        return Ok(ExitCode::from(2));
+    }
+    eprintln!(
+        "audit passed: {} scenario(s), seed {}",
+        scenarios.len(),
+        options.seed
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_scenario(rest: &[String]) -> Result<ExitCode, String> {
+    let options = parse_options(rest)?;
+    let [file] = options.positional.as_slice() else {
+        return Err("`scenario` needs exactly one file argument".to_string());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let mut scenario = Scenario::from_toml(&text).map_err(|e| format!("`{file}`: {e}"))?;
+    if let Some(mode) = options.mode {
+        scenario.mode = mode;
+    }
+    let report = audit_scenario(&scenario, options.seed, options.sanitize)
+        .map_err(|e| format!("`{}`: {e}", scenario.name))?;
+    eprintln!("{}", summary_line(&scenario, &report));
+    for finding in &report.findings {
+        eprintln!("  {finding}");
+    }
+    let json = format!("{}\n", report.to_json());
+    match &options.json {
+        Some(path) => {
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+                }
+            }
+            std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote audit report to {path}");
+        }
+        None => print!("{json}"),
+    }
+    if report.is_clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(2))
+    }
+}

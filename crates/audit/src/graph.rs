@@ -1,0 +1,275 @@
+//! The snapshot walker: from a paused machine, rebuild the full
+//! stage-1 mapping graph reachable from a set of translation roots.
+//!
+//! The walker reads descriptors with `Machine::debug_read_phys` (cache
+//! coherent, zero simulated cycles, no architectural effect), records
+//! the *descriptor chain* that reaches every leaf — `(table, index)`
+//! links from the root down — and is cycle-safe: a table revisited
+//! along one root's walk is not descended into again, so a maliciously
+//! self-referencing table terminates instead of recursing forever.
+
+use std::collections::HashSet;
+
+use hypernel_machine::addr::PhysAddr;
+use hypernel_machine::machine::Machine;
+use hypernel_machine::pagetable::{desc, Descriptor, PagePerms, ENTRIES_PER_TABLE};
+
+/// How a root entered the walk — provenance shown in findings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootOrigin {
+    /// The live `TTBR1_EL1` value (kernel half).
+    ActiveTtbr1,
+    /// The live `TTBR0_EL1` value (user half, ASID stripped).
+    ActiveTtbr0,
+    /// A root the kernel's own bookkeeping knows about.
+    KernelKnown,
+    /// A root in Hypersec's verified set.
+    HypervisorVerified,
+}
+
+impl RootOrigin {
+    /// Stable lower-case name for diagnostics and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            RootOrigin::ActiveTtbr1 => "active-ttbr1",
+            RootOrigin::ActiveTtbr0 => "active-ttbr0",
+            RootOrigin::KernelKnown => "kernel-known",
+            RootOrigin::HypervisorVerified => "hypervisor-verified",
+        }
+    }
+}
+
+/// One translation root fed to the walker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootSpec {
+    /// Physical address of the level-0 table.
+    pub pa: PhysAddr,
+    /// `true` for the kernel half (linear-identity rules apply).
+    pub kernel_space: bool,
+    /// Every provenance this root was seen with (deduplicated).
+    pub origins: Vec<RootOrigin>,
+}
+
+/// One `(table, index)` step of a descriptor chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainLink {
+    /// Physical address of the table page holding the descriptor.
+    pub table: PhysAddr,
+    /// Entry index within the table (0..512).
+    pub index: u64,
+}
+
+impl std::fmt::Display for ChainLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.table, self.index)
+    }
+}
+
+/// Renders a descriptor chain as `root[i] -> table[j] -> ...`.
+pub fn chain_display(chain: &[ChainLink]) -> String {
+    chain
+        .iter()
+        .map(ChainLink::to_string)
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// One reachable leaf mapping with its full provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeafRecord {
+    /// The root this leaf was reached from.
+    pub root: PhysAddr,
+    /// Whether that root is a kernel-half root.
+    pub kernel_space: bool,
+    /// Virtual address the leaf maps.
+    pub va: u64,
+    /// Output physical address.
+    pub out: PhysAddr,
+    /// Bytes covered (4 KiB page or a 2 MiB / 1 GiB block).
+    pub span: u64,
+    /// Decoded permissions.
+    pub perms: PagePerms,
+    /// Descriptor chain from the root to this leaf.
+    pub chain: Vec<ChainLink>,
+}
+
+/// The reconstructed mapping graph of a paused machine.
+#[derive(Clone, Debug, Default)]
+pub struct MappingGraph {
+    /// The roots that were walked, in walk order.
+    pub roots: Vec<RootSpec>,
+    /// Every table page visited, sorted and deduplicated.
+    pub tables: Vec<PhysAddr>,
+    /// Every reachable leaf, in deterministic walk order.
+    pub leaves: Vec<LeafRecord>,
+    /// Structurally malformed descriptors (table pointer at leaf
+    /// level), each with the offending chain.
+    pub malformed: Vec<(String, Vec<ChainLink>)>,
+}
+
+impl MappingGraph {
+    /// Walks every root and returns the graph. Deterministic: roots are
+    /// walked in the order given, entries in index order.
+    pub fn walk(m: &mut Machine, roots: &[RootSpec]) -> Self {
+        let mut graph = MappingGraph {
+            roots: roots.to_vec(),
+            ..MappingGraph::default()
+        };
+        let mut tables: HashSet<u64> = HashSet::new();
+        for root in roots {
+            let mut visited: HashSet<u64> = HashSet::new();
+            walk_table(
+                m,
+                root,
+                root.pa,
+                0,
+                0,
+                &mut Vec::new(),
+                &mut visited,
+                &mut tables,
+                &mut graph,
+            );
+        }
+        let mut sorted: Vec<PhysAddr> = tables.into_iter().map(PhysAddr::new).collect();
+        sorted.sort();
+        graph.tables = sorted;
+        graph
+    }
+
+    /// Leaves whose span overlaps `[base, base + len)`.
+    pub fn leaves_over(&self, base: u64, len: u64) -> impl Iterator<Item = &LeafRecord> {
+        self.leaves
+            .iter()
+            .filter(move |l| l.out.raw() < base + len && l.out.raw() + l.span > base)
+    }
+}
+
+fn level_shift(level: u32) -> u32 {
+    12 + 9 * (3 - level)
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carries the whole walk state
+fn walk_table(
+    m: &mut Machine,
+    root: &RootSpec,
+    table: PhysAddr,
+    level: u32,
+    va_base: u64,
+    chain: &mut Vec<ChainLink>,
+    visited: &mut HashSet<u64>,
+    tables: &mut HashSet<u64>,
+    graph: &mut MappingGraph,
+) {
+    if !visited.insert(table.raw()) {
+        return; // cycle (or diamond) — already walked under this root
+    }
+    tables.insert(table.raw());
+    for i in 0..ENTRIES_PER_TABLE as u64 {
+        let raw = m.debug_read_phys(table.add(i * 8));
+        let va = va_base | i << level_shift(level);
+        chain.push(ChainLink { table, index: i });
+        match Descriptor::decode(raw, level) {
+            Descriptor::Invalid => {}
+            Descriptor::Table { next } => {
+                if level >= 3 {
+                    graph.malformed.push((
+                        format!("table pointer at leaf level, va {va:#x}"),
+                        chain.clone(),
+                    ));
+                } else {
+                    walk_table(m, root, next, level + 1, va, chain, visited, tables, graph);
+                }
+            }
+            Descriptor::Leaf { out, perms } => {
+                graph.leaves.push(LeafRecord {
+                    root: root.pa,
+                    kernel_space: root.kernel_space,
+                    va,
+                    out,
+                    span: 1u64 << level_shift(level),
+                    perms,
+                    chain: chain.clone(),
+                });
+            }
+        }
+        chain.pop();
+    }
+}
+
+/// Strips the ASID field from a raw `TTBRn_EL1` value, leaving the
+/// table base.
+pub fn ttbr_base(raw: u64) -> PhysAddr {
+    PhysAddr::new(raw & desc::ADDR_MASK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypernel_machine::machine::MachineConfig;
+    use hypernel_machine::pagetable::desc as d;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            dram_size: 8 << 20,
+            ..MachineConfig::default()
+        })
+    }
+
+    fn table_desc(next: u64) -> u64 {
+        next | d::VALID | d::TABLE
+    }
+
+    #[test]
+    fn walks_chain_and_records_leaf() {
+        let mut m = machine();
+        // root(0x1000) -> l1(0x2000) -> l2(0x3000) -> l3(0x4000) -> page 0x5000
+        for t in [0x1000u64, 0x2000, 0x3000, 0x4000] {
+            m.debug_zero_page(PhysAddr::new(t));
+        }
+        m.debug_write_phys(PhysAddr::new(0x1000), table_desc(0x2000));
+        m.debug_write_phys(PhysAddr::new(0x2000), table_desc(0x3000));
+        m.debug_write_phys(PhysAddr::new(0x3000), table_desc(0x4000));
+        let leaf = Descriptor::Leaf {
+            out: PhysAddr::new(0x5000),
+            perms: PagePerms::KERNEL_DATA,
+        }
+        .encode();
+        m.debug_write_phys(PhysAddr::new(0x4000 + 7 * 8), leaf);
+        let roots = [RootSpec {
+            pa: PhysAddr::new(0x1000),
+            kernel_space: true,
+            origins: vec![RootOrigin::ActiveTtbr1],
+        }];
+        let g = MappingGraph::walk(&mut m, &roots);
+        assert_eq!(g.tables.len(), 4);
+        assert_eq!(g.leaves.len(), 1);
+        let l = &g.leaves[0];
+        assert_eq!(l.out, PhysAddr::new(0x5000));
+        assert_eq!(l.va, 7 << 12);
+        assert_eq!(l.span, 4096);
+        assert_eq!(l.chain.len(), 4);
+        assert_eq!(l.chain[3].index, 7);
+        assert!(chain_display(&l.chain).contains("[7]"));
+    }
+
+    #[test]
+    fn self_referencing_table_terminates() {
+        let mut m = machine();
+        m.debug_zero_page(PhysAddr::new(0x1000));
+        // Entry 0 points back at the table itself.
+        m.debug_write_phys(PhysAddr::new(0x1000), table_desc(0x1000));
+        let roots = [RootSpec {
+            pa: PhysAddr::new(0x1000),
+            kernel_space: false,
+            origins: vec![RootOrigin::ActiveTtbr0],
+        }];
+        let g = MappingGraph::walk(&mut m, &roots);
+        assert_eq!(g.tables.len(), 1);
+        assert!(g.leaves.is_empty());
+    }
+
+    #[test]
+    fn ttbr_base_strips_asid() {
+        assert_eq!(ttbr_base(0x0005_0000_0000_3000), PhysAddr::new(0x3000),);
+    }
+}

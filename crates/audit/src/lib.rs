@@ -1,0 +1,422 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # hypernel-audit
+//!
+//! A static whole-system invariant auditor for the [Hypernel (DAC
+//! 2018)][paper] reproduction, plus the seeding half of the
+//! guest-memory ownership sanitizer.
+//!
+//! Hypersec verifies page-table updates *incrementally* — one
+//! hypercall, one trapped register write at a time. A bug in that
+//! verifier admits exactly the attacks Hypernel exists to stop, and no
+//! amount of incremental checking can catch it. This crate is the
+//! independent cross-check: from a **paused** machine it re-derives the
+//! complete stage-1 mapping graph from first principles (every table
+//! reachable from the live `TTBR0_EL1`/`TTBR1_EL1`, the kernel's own
+//! bookkeeping, and Hypersec's verified root set), statically checks
+//! every security invariant over the whole graph at once, and then
+//! *differentially* compares its verdict against Hypersec's runtime
+//! audit — any disagreement is a verifier bug (or an auditor gap) by
+//! construction.
+//!
+//! Static invariants checked over the mapping graph:
+//!
+//! - **secure-reachable** — no stage-1 path maps the secure region;
+//! - **wx-mapping** — no leaf is writable *and* executable;
+//! - **linear-identity** — kernel-half leaves are identity mappings
+//!   (double maps and ATRA-style aliases surface here);
+//! - **text-writable** — kernel text is nowhere writable;
+//! - **table-writable** — no live table page is writable (only while
+//!   Hypersec is locked: an unprotected native kernel edits its own
+//!   tables by design);
+//! - **unverified-table** — every table reachable from Hypersec's roots
+//!   is in its verified pool (locked only);
+//! - **rogue-root** — the active `TTBR` roots are in the trusted root
+//!   set;
+//! - **watch-coverage** — every word of every registered monitored
+//!   region has its MBM watch bit set and a non-cacheable kernel
+//!   mapping;
+//! - **malformed** — no table pointer sits at leaf level.
+//!
+//! The ownership sanitizer ([`sanitizer::seed_shadow`] +
+//! [`hypernel_machine::shadow`]) is the dynamic complement: a shadow
+//! tag per physical page, maintained by the kernel at allocation sites
+//! and checked against a writer/tag policy on every store.
+//!
+//! All reads go through `Machine::debug_read_phys` — cache coherent,
+//! zero simulated cycles, no architectural side effects — so auditing
+//! never perturbs the simulation it inspects.
+//!
+//! [paper]: https://doi.org/10.1145/3195970.3196061
+
+pub mod graph;
+pub mod report;
+pub mod sanitizer;
+
+pub use graph::{chain_display, ChainLink, LeafRecord, MappingGraph, RootOrigin, RootSpec};
+pub use report::{
+    CheckKind, DifferentialReport, Finding, SanitizerReport, StaticAuditReport, AUDIT_SCHEMA,
+    REPORT_KIND,
+};
+pub use sanitizer::seed_shadow;
+
+use std::collections::HashSet;
+
+use hypernel_hypersec::Hypersec;
+use hypernel_kernel::{layout, Kernel};
+use hypernel_machine::addr::PhysAddr;
+use hypernel_machine::machine::Machine;
+use hypernel_machine::regs::SysReg;
+
+/// Runs the complete static audit pass over a paused system.
+///
+/// `kernel` supplies the kernel-known ground truth (its root, the
+/// per-task user roots); `hypersec`, when present **and locked**, adds
+/// the verified root/table pools, enables the strict table checks, and
+/// arms the differential comparison against [`Hypersec::audit`]. The
+/// ownership-sanitizer section is filled in when shadow tags are
+/// enabled on the machine.
+pub fn audit_system(
+    m: &mut Machine,
+    kernel: &Kernel,
+    hypersec: Option<&Hypersec>,
+) -> StaticAuditReport {
+    let mut report = StaticAuditReport::default();
+    let strict = hypersec.is_some_and(Hypersec::is_locked);
+
+    let roots = collect_roots(m, kernel, hypersec);
+    check_rogue_roots(&roots, kernel, hypersec, strict, &mut report);
+
+    let graph = MappingGraph::walk(m, &roots);
+    report.roots_walked = graph.roots.len() as u64;
+    report.tables_walked = graph.tables.len() as u64;
+    report.leaves_checked = graph.leaves.len() as u64;
+
+    for (detail, chain) in &graph.malformed {
+        report.finding(CheckKind::Malformed, detail.clone(), chain.clone());
+    }
+    check_leaves(&graph, &mut report);
+    if strict {
+        check_tables_ro(&graph, hypersec, &mut report);
+        check_verified_pool(m, hypersec.expect("strict implies hypersec"), &mut report);
+    }
+    if let Some(hyp) = hypersec {
+        check_watch_coverage(m, hyp, &graph, &mut report);
+    }
+    if strict {
+        run_differential(m, hypersec.expect("strict implies hypersec"), &mut report);
+    }
+    if let Some(shadow) = m.shadow_tags() {
+        report.sanitizer = Some(SanitizerReport {
+            stats: shadow.stats(),
+            violations: shadow.violations().to_vec(),
+        });
+    }
+    report
+}
+
+/// Gathers every translation root the system knows about, deduplicated
+/// with accumulated provenance. Order is deterministic: kernel-known
+/// kernel root, active `TTBR1`, Hypersec's kernel root, kernel-known
+/// user roots, active `TTBR0`, Hypersec's verified roots.
+fn collect_roots(m: &Machine, kernel: &Kernel, hypersec: Option<&Hypersec>) -> Vec<RootSpec> {
+    fn push(roots: &mut Vec<RootSpec>, pa: PhysAddr, kernel_space: bool, origin: RootOrigin) {
+        if pa.raw() == 0 {
+            return; // an unset TTBR, not a root
+        }
+        match roots.iter_mut().find(|r| r.pa == pa) {
+            Some(existing) => {
+                if !existing.origins.contains(&origin) {
+                    existing.origins.push(origin);
+                }
+            }
+            None => roots.push(RootSpec {
+                pa,
+                kernel_space,
+                origins: vec![origin],
+            }),
+        }
+    }
+
+    let mut roots = Vec::new();
+    push(
+        &mut roots,
+        kernel.kernel_root(),
+        true,
+        RootOrigin::KernelKnown,
+    );
+    if m.regs().stage1_enabled() {
+        push(
+            &mut roots,
+            graph::ttbr_base(m.regs().read(SysReg::TTBR1_EL1)),
+            true,
+            RootOrigin::ActiveTtbr1,
+        );
+    }
+    if let Some(hyp) = hypersec {
+        if let Some(root) = hyp.kernel_root() {
+            push(&mut roots, root, true, RootOrigin::HypervisorVerified);
+        }
+    }
+    for pa in kernel.user_roots() {
+        push(&mut roots, pa, false, RootOrigin::KernelKnown);
+    }
+    if m.regs().stage1_enabled() {
+        push(
+            &mut roots,
+            graph::ttbr_base(m.regs().read(SysReg::TTBR0_EL1)),
+            false,
+            RootOrigin::ActiveTtbr0,
+        );
+    }
+    for pa in hypersec.map(Hypersec::verified_roots).unwrap_or_default() {
+        push(&mut roots, pa, false, RootOrigin::HypervisorVerified);
+    }
+    roots
+}
+
+/// The active `TTBR` roots must come from the trusted set: Hypersec's
+/// verified roots once locked, otherwise the kernel's own bookkeeping.
+/// (Kernel-known user roots are *not* checked against Hypersec's pool —
+/// a freshly spawned task's root may legitimately await its first
+/// verified switch.)
+fn check_rogue_roots(
+    roots: &[RootSpec],
+    kernel: &Kernel,
+    hypersec: Option<&Hypersec>,
+    strict: bool,
+    report: &mut StaticAuditReport,
+) {
+    let trusted: HashSet<u64> = if strict {
+        let hyp = hypersec.expect("strict implies hypersec");
+        hyp.kernel_root()
+            .into_iter()
+            .chain(hyp.verified_roots())
+            .map(|r| r.raw())
+            .collect()
+    } else {
+        std::iter::once(kernel.kernel_root())
+            .chain(kernel.user_roots())
+            .map(|r| r.raw())
+            .collect()
+    };
+    for root in roots {
+        let active = root
+            .origins
+            .iter()
+            .any(|o| matches!(o, RootOrigin::ActiveTtbr0 | RootOrigin::ActiveTtbr1));
+        if active && !trusted.contains(&root.pa.raw()) {
+            let origins: Vec<&str> = root.origins.iter().map(|o| o.name()).collect();
+            report.finding(
+                CheckKind::RogueRoot,
+                format!(
+                    "active root {} ({}) is not in the trusted root set",
+                    root.pa,
+                    origins.join(", ")
+                ),
+                Vec::new(),
+            );
+        }
+    }
+}
+
+/// The per-leaf invariants: secure unreachability, W^X, kernel linear
+/// identity, kernel text never writable.
+fn check_leaves(graph: &MappingGraph, report: &mut StaticAuditReport) {
+    let image_end = layout::KERNEL_IMAGE_BASE + layout::KERNEL_IMAGE_SIZE;
+    for leaf in &graph.leaves {
+        if leaf.out.raw() + leaf.span > layout::SECURE_BASE {
+            report.finding(
+                CheckKind::SecureReachable,
+                format!(
+                    "leaf at va {:#x} maps secure memory ({})",
+                    leaf.va, leaf.out
+                ),
+                leaf.chain.clone(),
+            );
+        }
+        if leaf.perms.write && leaf.perms.exec {
+            report.finding(
+                CheckKind::WxMapping,
+                format!(
+                    "writable+executable leaf at va {:#x} -> {}",
+                    leaf.va, leaf.out
+                ),
+                leaf.chain.clone(),
+            );
+        }
+        if leaf.kernel_space && leaf.va != leaf.out.raw() {
+            report.finding(
+                CheckKind::LinearIdentity,
+                format!(
+                    "kernel linear leaf not identity: va {:#x} -> {}",
+                    leaf.va, leaf.out
+                ),
+                leaf.chain.clone(),
+            );
+        }
+        if leaf.perms.write
+            && leaf.out.raw() < image_end
+            && leaf.out.raw() + leaf.span > layout::KERNEL_IMAGE_BASE
+        {
+            report.finding(
+                CheckKind::TextWritable,
+                format!("kernel text writable at va {:#x} -> {}", leaf.va, leaf.out),
+                leaf.chain.clone(),
+            );
+        }
+    }
+}
+
+/// No writable leaf may cover a live table page (the union of the
+/// graph's reachable tables and Hypersec's verified pool). Only
+/// meaningful under a locked Hypersec — a native kernel writes its own
+/// tables through its linear map by design.
+fn check_tables_ro(
+    graph: &MappingGraph,
+    hypersec: Option<&Hypersec>,
+    report: &mut StaticAuditReport,
+) {
+    let mut tables: Vec<u64> = graph.tables.iter().map(|t| t.raw()).collect();
+    if let Some(hyp) = hypersec {
+        tables.extend(hyp.verified_tables().iter().map(|t| t.raw()));
+    }
+    tables.sort_unstable();
+    tables.dedup();
+    for leaf in graph.leaves.iter().filter(|l| l.perms.write) {
+        let start = tables.partition_point(|&t| t < leaf.out.raw());
+        for &table in tables[start..]
+            .iter()
+            .take_while(|&&t| t < leaf.out.raw() + leaf.span)
+        {
+            report.finding(
+                CheckKind::TableWritable,
+                format!(
+                    "table page {} is writable via va {:#x}",
+                    PhysAddr::new(table),
+                    leaf.va + (table - leaf.out.raw())
+                ),
+                leaf.chain.clone(),
+            );
+        }
+    }
+}
+
+/// Every table reachable from Hypersec's registered roots must be in
+/// its verified pool — the exact invariant the incremental runtime
+/// audit re-checks, so both sides flag the same tables.
+fn check_verified_pool(m: &mut Machine, hyp: &Hypersec, report: &mut StaticAuditReport) {
+    let mut roots = Vec::new();
+    if let Some(root) = hyp.kernel_root() {
+        roots.push(RootSpec {
+            pa: root,
+            kernel_space: true,
+            origins: vec![RootOrigin::HypervisorVerified],
+        });
+    }
+    for pa in hyp.verified_roots() {
+        roots.push(RootSpec {
+            pa,
+            kernel_space: false,
+            origins: vec![RootOrigin::HypervisorVerified],
+        });
+    }
+    let reachable = MappingGraph::walk(m, &roots);
+    let verified: HashSet<u64> = hyp.verified_tables().iter().map(|t| t.raw()).collect();
+    for table in &reachable.tables {
+        if !verified.contains(&table.raw()) {
+            report.finding(
+                CheckKind::UnverifiedTable,
+                format!("reachable table {table} is not in the verified pool"),
+                Vec::new(),
+            );
+        }
+    }
+}
+
+/// Every word of every registered monitored region must have its watch
+/// bit set, and the region's kernel mapping must exist and be
+/// non-cacheable (a cacheable mapping hides writes from the bus, and
+/// therefore from the MBM).
+fn check_watch_coverage(
+    m: &mut Machine,
+    hyp: &Hypersec,
+    graph: &MappingGraph,
+    report: &mut StaticAuditReport,
+) {
+    for region in hyp.regions() {
+        report.regions_checked += 1;
+        let covering: Vec<&LeafRecord> = graph
+            .leaves_over(region.pa.raw(), region.len)
+            .filter(|l| l.kernel_space)
+            .collect();
+        if covering.is_empty() {
+            report.finding(
+                CheckKind::WatchCoverage,
+                format!(
+                    "monitored region sid {} at {} has no kernel mapping",
+                    region.sid, region.base_va
+                ),
+                Vec::new(),
+            );
+        }
+        for leaf in covering {
+            if leaf.perms.cacheable {
+                report.finding(
+                    CheckKind::WatchCoverage,
+                    format!(
+                        "monitored region sid {} at {} is mapped cacheable (va {:#x})",
+                        region.sid, region.base_va, leaf.va
+                    ),
+                    leaf.chain.clone(),
+                );
+            }
+        }
+        let coverage = hyp
+            .config()
+            .bitmap
+            .coverage(region.pa, region.len, |pa| m.debug_read_phys(pa));
+        if !coverage.is_full() {
+            let mut detail = format!(
+                "monitored region sid {} at {}: {}/{} words watched",
+                region.sid, region.base_va, coverage.watched, coverage.words
+            );
+            if let Some(first) = coverage.unwatched.first() {
+                detail.push_str(&format!(", first unwatched {first}"));
+            }
+            if let Some(first) = coverage.outside_window.first() {
+                detail.push_str(&format!(", first outside window {first}"));
+            }
+            report.finding(CheckKind::WatchCoverage, detail, Vec::new());
+        }
+    }
+}
+
+/// Runs Hypersec's incremental runtime audit and compares verdicts.
+/// The comparison is on the *verdict*, not the phrasing: both analyses
+/// must agree on whether the system is dirty. A static-only finding
+/// means the incremental verifier admitted something it should not
+/// have (a verifier bug); an incremental-only violation means the
+/// static pass has a gap.
+fn run_differential(m: &mut Machine, hyp: &Hypersec, report: &mut StaticAuditReport) {
+    let incremental = hyp.audit(m);
+    let mut diff = DifferentialReport {
+        static_findings: report.findings.len() as u64,
+        incremental_violations: incremental.violations.clone(),
+        disagreements: Vec::new(),
+    };
+    let static_dirty = !report.findings.is_empty();
+    let incremental_dirty = !incremental.violations.is_empty();
+    if static_dirty && !incremental_dirty {
+        for finding in &report.findings {
+            diff.disagreements.push(format!("static-only: {finding}"));
+        }
+    } else if incremental_dirty && !static_dirty {
+        for violation in &incremental.violations {
+            diff.disagreements
+                .push(format!("incremental-only: {violation}"));
+        }
+    }
+    report.differential = Some(diff);
+}

@@ -6,6 +6,7 @@
 //!                       [--scenario <name>]
 //! hypernel-campaign list --corpus <dir>
 //! hypernel-campaign minimize --corpus <dir> --scenario <name> [--seed N]
+//! hypernel-campaign lint <dir>
 //! hypernel-campaign selftest
 //! ```
 //!
@@ -37,6 +38,11 @@ USAGE:
   hypernel-campaign minimize --corpus <dir> --scenario <name> [--seed N]
       Reduces the named scenario's fault schedule to a minimal set of
       single-occurrence faults that still masks detection.
+  hypernel-campaign lint <dir>
+      Schema-lints every scenario file in <dir>: keys the loader would
+      silently ignore, Hypernel-only knobs on baseline modes, unhittable
+      latency bounds, undeclared masks, duplicate or drifting names.
+      Exits 1 when anything is flagged.
   hypernel-campaign selftest
       Runs a built-in scenario pair end to end; exits nonzero on any
       oracle violation.
@@ -53,6 +59,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "list" => cmd_list(rest),
         "minimize" => cmd_minimize(rest),
+        "lint" => cmd_lint(rest),
         "selftest" => cmd_selftest(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -278,6 +285,23 @@ fn cmd_minimize(rest: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {
+    let [dir] = rest else {
+        return Err("`lint` needs exactly one argument: the corpus directory".to_string());
+    };
+    let issues = hypernel_campaign::lint::lint_dir(Path::new(dir))?;
+    for issue in &issues {
+        eprintln!("lint: {issue}");
+    }
+    if issues.is_empty() {
+        eprintln!("lint passed: `{dir}` is clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("lint FAILED: {} issue(s) in `{dir}`", issues.len());
+        Ok(ExitCode::FAILURE)
     }
 }
 

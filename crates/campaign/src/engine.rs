@@ -16,7 +16,7 @@ use hypernel_mbm::MbmConfig;
 use hypernel_workloads::lmbench::{run_op, LmbenchOp};
 
 use crate::oracle;
-use crate::record::{RunRecord, StepRecord};
+use crate::record::{AuditRecord, RunRecord, StepRecord};
 use crate::scenario::Scenario;
 
 /// Background operations the interleaver picks from. All are safe to
@@ -177,10 +177,26 @@ pub fn run_one_logged(
 ///
 /// Same as [`run_one`].
 pub fn run_one_on(
-    mut sys: System,
+    sys: System,
     scenario: &Scenario,
     seed: u64,
 ) -> Result<(RunRecord, Vec<hypernel_machine::FaultHit>), EngineError> {
+    run_one_full(sys, scenario, seed).map(|(record, log, _)| (record, log))
+}
+
+/// [`run_one_on`], but also hands back the finished [`System`] so
+/// callers (the `hypernel-audit` CLI) can run further analyses — a full
+/// static audit, sanitizer inspection — over the exact final state the
+/// record describes.
+///
+/// # Errors
+///
+/// Same as [`run_one`].
+pub fn run_one_full(
+    mut sys: System,
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<(RunRecord, Vec<hypernel_machine::FaultHit>, System), EngineError> {
     let mut rng = SplitMix64::new(seed ^ fnv1a(&scenario.name));
 
     // (step index, cycles at step start, cycles after its service pass)
@@ -239,6 +255,7 @@ pub fn run_one_on(
         .collect();
 
     let audit = sys.audit_hypersec();
+    let static_audit = sys.audit_static();
     let mbm = sys.mbm_stats();
     let faults = sys.fault_stats();
     let fault_log = sys.fault_log().unwrap_or_default();
@@ -246,6 +263,7 @@ pub fn run_one_on(
         scenario,
         steps: &steps,
         audit: audit.as_ref(),
+        static_audit: Some(&static_audit),
         mbm,
         faults,
     });
@@ -259,10 +277,20 @@ pub fn run_one_on(
         detections_total: detections.len() as u64,
         mbm,
         faults,
+        audit: Some(AuditRecord {
+            roots: static_audit.roots_walked,
+            tables: static_audit.tables_walked,
+            leaves: static_audit.leaves_checked,
+            findings: static_audit.findings.len() as u64,
+            differential_agrees: static_audit
+                .differential
+                .as_ref()
+                .map(hypernel::audit::DifferentialReport::agrees),
+        }),
         violations,
         passed,
     };
-    Ok((record, fault_log))
+    Ok((record, fault_log, sys))
 }
 
 #[cfg(test)]

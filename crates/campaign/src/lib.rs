@@ -22,10 +22,15 @@
 //!   minimal repro;
 //! - [`record`] — `campaign.jsonl` records and summary artifacts that
 //!   `hypernel-analyze campaign` consumes;
+//! - [`lint`] — the corpus schema linter (flags keys the lenient
+//!   loader would silently ignore, plus semantic smells);
 //! - [`toml`] — the dependency-free parser for the scenario file
 //!   subset.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
+pub mod lint;
 pub mod minimize;
 pub mod oracle;
 pub mod record;
@@ -33,7 +38,8 @@ pub mod scenario;
 pub mod sweep;
 pub mod toml;
 
-pub use engine::{run_one, run_one_logged, EngineError};
+pub use engine::{boot_system, run_one, run_one_full, run_one_logged, EngineError};
+pub use lint::{lint_dir, lint_source, LintIssue};
 pub use minimize::{minimize, MinimizeError, MinimizeOutcome};
 pub use oracle::{evaluate, OracleInput};
 pub use record::{

@@ -1,0 +1,326 @@
+//! Scenario-file linter: schema checks the TOML loader is too lenient
+//! to make.
+//!
+//! [`Scenario::from_toml`] deliberately ignores keys it does not know —
+//! new loader versions must keep reading old corpora. The price is that
+//! a typo (`latency_bound` for `latency-bound`, `pids` for `pid`)
+//! silently produces a *different* scenario than the author wrote. The
+//! linter closes that gap: it re-parses the raw document and flags
+//! every key the loader would not consume, plus a handful of semantic
+//! smells — a `latency-bound` that can never be checked, Hypernel-only
+//! pressure knobs on baseline modes, a `masked` step with nothing
+//! declared that could mask it, and scenario names that drift from
+//! their file stems (the sweep artifact is keyed by name).
+
+use std::path::Path;
+
+use crate::scenario::Scenario;
+use crate::toml::{self, TomlTable};
+
+/// Top-level `key = value` pairs the loader consumes.
+const TOP_KEYS: &[&str] = &[
+    "name",
+    "description",
+    "mode",
+    "monitor",
+    "background-ops",
+    "latency-bound",
+    "fifo-capacity",
+    "drain-budget",
+];
+
+/// Hypernel-only knobs: on `native`/`kvm` the loader accepts them but
+/// nothing downstream reads them.
+const HYPERNEL_ONLY_KEYS: &[&str] = &["monitor", "latency-bound", "fifo-capacity", "drain-budget"];
+
+/// Keys every `[[step]]` may carry.
+const STEP_COMMON_KEYS: &[&str] = &["kind", "expect"];
+
+/// Keys every `[[fault]]` may carry.
+const FAULT_COMMON_KEYS: &[&str] = &["kind", "at", "count"];
+
+/// Extra keys a step of the given kind consumes.
+fn step_extra_keys(kind: &str) -> Option<&'static [&'static str]> {
+    Some(match kind {
+        "cred-escalation" | "map-secure-region" | "atra-cred" | "double-map-cred" => &["pid"],
+        "dentry-hijack" => &["path", "rogue-inode"],
+        "pt-direct-write" => &["pid", "value"],
+        "atra-dentry" => &["path"],
+        "ttbr-redirect" | "code-injection" | "text-patch" => &[],
+        _ => return None,
+    })
+}
+
+/// Extra (parameter) keys a fault of the given kind consumes.
+fn fault_extra_keys(kind: &str) -> Option<&'static [&'static str]> {
+    Some(match kind {
+        "delay-irq" => &["steps"],
+        "flip-snoop-addr" => &["bit"],
+        "lose-hypercall" => &["call"],
+        "drop-irq" | "stall-translator" | "desync-bitmap" => &[],
+        _ => return None,
+    })
+}
+
+fn unknown_keys(
+    table: &TomlTable,
+    allowed: &[&str],
+    extra: &[&str],
+    what: &str,
+    out: &mut Vec<String>,
+) {
+    for (key, _) in &table.values {
+        if !allowed.contains(&key.as_str()) && !extra.contains(&key.as_str()) {
+            out.push(format!(
+                "{what}: unknown key `{key}` (the loader ignores it)"
+            ));
+        }
+    }
+}
+
+/// Lints one scenario source. `stem` is the file stem (for the
+/// name-matches-file check); pass `None` for sources without a file.
+/// Returns one message per problem; empty means clean.
+pub fn lint_source(stem: Option<&str>, source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let doc = match toml::parse(source) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("syntax: {e}")],
+    };
+    let scenario = match Scenario::from_toml(source) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("schema: {e}")],
+    };
+
+    unknown_keys(&doc, TOP_KEYS, &[], "top level", &mut out);
+    for (name, _) in &doc.tables {
+        out.push(format!(
+            "top level: unknown section `[{name}]` (only `[[step]]` and `[[fault]]` exist)"
+        ));
+    }
+    for (name, _) in &doc.arrays {
+        if name != "step" && name != "fault" {
+            out.push(format!("top level: unknown section `[[{name}]]`"));
+        }
+    }
+    for (i, t) in doc.array("step").iter().enumerate() {
+        let what = format!("step {}", i + 1);
+        // Unknown kinds are a loader error, already reported above.
+        if let Some(extra) = t.get_str("kind").and_then(step_extra_keys) {
+            unknown_keys(t, STEP_COMMON_KEYS, extra, &what, &mut out);
+        }
+    }
+    for (i, t) in doc.array("fault").iter().enumerate() {
+        let what = format!("fault {}", i + 1);
+        if let Some(extra) = t.get_str("kind").and_then(fault_extra_keys) {
+            unknown_keys(t, FAULT_COMMON_KEYS, extra, &what, &mut out);
+        }
+    }
+
+    if let Some(stem) = stem {
+        if scenario.name != stem {
+            out.push(format!(
+                "name `{}` does not match the file stem `{stem}` (records are keyed by name)",
+                scenario.name
+            ));
+        }
+    }
+    if !matches!(scenario.mode, hypernel::Mode::Hypernel) {
+        for key in HYPERNEL_ONLY_KEYS {
+            if doc.get(key).is_some() {
+                out.push(format!(
+                    "`{key}` has no effect in `{}` mode (Hypernel-only knob)",
+                    scenario.mode
+                ));
+            }
+        }
+        for (i, spec) in scenario.steps.iter().enumerate() {
+            if matches!(
+                spec.expect,
+                crate::scenario::StepExpect::Detected | crate::scenario::StepExpect::Masked
+            ) {
+                out.push(format!(
+                    "step {}: expect `{}` needs a monitor, but mode `{}` has none",
+                    i + 1,
+                    spec.expect.name(),
+                    scenario.mode
+                ));
+            }
+        }
+    }
+    if scenario.latency_bound.is_some()
+        && !scenario
+            .steps
+            .iter()
+            .any(|s| s.expect == crate::scenario::StepExpect::Detected)
+    {
+        out.push(
+            "latency-bound is set but no step expects `detected`, so it can never be checked"
+                .to_string(),
+        );
+    }
+    let declared_mask = !scenario.faults.specs.is_empty()
+        || scenario.fifo_capacity.is_some()
+        || scenario.drain_budget.is_some();
+    if !declared_mask {
+        for (i, spec) in scenario.steps.iter().enumerate() {
+            if spec.expect == crate::scenario::StepExpect::Masked {
+                out.push(format!(
+                    "step {}: expect `masked` but the scenario declares no fault or FIFO pressure \
+                     that could mask detection",
+                    i + 1
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// One linter complaint, attributed to its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintIssue {
+    /// Corpus file name (not the full path).
+    pub file: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.message)
+    }
+}
+
+/// Lints every `*.toml` under `dir` (sorted by file name) plus the one
+/// cross-file invariant: scenario names must be unique.
+///
+/// # Errors
+///
+/// Returns an error string when the directory or a file cannot be read
+/// — I/O problems, not lint findings.
+pub fn lint_dir(dir: &Path) -> Result<Vec<LintIssue>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read `{}`: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    let mut issues = Vec::new();
+    let mut names: Vec<(String, String)> = Vec::new();
+    for path in &paths {
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned());
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        for message in lint_source(stem.as_deref(), &source) {
+            issues.push(LintIssue {
+                file: file.clone(),
+                message,
+            });
+        }
+        if let Ok(scenario) = Scenario::from_toml(&source) {
+            if let Some((_, first)) = names.iter().find(|(n, _)| *n == scenario.name) {
+                issues.push(LintIssue {
+                    file: file.clone(),
+                    message: format!(
+                        "duplicate scenario name `{}` (also in {first})",
+                        scenario.name
+                    ),
+                });
+            } else {
+                names.push((scenario.name.clone(), file.clone()));
+            }
+        }
+    }
+    Ok(issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = r#"
+        name = "demo"
+        mode = "hypernel"
+        latency-bound = 250000
+
+        [[step]]
+        kind = "cred-escalation"
+        pid = 1
+        expect = "detected"
+    "#;
+
+    #[test]
+    fn clean_scenario_has_no_findings() {
+        assert_eq!(lint_source(Some("demo"), CLEAN), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unknown_keys_are_flagged_at_every_level() {
+        let source = r#"
+            name = "demo"
+            latency_bound = 9     # typo: underscore
+            [[step]]
+            kind = "text-patch"
+            pid = 1               # text-patch takes no pid
+            expect = "blocked"
+            [[fault]]
+            kind = "drop-irq"
+            bit = 3               # drop-irq has no param
+        "#;
+        let issues = lint_source(Some("demo"), source);
+        assert!(
+            issues.iter().any(|m| m.contains("`latency_bound`")),
+            "{issues:?}"
+        );
+        assert!(issues
+            .iter()
+            .any(|m| m.contains("step 1") && m.contains("`pid`")));
+        assert!(issues
+            .iter()
+            .any(|m| m.contains("fault 1") && m.contains("`bit`")));
+    }
+
+    #[test]
+    fn semantic_smells_are_flagged() {
+        let source = r#"
+            name = "other"
+            mode = "native"
+            latency-bound = 100
+            fifo-capacity = 4
+            [[step]]
+            kind = "cred-escalation"
+            expect = "detected"
+        "#;
+        let issues = lint_source(Some("demo"), source);
+        assert!(issues.iter().any(|m| m.contains("file stem")), "{issues:?}");
+        assert!(issues.iter().any(|m| m.contains("`latency-bound`")));
+        assert!(issues.iter().any(|m| m.contains("`fifo-capacity`")));
+        assert!(issues.iter().any(|m| m.contains("needs a monitor")));
+    }
+
+    #[test]
+    fn masked_without_declared_pressure_is_flagged() {
+        let source = r#"
+            name = "demo"
+            [[step]]
+            kind = "cred-escalation"
+            expect = "masked"
+        "#;
+        let issues = lint_source(Some("demo"), source);
+        assert!(issues.iter().any(|m| m.contains("masked")), "{issues:?}");
+        // Declaring the fault clears it.
+        let fixed = format!("{source}\n[[fault]]\nkind = \"drop-irq\"\n");
+        assert!(lint_source(Some("demo"), &fixed).is_empty());
+    }
+
+    #[test]
+    fn the_shipped_corpus_is_clean() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+        let issues = lint_dir(&dir).expect("corpus dir readable");
+        assert_eq!(issues, Vec::new(), "corpus must lint clean");
+    }
+}

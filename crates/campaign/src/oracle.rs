@@ -1,6 +1,6 @@
 //! Invariant oracles: the pass/fail judgment after every run.
 //!
-//! Four oracles inspect the finished run:
+//! Five oracles inspect the finished run:
 //!
 //! - **outcomes** — each step's blocked/succeeded result matches the
 //!   scenario's [`StepExpect`].
@@ -14,10 +14,20 @@
 //!   capture (`first_dropped_addr`).
 //! - **latency** — detected steps landed within the scenario's
 //!   `latency_bound`.
+//! - **audit** — the whole-system static audit
+//!   ([`hypernel_audit::audit_system`]) over the final state. Under
+//!   Hypernel any static finding is an unexpected violation; under
+//!   Native/KVM findings merely record what the attack achieved (the
+//!   unprotected baseline is *supposed* to be corruptible). A
+//!   static-vs-incremental differential disagreement or an MBM
+//!   watch-bitmap lookup divergence is **always** unexpected — those
+//!   are verifier/device bugs, not attack outcomes.
 //!
 //! Expected violations keep the run green while still appearing in the
 //! record, so `minimize` has a stable target and reports stay honest.
 
+use hypernel::Mode;
+use hypernel_audit::StaticAuditReport;
 use hypernel_hypersec::AuditReport;
 use hypernel_machine::FaultStats;
 use hypernel_mbm::MbmStats;
@@ -33,6 +43,8 @@ pub struct OracleInput<'a> {
     pub steps: &'a [StepRecord],
     /// Hypersec audit of the final state (Hypernel mode).
     pub audit: Option<&'a AuditReport>,
+    /// Whole-system static audit of the final state (all modes).
+    pub static_audit: Option<&'a StaticAuditReport>,
     /// MBM counters at the end of the run.
     pub mbm: Option<MbmStats>,
     /// Injected-fault counters.
@@ -213,7 +225,58 @@ fn check_latency(input: &OracleInput<'_>, out: &mut Vec<Violation>) {
     }
 }
 
-/// Runs all four oracles and returns every violation, expected ones
+fn check_audit(input: &OracleInput<'_>, out: &mut Vec<Violation>) {
+    // A watch-bitmap lookup divergence means the MBM answered a watched
+    // query from stale bits — a device-level desync, never an attack
+    // outcome, so it is unexpected in every mode.
+    if let Some(divergences) = input.mbm.map(|m| m.lookup_divergences) {
+        if divergences > 0 {
+            out.push(violation(
+                "audit",
+                None,
+                format!("MBM watch-bitmap desync: {divergences} lookup divergence(s)"),
+                false,
+            ));
+        }
+    }
+    let Some(report) = input.static_audit else {
+        return;
+    };
+    // Under Hypernel the protected invariants must hold, full stop.
+    // Under Native/KVM a successful attack *should* leave findings —
+    // record them, expected.
+    let protected = input.scenario.mode == Mode::Hypernel;
+    for finding in &report.findings {
+        out.push(violation("audit", None, finding.to_string(), !protected));
+    }
+    if let Some(diff) = &report.differential {
+        for disagreement in &diff.disagreements {
+            out.push(violation(
+                "audit",
+                None,
+                format!("static/incremental disagreement: {disagreement}"),
+                false,
+            ));
+        }
+    }
+    if let Some(sanitizer) = &report.sanitizer {
+        for v in &sanitizer.violations {
+            out.push(violation(
+                "audit",
+                None,
+                format!(
+                    "ownership sanitizer: {} wrote {:#x} (page tagged {})",
+                    v.writer.name(),
+                    v.pa.raw(),
+                    v.tag.name()
+                ),
+                !protected,
+            ));
+        }
+    }
+}
+
+/// Runs all five oracles and returns every violation, expected ones
 /// included.
 pub fn evaluate(input: &OracleInput<'_>) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -221,6 +284,7 @@ pub fn evaluate(input: &OracleInput<'_>) -> Vec<Violation> {
     check_wx(input, &mut out);
     check_detection(input, &mut out);
     check_latency(input, &mut out);
+    check_audit(input, &mut out);
     out
 }
 
@@ -267,6 +331,7 @@ mod tests {
             scenario: &s,
             steps: &[step_record(false, 1, 500)],
             audit: None,
+            static_audit: None,
             mbm: Some(mbm_stats(0)),
             faults: None,
         });
@@ -280,6 +345,7 @@ mod tests {
             scenario: &s,
             steps: &[step_record(false, 0, 500)],
             audit: None,
+            static_audit: None,
             mbm: Some(mbm_stats(0)),
             faults: None,
         });
@@ -296,6 +362,7 @@ mod tests {
             scenario: &s,
             steps: &[step_record(false, 0, 500)],
             audit: None,
+            static_audit: None,
             mbm: Some(mbm_stats(0)),
             faults: None,
         });
@@ -312,6 +379,7 @@ mod tests {
             scenario: &s,
             steps: &[step_record(false, 0, 500)],
             audit: None,
+            static_audit: None,
             mbm: Some(mbm_stats(3)),
             faults: None,
         });
@@ -333,6 +401,7 @@ mod tests {
             scenario: &s,
             steps: &[step_record(false, 1, 500)],
             audit: Some(&audit),
+            static_audit: None,
             mbm: Some(mbm_stats(0)),
             faults: None,
         });
@@ -343,6 +412,80 @@ mod tests {
         assert!(v.iter().all(|x| !x.expected));
     }
 
+    fn audit_report_with_finding() -> StaticAuditReport {
+        let mut report = StaticAuditReport::default();
+        report.finding(
+            hypernel_audit::CheckKind::WxMapping,
+            "writable+executable leaf",
+            vec![],
+        );
+        report
+    }
+
+    #[test]
+    fn static_finding_is_unexpected_under_hypernel_expected_under_native() {
+        let report = audit_report_with_finding();
+        for (mode, expected) in [(Mode::Hypernel, false), (Mode::Native, true)] {
+            let s = Scenario::new("t", mode)
+                .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Any);
+            let v = evaluate(&OracleInput {
+                scenario: &s,
+                steps: &[step_record(false, 1, 10)],
+                audit: None,
+                static_audit: Some(&report),
+                mbm: None,
+                faults: None,
+            });
+            let audit: Vec<_> = v.iter().filter(|x| x.oracle == "audit").collect();
+            assert_eq!(audit.len(), 1, "{mode:?}");
+            assert_eq!(audit[0].expected, expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn differential_disagreement_is_always_unexpected() {
+        let report = StaticAuditReport {
+            differential: Some(hypernel_audit::DifferentialReport {
+                static_findings: 1,
+                incremental_violations: vec![],
+                disagreements: vec!["static-only: [wx-mapping] leaf".to_string()],
+            }),
+            ..Default::default()
+        };
+        let s = scenario(StepExpect::Any);
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 1, 10)],
+            audit: None,
+            static_audit: Some(&report),
+            mbm: Some(mbm_stats(0)),
+            faults: None,
+        });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "audit");
+        assert!(!v[0].expected, "verifier bugs are never declared");
+        assert!(v[0].detail.contains("disagreement"));
+    }
+
+    #[test]
+    fn bitmap_lookup_divergence_is_always_unexpected() {
+        let s = scenario(StepExpect::Detected);
+        let mut mbm = mbm_stats(0);
+        mbm.lookup_divergences = 2;
+        let v = evaluate(&OracleInput {
+            scenario: &s,
+            steps: &[step_record(false, 1, 10)],
+            audit: None,
+            static_audit: None,
+            mbm: Some(mbm),
+            faults: None,
+        });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "audit");
+        assert!(!v[0].expected);
+        assert!(v[0].detail.contains("desync"));
+    }
+
     #[test]
     fn native_mode_expecting_detection_is_a_scenario_bug() {
         let s = Scenario::new("t", Mode::Native)
@@ -351,6 +494,7 @@ mod tests {
             scenario: &s,
             steps: &[step_record(false, 0, 10)],
             audit: None,
+            static_audit: None,
             mbm: None,
             faults: None,
         });

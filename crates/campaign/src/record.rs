@@ -24,7 +24,7 @@ pub const SUMMARY_KIND: &str = "hypernel-campaign-summary";
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which oracle flagged it (`outcomes` | `wx` | `detection` |
-    /// `latency`).
+    /// `latency` | `audit`).
     pub oracle: &'static str,
     /// 0-based attack-step index the violation anchors to, if any.
     pub step: Option<usize>,
@@ -88,6 +88,40 @@ impl StepRecord {
     }
 }
 
+/// Condensed static-audit section of a run record. The full report
+/// (chains, per-finding detail) is the `hypernel-audit` artifact; the
+/// run record keeps just enough to diff and to anchor the `audit`
+/// oracle's violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Translation roots the static pass walked.
+    pub roots: u64,
+    /// Distinct table pages visited.
+    pub tables: u64,
+    /// Leaves checked.
+    pub leaves: u64,
+    /// Invariant findings (all of them, expected or not).
+    pub findings: u64,
+    /// Static-vs-incremental verdict; `None` when the differential did
+    /// not run (non-Hypernel modes).
+    pub differential_agrees: Option<bool>,
+}
+
+impl AuditRecord {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("roots", Json::UInt(self.roots)),
+            ("tables", Json::UInt(self.tables)),
+            ("leaves", Json::UInt(self.leaves)),
+            ("findings", Json::UInt(self.findings)),
+            (
+                "differential_agrees",
+                self.differential_agrees.map_or(Json::Null, Json::Bool),
+            ),
+        ])
+    }
+}
+
 /// The artifact of one `(scenario, seed)` run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -107,6 +141,8 @@ pub struct RunRecord {
     pub mbm: Option<MbmStats>,
     /// Injected-fault counters (when the scenario declares faults).
     pub faults: Option<FaultStats>,
+    /// Static whole-system audit of the final state.
+    pub audit: Option<AuditRecord>,
     /// Oracle violations, expected and not.
     pub violations: Vec<Violation>,
     /// `true` iff every violation was declared by the scenario.
@@ -153,6 +189,9 @@ impl RunRecord {
                     ("bitmap_desyncs", Json::UInt(f.bitmap_desyncs)),
                 ]),
             ));
+        }
+        if let Some(audit) = self.audit {
+            fields.push(("audit", audit.to_json()));
         }
         fields.push((
             "violations",
@@ -272,6 +311,7 @@ mod tests {
             detections_total: 1,
             mbm: None,
             faults: None,
+            audit: None,
             violations: if passed {
                 vec![]
             } else {

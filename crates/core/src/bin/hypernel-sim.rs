@@ -58,6 +58,18 @@ OPTIONS:
                                    timeline of every MBM incident
                                    (watched write -> FIFO -> drain ->
                                    IRQ -> service) with detection latency
+    --audit                        statically audit the final state: walk
+                                   every stage-1 table reachable from the
+                                   active/hypervisor roots, check the
+                                   protected invariants, and (under
+                                   Hypernel) differentially compare with
+                                   the incremental verifier
+    --audit=<N>                    like --audit, but also audit every N
+                                   LMbench iterations (--op runs only)
+    --sanitize                     enable the guest-memory ownership
+                                   sanitizer: every store is checked
+                                   against the per-page tag policy, with
+                                   verdicts in the audit report
 ";
 
 fn parse_mode(s: &str) -> Result<Mode, String> {
@@ -99,6 +111,9 @@ struct Options {
     histograms: bool,
     report_json: Option<String>,
     forensics: bool,
+    audit: bool,
+    audit_every: Option<u64>,
+    sanitize: bool,
 }
 
 impl Options {
@@ -136,6 +151,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--histograms" => opts.histograms = true,
             "--report-json" => opts.report_json = Some(take("--report-json")?),
             "--forensics" => opts.forensics = true,
+            "--audit" => opts.audit = true,
+            "--sanitize" => opts.sanitize = true,
+            other if other.starts_with("--audit=") => {
+                let n: u64 = other["--audit=".len()..]
+                    .parse()
+                    .map_err(|e| format!("--audit=<N>: {e}"))?;
+                if n == 0 {
+                    return Err("--audit=<N>: N must be positive".into());
+                }
+                opts.audit = true;
+                opts.audit_every = Some(n);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -146,6 +173,35 @@ fn run_workload(sys: &mut System, opts: &Options) -> Result<f64, String> {
     let iters = opts.iters.unwrap_or(100);
     if let Some(op) = &opts.op {
         let op = parse_op(op)?;
+        // `--audit=<N>`: break the run into N-iteration chunks and
+        // re-audit the whole system between them, so an invariant break
+        // is pinned to the chunk that introduced it.
+        if let Some(every) = opts.audit_every {
+            let mut done = 0;
+            let mut cycles = 0.0;
+            while done < iters {
+                let chunk = every.min(iters - done);
+                let m = {
+                    let (kernel, machine, hyp) = sys.parts();
+                    lmbench::run_op(kernel, machine, hyp, op, chunk).map_err(|e| e.to_string())?
+                };
+                cycles += m.cycles_per_iter() * chunk as f64;
+                done += chunk;
+                let report = sys.audit_static();
+                if !report.is_clean() {
+                    report_static_audit(&report);
+                    return Err(format!(
+                        "static audit failed after {done}/{iters} iterations"
+                    ));
+                }
+            }
+            println!(
+                "{op}: {:.2} us/iter ({:.0} cycles, {iters} iters, audited every {every})",
+                cycles / iters as f64 / CYCLES_PER_US,
+                cycles / iters as f64,
+            );
+            return Ok(cycles / iters as f64);
+        }
         let (kernel, machine, hyp) = sys.parts();
         let m = lmbench::run_op(kernel, machine, hyp, op, iters).map_err(|e| e.to_string())?;
         println!(
@@ -171,13 +227,68 @@ fn run_workload(sys: &mut System, opts: &Options) -> Result<f64, String> {
     }
 }
 
-/// Boots `mode`, with telemetry installed when any output flag needs it.
+/// Boots `mode`, with telemetry installed when any output flag needs it
+/// and the ownership sanitizer armed when `--sanitize` asks for it.
 fn boot(mode: Mode, opts: &Options) -> Result<System, String> {
     let mut builder = SystemBuilder::new(mode);
     if opts.wants_telemetry() {
         builder = builder.telemetry(DEFAULT_TELEMETRY_CAPACITY);
     }
-    builder.build().map_err(|e| e.to_string())
+    let mut sys = builder.build().map_err(|e| e.to_string())?;
+    if opts.sanitize {
+        sys.enable_sanitizer();
+    }
+    Ok(sys)
+}
+
+/// Prints a static-audit report in the sim's human format.
+fn report_static_audit(report: &hypernel::audit::StaticAuditReport) {
+    println!(
+        "static audit: {} roots, {} tables, {} leaves, {} regions checked",
+        report.roots_walked, report.tables_walked, report.leaves_checked, report.regions_checked
+    );
+    for finding in &report.findings {
+        println!("FINDING: {finding}");
+    }
+    if let Some(diff) = &report.differential {
+        if diff.agrees() {
+            println!("differential: static and incremental verdicts agree");
+        } else {
+            for d in &diff.disagreements {
+                println!("DISAGREEMENT: {d}");
+            }
+        }
+    }
+    if let Some(san) = &report.sanitizer {
+        println!(
+            "sanitizer: {} writes checked, {} denied",
+            san.stats.checked, san.stats.denied
+        );
+        for v in &san.violations {
+            println!(
+                "DENIED: {} wrote {:#x} (page tagged {})",
+                v.writer.name(),
+                v.pa.raw(),
+                v.tag.name()
+            );
+        }
+    }
+}
+
+/// Runs the final `--audit` pass; an unclean report (or any
+/// differential disagreement) is an error.
+fn final_static_audit(sys: &mut System) -> Result<(), String> {
+    let report = sys.audit_static();
+    report_static_audit(&report);
+    if report.is_clean() {
+        println!("static audit: all invariants hold");
+        Ok(())
+    } else {
+        Err(format!(
+            "static audit failed: {} finding(s)",
+            report.findings.len()
+        ))
+    }
 }
 
 /// Writes the trace/histogram/report artifacts requested by `opts`.
@@ -239,6 +350,9 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     println!("booted: {mode}");
     run_workload(&mut sys, opts)?;
     sys.service_interrupts().map_err(|e| e.to_string())?;
+    if opts.audit {
+        final_static_audit(&mut sys)?;
+    }
     if opts.markdown {
         println!("\n{}", RunReport::capture(&sys).to_markdown());
     }
@@ -276,6 +390,9 @@ fn cmd_monitor(opts: &Options) -> Result<(), String> {
     sys.reset_mbm_stats();
     run_workload(&mut sys, opts)?;
     sys.service_interrupts().map_err(|e| e.to_string())?;
+    if opts.audit {
+        final_static_audit(&mut sys)?;
+    }
     let stats = sys.mbm_stats().expect("mbm attached");
     let hs = sys.hypersec().expect("hypersec");
     println!("\nmonitoring ({mode:?}):");
@@ -316,6 +433,7 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
 
 fn cmd_audit() -> Result<(), String> {
     let mut sys = System::boot(Mode::Hypernel).map_err(|e| e.to_string())?;
+    sys.enable_sanitizer();
     {
         let (kernel, machine, hyp) = sys.parts();
         kernel
@@ -347,17 +465,23 @@ fn cmd_audit() -> Result<(), String> {
     }
     let report = sys.audit_hypersec().expect("hypernel mode");
     println!(
-        "audit: {} tables, {} leaves, {} regions checked",
+        "incremental audit: {} tables, {} leaves, {} regions checked",
         report.tables_checked, report.leaves_checked, report.regions_checked
     );
-    if report.is_clean() {
-        println!("all invariants hold");
+    for v in &report.violations {
+        println!("VIOLATION: {v}");
+    }
+    // The independent static pass re-derives the same invariants from
+    // the raw page tables and cross-checks the incremental verdict.
+    let outcome = final_static_audit(&mut sys);
+    if report.is_clean() && outcome.is_ok() {
+        println!("all invariants hold (incremental and static passes agree)");
         Ok(())
     } else {
-        for v in &report.violations {
-            println!("VIOLATION: {v}");
-        }
-        Err(format!("{} violations", report.violations.len()))
+        outcome.and(Err(format!(
+            "{} incremental violation(s)",
+            report.violations.len()
+        )))
     }
 }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # hypernel
 //!
@@ -51,6 +52,7 @@ pub use system::{Mode, System, SystemBuilder, DEFAULT_TELEMETRY_CAPACITY};
 // Re-export the component crates so downstream users need only one
 // dependency.
 pub use hypernel_analyze as analyze;
+pub use hypernel_audit as audit;
 pub use hypernel_hypersec as hypersec;
 pub use hypernel_hypervisor as hypervisor;
 pub use hypernel_kernel as kernel;

@@ -230,6 +230,11 @@ pub struct Hypersec {
     apps: Vec<Box<dyn SecurityApp>>,
     detections: Vec<Detection>,
     stats: HypersecStats,
+    /// Test-only miswire switch: skips the W⊕X clause in both the
+    /// incremental verifier and the runtime auditor, emulating a
+    /// verifier bug the *static* auditor must still catch (the
+    /// differential check in `hypernel-audit` exists for exactly this).
+    wx_check_disabled: bool,
 }
 
 impl std::fmt::Debug for Hypersec {
@@ -319,6 +324,7 @@ impl Hypersec {
             apps: Vec::new(),
             detections: Vec::new(),
             stats: HypersecStats::default(),
+            wx_check_disabled: false,
         }
     }
 
@@ -350,6 +356,54 @@ impl Hypersec {
     /// Live monitored regions.
     pub fn regions(&self) -> &[Region] {
         &self.regions
+    }
+
+    /// The installed configuration (table region, bitmap/ring geometry).
+    pub fn config(&self) -> &HypersecConfig {
+        &self.config
+    }
+
+    /// Physical addresses of every verified (registered) table page,
+    /// sorted — the Hypersec-verified pool a static auditor compares
+    /// reachable tables against.
+    pub fn verified_tables(&self) -> Vec<PhysAddr> {
+        let mut tables: Vec<PhysAddr> = self.tables.keys().map(|t| PhysAddr::new(*t)).collect();
+        tables.sort();
+        tables
+    }
+
+    /// Physical addresses of tables registered but not yet adopted into
+    /// the verified pool (pre-LOCK or mid-construction), sorted.
+    pub fn pending_tables(&self) -> Vec<PhysAddr> {
+        let mut tables: Vec<PhysAddr> = self
+            .pending_tables
+            .keys()
+            .map(|t| PhysAddr::new(*t))
+            .collect();
+        tables.sort();
+        tables
+    }
+
+    /// Physical addresses of every verified user address-space root,
+    /// sorted (the kernel root is separate; see
+    /// [`Hypersec::kernel_root`]).
+    pub fn verified_roots(&self) -> Vec<PhysAddr> {
+        let mut roots: Vec<PhysAddr> = self.roots.keys().map(|r| PhysAddr::new(*r)).collect();
+        roots.sort();
+        roots
+    }
+
+    /// The adopted kernel root, once `LOCK` has run.
+    pub fn kernel_root(&self) -> Option<PhysAddr> {
+        self.kernel_root
+    }
+
+    /// Disables the W⊕X clause in both the incremental verifier and
+    /// the runtime auditor — an intentionally-miswired verifier for
+    /// differential-audit tests. Never call outside tests.
+    #[doc(hidden)]
+    pub fn testonly_disable_wx_check(&mut self) {
+        self.wx_check_disabled = true;
     }
 
     /// Audits every security invariant Hypersec is responsible for, by
@@ -459,7 +513,7 @@ impl Hypersec {
                     if out.raw() + span > layout::SECURE_BASE {
                         report.violation(format!("leaf at va {va:#x} maps secure memory ({out})"));
                     }
-                    if perms.write && perms.exec {
+                    if perms.write && perms.exec && !self.wx_check_disabled {
                         report.violation(format!("W^X violation at va {va:#x}"));
                     }
                     if kernel_space && va != out.raw() {
@@ -510,7 +564,7 @@ impl Hypersec {
                 format!("mapping reaches the secure region: {out}"),
             ));
         }
-        if perms.write && perms.exec {
+        if perms.write && perms.exec && !self.wx_check_disabled {
             return Err(Self::deny(
                 codes::WXORX,
                 format!("writable+executable mapping at va {va:#x}"),

@@ -13,6 +13,7 @@ use hypernel_machine::addr::{PhysAddr, PAGE_SIZE};
 use hypernel_machine::machine::{Exception, Hyp, Machine};
 use hypernel_machine::pagetable::{self, Descriptor, PagePerms};
 use hypernel_machine::regs::SysReg;
+use hypernel_machine::shadow::PageTag;
 
 use crate::abi::Hypercall;
 use crate::kernel::{Kernel, KernelError};
@@ -247,6 +248,7 @@ impl Kernel {
         hyp: &mut dyn Hyp,
     ) -> Result<AttackOutcome, KernelError> {
         let rogue = self.alloc_raw_frame()?;
+        m.tag_page(rogue, PageTag::KernelData);
         m.debug_zero_page(rogue);
         // An identity block mapping of all low memory, built with plain
         // data stores (nothing illegal about writing one's own page).
@@ -288,6 +290,7 @@ impl Kernel {
         hyp: &mut dyn Hyp,
     ) -> Result<AttackOutcome, KernelError> {
         let frame = self.alloc_raw_frame()?;
+        m.tag_page(frame, PageTag::KernelData);
         m.debug_zero_page(frame);
         let code_va = layout::kva(frame);
         // Step 1: plant the shellcode — a plain data write, always lands.
@@ -424,6 +427,7 @@ impl Kernel {
         target: PhysAddr,
     ) -> Result<(AttackOutcome, PhysAddr), KernelError> {
         let shadow = self.alloc_raw_frame()?;
+        m.tag_page(shadow, PageTag::KernelData);
         m.debug_zero_page(shadow);
         // Copy the victim page so reads stay consistent post-redirect.
         let src_page = target.page_base();
@@ -497,6 +501,7 @@ impl Kernel {
         value: u64,
     ) -> Result<AttackOutcome, KernelError> {
         let alias = self.alloc_raw_frame()?;
+        m.tag_page(alias, PageTag::KernelData);
         m.debug_zero_page(alias);
         let alias_va = layout::kva(alias);
         let write = {

@@ -18,6 +18,7 @@ use hypernel_machine::irq::IrqLine;
 use hypernel_machine::machine::{BlockFault, Exception, Hyp, Machine};
 use hypernel_machine::pagetable::PagePerms;
 use hypernel_machine::regs::{sctlr, ExceptionLevel, SysReg};
+use hypernel_machine::shadow::PageTag;
 use hypernel_telemetry::SpanKind;
 
 use crate::abi::Hypercall;
@@ -393,6 +394,23 @@ impl Kernel {
         v
     }
 
+    /// Physical roots of every live user address space, in pid order —
+    /// the kernel-known ground truth a static auditor compares the
+    /// active `TTBR0_EL1` against.
+    pub fn user_roots(&self) -> Vec<PhysAddr> {
+        self.pids()
+            .into_iter()
+            .filter_map(|pid| self.tasks.get(&pid))
+            .map(|t| t.user_root)
+            .collect()
+    }
+
+    /// Frames currently in the allocator's free list (see
+    /// [`crate::pgalloc::FrameAllocator::free_frames`]).
+    pub fn free_frames(&self) -> &[PhysAddr] {
+        self.frames.free_frames()
+    }
+
     /// The dentry slab (for inspection, e.g. by page-granularity
     /// baselines that must know the backing pages).
     pub fn dentry_slab(&self) -> &SlabCache {
@@ -597,6 +615,7 @@ impl Kernel {
         frame: PhysAddr,
     ) -> Result<(), KernelError> {
         m.charge(tuning::CLEAR_PAGE_COMPUTE);
+        m.tag_page(frame, PageTag::KernelData);
         m.debug_zero_page(frame);
         self.kwrite(m, hyp, layout::kva(frame), 0)?;
         Ok(())
@@ -702,6 +721,7 @@ impl Kernel {
         uid: u64,
     ) -> Result<PhysAddr, KernelError> {
         let cred = self.creds.alloc(&mut self.frames)?;
+        m.tag_page(cred.page_base(), PageTag::KernelData);
         // kzalloc semantics: the slot is cleared before use (recycled
         // slots hold the previous occupant). Then the hook fires, before
         // any field is written — both monitoring policies observe the
@@ -777,6 +797,7 @@ impl Kernel {
             return Ok(d);
         }
         let dentry = self.dentries.alloc(&mut self.frames)?;
+        m.tag_page(dentry.page_base(), PageTag::KernelData);
         self.zero_object(m, ObjectKind::Dentry, dentry);
         self.hook_register_object(m, hyp, ObjectKind::Dentry, dentry, true)?;
         let parent = parent_path(path)
@@ -975,6 +996,10 @@ impl Kernel {
             frame,
             PagePerms::USER_DATA,
         )?;
+        for table in &new_tables {
+            m.tag_page(*table, PageTag::PageTable);
+        }
+        m.tag_page(frame, PageTag::UserData);
         task.table_pages.extend(new_tables);
         task.user_pages.push((va.page_base(), frame, owned));
         Ok(())
@@ -1292,6 +1317,7 @@ impl Kernel {
         self.pt.retire_address_space(m, hyp, old_root, old_tables)?;
         for (_va, frame, owned) in old_pages {
             if owned {
+                m.tag_page(frame, PageTag::Free);
                 self.frames.free(frame);
             }
         }
@@ -1326,12 +1352,15 @@ impl Kernel {
             .retire_address_space(m, hyp, task.user_root, task.table_pages)?;
         for (_va, frame, owned) in task.user_pages {
             if owned {
+                m.tag_page(frame, PageTag::Free);
                 self.frames.free(frame);
             }
         }
         for f in task.kernel_stack {
+            m.tag_page(f, PageTag::Free);
             self.frames.free(f);
         }
+        m.tag_page(task.sigactions, PageTag::Free);
         self.frames.free(task.sigactions);
         m.tlbi_asid(task.asid);
         self.cred_put(m, hyp, task.cred)?;
@@ -1363,6 +1392,7 @@ impl Kernel {
         if self.mmap_count.is_multiple_of(4) {
             let slab_page = self.frames.alloc()?;
             self.prep_frame(m, hyp, slab_page)?;
+            m.tag_page(slab_page, PageTag::Free);
             self.frames.free(slab_page); // stays warm; modeled growth only
         }
         let base = VirtAddr::new(self.next_mmap_va);
@@ -1630,6 +1660,7 @@ impl Kernel {
         self.dentry_write(m, hyp, dentry, DentryField::Inode, 0)?;
         self.dcache.remove(path);
         if let Some(data) = self.file_data.remove(&dentry) {
+            m.tag_page(data, PageTag::Free);
             self.frames.free(data);
         }
         self.dentries.free(dentry);

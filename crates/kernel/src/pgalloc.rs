@@ -132,6 +132,12 @@ impl FrameAllocator {
     pub fn fresh_watermark(&self) -> PhysAddr {
         PhysAddr::new(self.next)
     }
+
+    /// Frames currently sitting in the free list (allocated once, then
+    /// returned) — the ownership sanitizer seeds these as `Free`.
+    pub fn free_frames(&self) -> &[PhysAddr] {
+        &self.free_list
+    }
 }
 
 #[cfg(test)]

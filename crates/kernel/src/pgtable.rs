@@ -15,6 +15,7 @@ use hypernel_machine::machine::{Exception, Hyp, Machine};
 use hypernel_machine::pagetable::{
     self, plan_map, plan_protect, plan_unmap, Descriptor, EntryWrite, MapError, PagePerms,
 };
+use hypernel_machine::shadow::PageTag;
 
 use crate::abi::Hypercall;
 use crate::layout;
@@ -194,6 +195,7 @@ impl PtManager {
         root: bool,
     ) -> Result<PhysAddr, PtError> {
         let table = self.take_page(frames)?;
+        m.tag_page(table, PageTag::PageTable);
         // clear_page: modeled as a fixed stream of stores.
         m.charge(m.cost().cache_hit * 64);
         m.debug_zero_page(table);
@@ -253,8 +255,12 @@ impl PtManager {
             }
         };
         self.pool.extend(unused);
+        if perms.user {
+            m.tag_page(pa, PageTag::UserData);
+        }
         // Register the consumed tables (already zeroed above).
         for t in &plan.new_tables {
+            m.tag_page(*t, PageTag::PageTable);
             m.charge(m.cost().cache_hit * 64);
             if self.route == PtRoute::Hypercall {
                 self.stats.tables_registered += 1;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # hypernel-machine
@@ -46,6 +47,7 @@ pub mod machine;
 pub mod mem;
 pub mod pagetable;
 pub mod regs;
+pub mod shadow;
 pub mod tlb;
 pub mod trace;
 
@@ -56,3 +58,4 @@ pub use machine::{
     AccessKind, BlockFault, Exception, Hyp, Machine, MachineConfig, NullHyp, PolicyViolation,
 };
 pub use regs::{ExceptionLevel, SysReg};
+pub use shadow::{PageTag, ShadowStats, ShadowTags, TagPolicy, TagViolation, Writer};

@@ -19,6 +19,7 @@ use crate::irq::IrqController;
 use crate::mem::PhysMemory;
 use crate::pagetable::{self, PagePerms, WalkFault};
 use crate::regs::{ExceptionLevel, SysReg, SysRegs};
+use crate::shadow::{PageTag, ShadowTags, Writer as ShadowWriter};
 use crate::tlb::{Regime, Tlb, TlbEntry};
 use crate::trace::{TraceBuffer, TraceEvent};
 use hypernel_telemetry::{Event, PointKind, SharedSink, SpanKind, Track};
@@ -354,6 +355,10 @@ pub struct Machine {
     /// Host-side switch for the block-access streaming path. Model
     /// state is byte-identical either way; see [`crate::fastpath`].
     block_fastpath: bool,
+    /// Ownership sanitizer (off by default; see [`crate::shadow`]).
+    /// Checked at the physical-access chokepoint with zero simulated
+    /// cycles — enabling it never changes a simulated result.
+    shadow: Option<Box<ShadowTags>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -386,6 +391,50 @@ impl Machine {
             sink: None,
             faults: None,
             block_fastpath: crate::fastpath::fastpath_enabled(),
+            shadow: None,
+        }
+    }
+
+    /// Installs (or, with `None`, removes) the ownership sanitizer.
+    /// Tags start as seeded by the caller; the kernel maintains them
+    /// at its allocation/mapping sites via [`Machine::tag_page`].
+    pub fn set_shadow_tags(&mut self, shadow: Option<Box<ShadowTags>>) {
+        self.shadow = shadow;
+    }
+
+    /// The installed ownership sanitizer, if any.
+    pub fn shadow_tags(&self) -> Option<&ShadowTags> {
+        self.shadow.as_deref()
+    }
+
+    /// Mutable access to the installed ownership sanitizer, if any.
+    pub fn shadow_tags_mut(&mut self) -> Option<&mut ShadowTags> {
+        self.shadow.as_deref_mut()
+    }
+
+    /// Retags the page containing `pa`. No-op (one branch) when the
+    /// sanitizer is disabled, so allocation sites call unconditionally.
+    #[inline]
+    pub fn tag_page(&mut self, pa: PhysAddr, tag: PageTag) {
+        if let Some(shadow) = &mut self.shadow {
+            shadow.tag_page(pa, tag);
+        }
+    }
+
+    /// Retags every page of `[base, base + len)`. No-op when disabled.
+    #[inline]
+    pub fn tag_range(&mut self, base: PhysAddr, len: u64, tag: PageTag) {
+        if let Some(shadow) = &mut self.shadow {
+            shadow.tag_range(base, len, tag);
+        }
+    }
+
+    /// The sanitizer writer identity for the current exception level.
+    fn shadow_writer(&self) -> ShadowWriter {
+        match self.el {
+            ExceptionLevel::El0 => ShadowWriter::El0,
+            ExceptionLevel::El1 => ShadowWriter::El1,
+            ExceptionLevel::El2 => ShadowWriter::El2,
         }
     }
 
@@ -613,6 +662,11 @@ impl Machine {
         &mut self.mem
     }
 
+    /// Bytes of simulated DRAM.
+    pub fn dram_size(&self) -> u64 {
+        self.mem.size()
+    }
+
     /// A cache-coherent view of physical memory for page-table planners
     /// and walkers (hardware walkers snoop the data cache, so stale DRAM
     /// behind dirty lines must never be observed).
@@ -635,6 +689,9 @@ impl Machine {
     /// A DMA write: goes straight onto the bus, bypassing the CPU's MMU
     /// and caches — the vector discussed in the paper's §8 (DMA attacks).
     pub fn dma_write_u64(&mut self, pa: PhysAddr, value: u64) {
+        if let Some(shadow) = &mut self.shadow {
+            shadow.check_write(ShadowWriter::Dma, pa.word_base(), value);
+        }
         self.cycles += self.cost.dram_access;
         self.bus.issue(
             BusTransaction::WriteWord {
@@ -1270,6 +1327,15 @@ impl Machine {
         value: Option<u64>,
         cacheable: bool,
     ) -> u64 {
+        // Ownership sanitizer: the one point where every CPU store —
+        // cacheable or not, any EL — passes with its writer identity
+        // still attached. Zero cycles, no architectural effect.
+        if kind == AccessKind::Write && self.shadow.is_some() {
+            let writer = self.shadow_writer();
+            if let Some(shadow) = &mut self.shadow {
+                shadow.check_write(writer, pa.word_base(), value.unwrap_or(0));
+            }
+        }
         if !cacheable {
             self.stats.uncached_accesses += 1;
             self.cycles += self.cost.dram_access;

@@ -158,6 +158,58 @@ impl BitmapLayout {
             None => false,
         }
     }
+
+    /// Watch-coverage query over a word-aligned span: reads the stored
+    /// bitmap through `read` (typically `Machine::debug_read_phys`) and
+    /// reports how many of the span's words are actually watched, plus
+    /// each unwatched word. The static auditor runs this over every
+    /// registered sensitive region.
+    pub fn coverage(
+        &self,
+        base: PhysAddr,
+        len: u64,
+        mut read: impl FnMut(PhysAddr) -> u64,
+    ) -> WatchCoverage {
+        let mut coverage = WatchCoverage::default();
+        let mut addr = base;
+        let end = PhysAddr::new(base.raw() + len);
+        while addr < end {
+            match self.locate(addr) {
+                Some((word, mask)) => {
+                    coverage.words += 1;
+                    if read(word) & mask != 0 {
+                        coverage.watched += 1;
+                    } else {
+                        coverage.unwatched.push(addr);
+                    }
+                }
+                None => coverage.outside_window.push(addr),
+            }
+            addr = addr.add(WORD_SIZE);
+        }
+        coverage
+    }
+}
+
+/// Result of a [`BitmapLayout::coverage`] query over one span.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WatchCoverage {
+    /// Words of the span that lie inside the monitored window.
+    pub words: u64,
+    /// Of those, how many have their watch bit set.
+    pub watched: u64,
+    /// Window words whose watch bit is clear.
+    pub unwatched: Vec<PhysAddr>,
+    /// Span words outside the monitored window entirely.
+    pub outside_window: Vec<PhysAddr>,
+}
+
+impl WatchCoverage {
+    /// `true` when every word of the span is inside the window and
+    /// watched.
+    pub fn is_full(&self) -> bool {
+        self.unwatched.is_empty() && self.outside_window.is_empty()
+    }
 }
 
 /// One coalesced read-modify-write of a bitmap word.

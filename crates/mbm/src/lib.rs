@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # hypernel-mbm
@@ -47,6 +48,6 @@ pub mod fifo;
 pub mod monitor;
 pub mod ring;
 
-pub use bitmap::{BitmapLayout, BitmapUpdate};
+pub use bitmap::{BitmapLayout, BitmapUpdate, WatchCoverage};
 pub use monitor::{Mbm, MbmConfig, MbmStats};
 pub use ring::{RingLayout, WriteEvent};

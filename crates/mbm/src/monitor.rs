@@ -148,6 +148,12 @@ pub struct MbmStats {
     /// Captured writes short-circuited by the watch-page summary filter
     /// (host observability; zero when the filter is disabled).
     pub page_filter_skips: u64,
+    /// Lookups where the value the decision unit consumed differed from
+    /// the stored bitmap word — the device's own desync self-check. Any
+    /// nonzero count means the translator was blinded (e.g. by a
+    /// `desync-bitmap` fault); the audit oracle treats it as a failure
+    /// even when every per-step verdict looked clean.
+    pub lookup_divergences: u64,
 }
 
 /// The memory bus monitor device. Attach it to a machine with
@@ -467,10 +473,14 @@ impl Mbm {
         };
         // Fault site: a desynchronized bitmap word reads back as zero,
         // blinding the decision unit for this lookup.
+        let stored_value = word_value;
         if let Some(faults) = &self.faults {
             if faults.borrow_mut().on_bitmap_lookup(bitmap_word.raw()) {
                 word_value = 0;
             }
+        }
+        if word_value != stored_value {
+            self.stats.lookup_divergences += 1;
         }
         // Decision unit.
         if word_value & mask != 0 {

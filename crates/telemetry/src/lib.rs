@@ -21,6 +21,8 @@
 //!   (skip-and-count, never abort) and the [`reader::SpanTree`] builder
 //!   that reconstructs cross-EL span nesting from the flat stream.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod export;
 pub mod histogram;

@@ -94,6 +94,22 @@ determinism:
          {{justfile_directory()}}/target/determinism/slow.jsonl
     @echo "determinism: campaign.jsonl byte-identical (fastpath on/off, jobs 1/4)"
 
+# The CI audit gate: lint the scenario corpus schema, then run the
+# static whole-system audit (with the ownership sanitizer enabled)
+# over every corpus scenario's end state, plus one negative control —
+# an unprotected native replay of the W^X attack must be flagged.
+# See docs/AUDIT.md.
+audit:
+    cargo run -q --release -p hypernel-campaign -- lint \
+        {{justfile_directory()}}/corpus
+    cargo run -q --release -p hypernel-audit-cli --bin hypernel-audit -- \
+        corpus {{justfile_directory()}}/corpus --sanitize
+    ! cargo run -q --release -p hypernel-audit-cli --bin hypernel-audit -- \
+        scenario {{justfile_directory()}}/corpus/wxorx.toml --mode native \
+        --json {{justfile_directory()}}/target/audit/wxorx-native.json \
+        > /dev/null
+    @echo "audit: corpus clean, lint clean, native control flagged"
+
 # Full adversarial campaign: sweep the shipped scenario corpus across
 # 64 seeds and enforce the invariant oracles. Artifacts land in
 # target/campaign/.
