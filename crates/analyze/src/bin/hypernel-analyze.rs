@@ -8,6 +8,8 @@
 //! hypernel-analyze bench       --dir <summaries> [--out <file> | --out-dir <dir>]
 //!                              [--baseline <trajectory.json>] [--threshold 0.10]
 //! hypernel-analyze audit       <report.json>...
+//! hypernel-analyze timeline    <metrics.jsonl | blackbox.json> [--csv]
+//!                              [--against <other>] [--threshold 0.10]
 //! hypernel-analyze selftest
 //! ```
 //!
@@ -56,6 +58,15 @@ USAGE:
       Ingests one or more `hypernel-audit` static-audit reports and
       prints a per-invariant finding breakdown for each; exits 1 when
       any report is not clean.
+  hypernel-analyze timeline <metrics.jsonl | blackbox.json> [--csv]
+                            [--against <other>] [--threshold F]
+      Renders a run's windowed time series (one row per window, derived
+      hit-rate columns appended) as an aligned markdown table, or raw
+      CSV with --csv. Accepts either a metrics.jsonl document or a
+      blackbox.json flight-recorder dump (whose embedded metrics are
+      extracted). --against diffs a second document and exits 1 when a
+      gated tail series (FIFO high water, detection-latency max) grew
+      beyond the threshold (default 0.10 = 10%).
 ";
 
 fn main() -> ExitCode {
@@ -72,6 +83,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(rest),
         "campaign" => cmd_campaign(rest),
         "audit" => cmd_audit(rest),
+        "timeline" => cmd_timeline(rest),
         "selftest" => cmd_selftest(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -132,14 +144,18 @@ fn load_trace(path: &str) -> Result<Vec<Event>, String> {
     let trace = read_jsonl_lossy(&text);
     if trace.skipped > 0 {
         eprintln!(
-            "warning: skipped {} malformed line(s) in `{path}`{}",
-            trace.skipped,
-            trace
-                .skip_details
-                .first()
-                .map(|(line, why)| format!(" (first at line {line}: {why})"))
-                .unwrap_or_default()
+            "warning: skipped {} malformed line(s) in `{path}`:",
+            trace.skipped
         );
+        for (line, why) in &trace.skip_details {
+            eprintln!("warning:   line {line}: {why}");
+        }
+        let undetailed = trace
+            .skipped
+            .saturating_sub(trace.skip_details.len() as u64);
+        if undetailed > 0 {
+            eprintln!("warning:   ... and {undetailed} more");
+        }
     }
     if trace.events.is_empty() {
         return Err(format!("`{path}` contains no parseable telemetry events"));
@@ -361,6 +377,47 @@ fn cmd_campaign(rest: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_timeline(rest: &[String]) -> Result<ExitCode, String> {
+    use hypernel_analyze::timeline::{diff, ingest, render_csv, render_markdown};
+
+    let csv = has_flag(rest, "--csv");
+    let rest: Vec<String> = rest.iter().filter(|a| *a != "--csv").cloned().collect();
+    let (positional, options) = split_args(&rest, &["against", "threshold"])?;
+    let [path] = positional.as_slice() else {
+        return Err("usage: timeline <metrics.jsonl | blackbox.json> [--csv] \
+             [--against <other>] [--threshold F]"
+            .into());
+    };
+    let load = |path: &str| -> Result<_, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        ingest(&text).map_err(|e| format!("`{path}`: {e}"))
+    };
+    let timeline = load(path)?;
+    if csv {
+        print!("{}", render_csv(&timeline));
+    } else {
+        print!("{}", render_markdown(&timeline));
+    }
+    if let Some(against_path) = opt(&options, "against") {
+        let threshold = parse_threshold(opt(&options, "threshold"), 0.10)?;
+        let baseline = load(against_path)?;
+        let delta = diff(&baseline.doc, &timeline.doc, threshold);
+        for note in &delta.notes {
+            println!("note: {note}");
+        }
+        for regression in &delta.regressions {
+            println!("REGRESSION: {regression}");
+        }
+        if delta.has_regressions() {
+            eprintln!("timeline gate: FAIL vs `{against_path}`");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("timeline gate: ok vs `{against_path}`");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_audit(rest: &[String]) -> Result<ExitCode, String> {

@@ -23,6 +23,9 @@
 //!   summaries into dated `BENCH_<date>.json` trajectory artifacts.
 //! * [`audit`] — ingestion of `hypernel-audit` static-audit reports
 //!   with per-invariant finding breakdowns.
+//! * [`timeline`] — rendering and cross-run diffing of windowed
+//!   `metrics.jsonl` time series, including the ones embedded in
+//!   `blackbox.json` flight-recorder dumps.
 //!
 //! The `hypernel-analyze` binary fronts all of these; see its `--help`.
 
@@ -32,6 +35,7 @@ pub mod bench;
 pub mod campaign;
 pub mod compare;
 pub mod forensics;
+pub mod timeline;
 
 pub use attribution::{attribute, Attribution, AttributionRow};
 pub use audit::{ingest_report, AuditFinding, AuditSummary};
@@ -39,6 +43,10 @@ pub use bench::{read_summaries_dir, trajectory_json, BenchEntry};
 pub use campaign::{diff_campaigns, ingest_records, CampaignFinding, CampaignRow};
 pub use compare::{compare_reports, flatten_metrics, Comparison, MetricDelta};
 pub use forensics::{reconstruct_incidents, Incident, IncidentKind};
+pub use timeline::{
+    diff as diff_timelines, ingest as ingest_timeline, render_csv, render_markdown, Timeline,
+    TimelineDelta,
+};
 
 /// Modeled core clock, cycles per microsecond (1.15 GHz) — mirrors the
 /// simulator's cost model for human-readable latency rendering.

@@ -3,9 +3,11 @@
 //! ```text
 //! hypernel-campaign run --corpus <dir> [--seeds N] [--jobs N]
 //!                       [--out <campaign.jsonl>] [--summary <file>]
-//!                       [--scenario <name>]
+//!                       [--scenario <name>] [--metrics <dir>]
+//!                       [--blackbox <dir>] [--watch]
 //! hypernel-campaign list --corpus <dir>
 //! hypernel-campaign minimize --corpus <dir> --scenario <name> [--seed N]
+//!                            [--blackbox <file>]
 //! hypernel-campaign lint <dir>
 //! hypernel-campaign selftest
 //! ```
@@ -18,7 +20,7 @@ use std::process::ExitCode;
 
 use hypernel_campaign::record::{summarize, summary_json};
 use hypernel_campaign::scenario::Scenario;
-use hypernel_campaign::sweep::{run_sweep, SweepConfig};
+use hypernel_campaign::sweep::{run_sweep, run_sweep_with, SweepConfig};
 use hypernel_campaign::{minimize, MinimizeError};
 
 const USAGE: &str = "\
@@ -27,17 +29,25 @@ hypernel-campaign — adversarial attack/fault campaigns for Hypernel
 USAGE:
   hypernel-campaign run --corpus <dir> [--seeds N] [--jobs N]
                         [--out <campaign.jsonl>] [--summary <file>]
-                        [--scenario <name>]
+                        [--scenario <name>] [--metrics <dir>]
+                        [--blackbox <dir>] [--watch]
       Sweeps every corpus scenario across seeds 0..N (default 16) on a
       worker pool (default 1 job). Writes one JSON record per run,
       sorted by (scenario, seed) — byte-identical regardless of --jobs.
-      Exits 1 when any run violates an oracle the scenario did not
-      declare.
+      --metrics writes each run's windowed time series to
+      <dir>/<scenario>-s<seed>.metrics.jsonl; --blackbox writes each
+      failing run's flight-recorder dump to
+      <dir>/<scenario>-s<seed>.blackbox.json; --watch prints one live
+      progress line per finished run (arrival order — progress only,
+      the artifacts are unaffected). Exits 1 when any run violates an
+      oracle the scenario did not declare.
   hypernel-campaign list --corpus <dir>
       Prints each scenario's name, mode, step count and fault count.
   hypernel-campaign minimize --corpus <dir> --scenario <name> [--seed N]
+                             [--blackbox <file>]
       Reduces the named scenario's fault schedule to a minimal set of
-      single-occurrence faults that still masks detection.
+      single-occurrence faults that still masks detection. --blackbox
+      writes the validation run's flight-recorder dump.
   hypernel-campaign lint <dir>
       Schema-lints every scenario file in <dir>: keys the loader would
       silently ignore, Hypernel-only knobs on baseline modes, unhittable
@@ -163,9 +173,15 @@ fn write_or_stdout(path: Option<&str>, content: &str, what: &str) -> Result<(), 
 }
 
 fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
+    // `--watch` is the one boolean flag; peel it off before the
+    // value-taking parser sees it.
+    let watch = rest.iter().any(|a| a == "--watch");
+    let rest: Vec<String> = rest.iter().filter(|a| *a != "--watch").cloned().collect();
     let options = split_args(
-        rest,
-        &["corpus", "seeds", "jobs", "out", "summary", "scenario"],
+        &rest,
+        &[
+            "corpus", "seeds", "jobs", "out", "summary", "scenario", "metrics", "blackbox",
+        ],
     )?;
     let corpus = opt(&options, "corpus").ok_or("`run` needs --corpus <dir>")?;
     let seeds: u64 = opt_num(&options, "seeds", 16)?;
@@ -178,7 +194,52 @@ fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let outcome = run_sweep(&scenarios, SweepConfig { seeds, jobs });
+    let outcome = run_sweep_with(&scenarios, SweepConfig { seeds, jobs }, |p| {
+        if watch {
+            let status = match p.result {
+                Ok(r) if r.passed => "ok".to_string(),
+                Ok(r) => format!("FAIL ({} unexpected)", r.unexpected_violations().count()),
+                Err(e) => format!("ERROR: {e}"),
+            };
+            eprintln!(
+                "[{:>3}/{}] {:<28} seed {:<4} {status}",
+                p.done, p.total, p.scenario, p.seed
+            );
+        }
+    });
+
+    if let Some(dir) = opt(&options, "metrics") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+        let mut written = 0usize;
+        for record in &outcome.records {
+            if let Some(doc) = &record.metrics {
+                let path = Path::new(dir).join(format!(
+                    "{}-s{}.metrics.jsonl",
+                    record.scenario, record.seed
+                ));
+                std::fs::write(&path, doc.to_jsonl())
+                    .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+                written += 1;
+            }
+        }
+        eprintln!("wrote {written} metrics series to {dir}");
+    }
+    if let Some(dir) = opt(&options, "blackbox") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+        let mut written = 0usize;
+        for record in &outcome.records {
+            if let Some(dump) = &record.blackbox {
+                let path = Path::new(dir).join(format!(
+                    "{}-s{}.blackbox.json",
+                    record.scenario, record.seed
+                ));
+                std::fs::write(&path, format!("{dump}\n"))
+                    .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+                written += 1;
+            }
+        }
+        eprintln!("wrote {written} blackbox dump(s) to {dir}");
+    }
 
     let mut jsonl = String::new();
     for record in &outcome.records {
@@ -249,7 +310,7 @@ fn cmd_list(rest: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_minimize(rest: &[String]) -> Result<ExitCode, String> {
-    let options = split_args(rest, &["corpus", "scenario", "seed"])?;
+    let options = split_args(rest, &["corpus", "scenario", "seed", "blackbox"])?;
     let corpus = opt(&options, "corpus").ok_or("`minimize` needs --corpus <dir>")?;
     let name = opt(&options, "scenario").ok_or("`minimize` needs --scenario <name>")?;
     let seed: u64 = opt_num(&options, "seed", 0)?;
@@ -274,6 +335,13 @@ fn cmd_minimize(rest: &[String]) -> Result<ExitCode, String> {
                     String::new()
                 };
                 println!("  {} at occurrence {}{param}", spec.kind, spec.at);
+            }
+            if let Some(path) = opt(&options, "blackbox") {
+                write_or_stdout(
+                    Some(path),
+                    &format!("{}\n", outcome.blackbox),
+                    "blackbox dump",
+                )?;
             }
             Ok(ExitCode::SUCCESS)
         }

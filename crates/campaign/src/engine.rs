@@ -9,12 +9,15 @@
 
 use std::fmt;
 
+use hypernel::metrics::metric_samples;
 use hypernel::{Mode, System, SystemBuilder};
 use hypernel_kernel::kernel::{KernelError, MonitorHooks};
 use hypernel_machine::addr::PhysAddr;
 use hypernel_mbm::MbmConfig;
+use hypernel_telemetry::MetricsRecorder;
 use hypernel_workloads::lmbench::{run_op, LmbenchOp};
 
+use crate::blackbox;
 use crate::oracle;
 use crate::record::{AuditRecord, RunRecord, StepRecord};
 use crate::scenario::Scenario;
@@ -199,11 +202,26 @@ pub fn run_one_full(
 ) -> Result<(RunRecord, Vec<hypernel_machine::FaultHit>, System), EngineError> {
     let mut rng = SplitMix64::new(seed ^ fnv1a(&scenario.name));
 
+    // The always-on flight recorder: a small ring of recent telemetry
+    // events, dumped as `blackbox.json` if the run fails. Installed
+    // identically after a fresh boot or a fork (forks detach sinks),
+    // and recording never changes simulated results — so the record
+    // stays a pure function of `(scenario, seed)`.
+    sys.enable_telemetry(blackbox::FLIGHT_RING_CAPACITY);
+
+    // Windowed metrics: poll the standard catalog at step boundaries.
+    // The baseline sample right after boot keeps boot-time activity out
+    // of window 0's deltas.
+    let metrics_config = scenario.metrics.clone().unwrap_or_default().to_config();
+    let mut recorder = MetricsRecorder::new(&metrics_config);
+    recorder.sample(sys.cycles(), &metric_samples(&sys));
+
     // (step index, cycles at step start, cycles after its service pass)
     let mut timings: Vec<(u64, u64)> = Vec::new();
     let mut outcomes = Vec::new();
     for spec in &scenario.steps {
         run_background(&mut sys, &mut rng, scenario.background_ops)?;
+        recorder.sample(sys.cycles(), &metric_samples(&sys));
         let started = sys.cycles();
         let result = {
             let (kernel, machine, hyp) = sys.parts();
@@ -216,9 +234,11 @@ pub fn run_one_full(
         sys.service_interrupts().map_err(EngineError::from)?;
         timings.push((started, sys.cycles()));
         outcomes.push(result);
+        recorder.sample(sys.cycles(), &metric_samples(&sys));
     }
     run_background(&mut sys, &mut rng, scenario.background_ops)?;
     sys.service_interrupts().map_err(EngineError::from)?;
+    recorder.sample(sys.cycles(), &metric_samples(&sys));
 
     let detections: Vec<(u64, u64)> = sys
         .hypersec()
@@ -268,6 +288,44 @@ pub fn run_one_full(
         faults,
     });
     let passed = violations.iter().all(|v| v.expected);
+
+    // Detection latencies are event-driven gauges: feed each detected
+    // step's latency into the window its service pass landed in.
+    for (step, (_, serviced)) in steps.iter().zip(timings.iter()) {
+        if step.detections > 0 {
+            if let Some(latency) = step.latency {
+                recorder.observe("detection-latency-max", *serviced, latency);
+            }
+        }
+    }
+    let metrics_doc = recorder.finish(
+        Some(&scenario.name),
+        Some(seed),
+        Some(&scenario.mode.to_string()),
+    );
+
+    let blackbox = if passed {
+        None
+    } else {
+        let reason = violations
+            .iter()
+            .find(|v| !v.expected)
+            .map(|v| format!("unexpected `{}` violation: {}", v.oracle, v.detail))
+            .unwrap_or_else(|| "run failed".to_string());
+        Some(
+            blackbox::capture(
+                &sys,
+                scenario,
+                seed,
+                &reason,
+                &violations,
+                &fault_log,
+                Some(&metrics_doc),
+            )
+            .to_string(),
+        )
+    };
+
     let record = RunRecord {
         scenario: scenario.name.clone(),
         mode: scenario.mode.to_string(),
@@ -289,6 +347,8 @@ pub fn run_one_full(
         }),
         violations,
         passed,
+        metrics: Some(metrics_doc),
+        blackbox,
     };
     Ok((record, fault_log, sys))
 }

@@ -20,6 +20,8 @@
 //!   scheduling-independent output;
 //! - [`minimize`] — reduction of a failing run's fault schedule to a
 //!   minimal repro;
+//! - [`blackbox`] — the always-on flight recorder and the
+//!   `blackbox.json` post-mortem dump a failing run leaves behind;
 //! - [`record`] — `campaign.jsonl` records and summary artifacts that
 //!   `hypernel-analyze campaign` consumes;
 //! - [`lint`] — the corpus schema linter (flags keys the lenient
@@ -29,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod blackbox;
 pub mod engine;
 pub mod lint;
 pub mod minimize;
@@ -38,6 +41,7 @@ pub mod scenario;
 pub mod sweep;
 pub mod toml;
 
+pub use blackbox::{BLACKBOX_KIND, BLACKBOX_SCHEMA, FLIGHT_RING_CAPACITY};
 pub use engine::{boot_system, run_one, run_one_full, run_one_logged, EngineError};
 pub use lint::{lint_dir, lint_source, LintIssue};
 pub use minimize::{minimize, MinimizeError, MinimizeOutcome};
@@ -46,5 +50,7 @@ pub use record::{
     summarize, summary_json, RunRecord, ScenarioSummary, StepRecord, Violation, CAMPAIGN_SCHEMA,
     RECORD_KIND, SUMMARY_KIND,
 };
-pub use scenario::{Scenario, ScenarioError, StepExpect, StepSpec};
-pub use sweep::{run_sweep, SweepConfig, SweepFailure, SweepOutcome};
+pub use scenario::{MetricsSpec, Scenario, ScenarioError, StepExpect, StepSpec};
+pub use sweep::{
+    run_sweep, run_sweep_with, SweepConfig, SweepFailure, SweepOutcome, SweepProgress,
+};

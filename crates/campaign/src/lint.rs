@@ -33,6 +33,9 @@ const TOP_KEYS: &[&str] = &[
 /// nothing downstream reads them.
 const HYPERNEL_ONLY_KEYS: &[&str] = &["monitor", "latency-bound", "fifo-capacity", "drain-budget"];
 
+/// Keys the optional `[metrics]` section consumes.
+const METRICS_KEYS: &[&str] = &["window-cycles", "series"];
+
 /// Keys every `[[step]]` may carry.
 const STEP_COMMON_KEYS: &[&str] = &["kind", "expect"];
 
@@ -93,9 +96,13 @@ pub fn lint_source(stem: Option<&str>, source: &str) -> Vec<String> {
     };
 
     unknown_keys(&doc, TOP_KEYS, &[], "top level", &mut out);
-    for (name, _) in &doc.tables {
+    for (name, t) in &doc.tables {
+        if name == "metrics" {
+            unknown_keys(t, METRICS_KEYS, &[], "[metrics]", &mut out);
+            continue;
+        }
         out.push(format!(
-            "top level: unknown section `[{name}]` (only `[[step]]` and `[[fault]]` exist)"
+            "top level: unknown section `[{name}]` (only `[metrics]`, `[[step]]` and `[[fault]]` exist)"
         ));
     }
     for (name, _) in &doc.arrays {
@@ -114,6 +121,24 @@ pub fn lint_source(stem: Option<&str>, source: &str) -> Vec<String> {
         let what = format!("fault {}", i + 1);
         if let Some(extra) = t.get_str("kind").and_then(fault_extra_keys) {
             unknown_keys(t, FAULT_COMMON_KEYS, extra, &what, &mut out);
+        }
+    }
+
+    if let Some(spec) = &scenario.metrics {
+        if let Some(series) = &spec.series {
+            if series.is_empty() {
+                out.push("[metrics]: `series = []` disables every series".to_string());
+            }
+            for name in series {
+                if hypernel_telemetry::metrics::metric(name).is_none() {
+                    out.push(format!(
+                        "[metrics]: unknown series `{name}` (the recorder ignores it); known: {}",
+                        hypernel_telemetry::metrics::metric_names()
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+            }
         }
     }
 
@@ -315,6 +340,55 @@ mod tests {
         // Declaring the fault clears it.
         let fixed = format!("{source}\n[[fault]]\nkind = \"drop-irq\"\n");
         assert!(lint_source(Some("demo"), &fixed).is_empty());
+    }
+
+    #[test]
+    fn metrics_section_is_validated_not_flagged() {
+        let clean = r#"
+            name = "demo"
+            [metrics]
+            window-cycles = 10000
+            series = ["hypercalls", "mbm-fifo-depth"]
+            [[step]]
+            kind = "cred-escalation"
+            pid = 1
+            expect = "detected"
+        "#;
+        assert_eq!(lint_source(Some("demo"), clean), Vec::<String>::new());
+
+        let dirty = r#"
+            name = "demo"
+            [metrics]
+            window_cycles = 10000   # typo: underscore
+            series = ["hypercalls", "l0-hits"]
+            [[step]]
+            kind = "cred-escalation"
+            pid = 1
+            expect = "detected"
+        "#;
+        let issues = lint_source(Some("demo"), dirty);
+        assert!(
+            issues.iter().any(|m| m.contains("`window_cycles`")),
+            "{issues:?}"
+        );
+        assert!(issues
+            .iter()
+            .any(|m| m.contains("unknown series `l0-hits`")));
+
+        let empty = r#"
+            name = "demo"
+            [metrics]
+            series = []
+            [[step]]
+            kind = "cred-escalation"
+            pid = 1
+            expect = "detected"
+        "#;
+        let issues = lint_source(Some("demo"), empty);
+        assert!(
+            issues.iter().any(|m| m.contains("disables every series")),
+            "{issues:?}"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use hypernel_machine::{FaultPlan, FaultSpec};
 
+use crate::blackbox;
 use crate::engine::{self, EngineError};
 use crate::record::RunRecord;
 use crate::scenario::Scenario;
@@ -33,6 +34,11 @@ pub struct MinimizeOutcome {
     pub probes: u64,
     /// Record of the validation run under the minimal schedule.
     pub record: RunRecord,
+    /// Flight-recorder dump of the validation run (pre-serialized
+    /// JSON): the minimal schedule reproduced the detection gap, so the
+    /// run leaves the same self-contained post-mortem a failing
+    /// campaign run would.
+    pub blackbox: String,
 }
 
 /// Why minimization could not proceed.
@@ -138,16 +144,30 @@ pub fn minimize(scenario: &Scenario, seed: u64) -> Result<MinimizeOutcome, Minim
         }
     }
 
-    // Validate: the reduced schedule must still reproduce the gap.
+    // Validate: the reduced schedule must still reproduce the gap. The
+    // validation run keeps its finished `System` so the repro leaves a
+    // flight-recorder dump behind, like any other failing run.
     let final_scenario = with_plan(scenario, &schedule);
-    let record = engine::run_one(&final_scenario, seed)?;
+    let (record, fault_log, sys) =
+        engine::run_one_full(engine::boot_system(&final_scenario)?, &final_scenario, seed)?;
     probes += 1;
     debug_assert!(has_detection_gap(&record), "1-minimal reduction regressed");
+    let dump = blackbox::capture(
+        &sys,
+        &final_scenario,
+        seed,
+        "fault-schedule minimization reproduced the detection gap",
+        &record.violations,
+        &fault_log,
+        record.metrics.as_ref(),
+    )
+    .to_string();
     Ok(MinimizeOutcome {
         original_events,
         schedule,
         probes,
         record,
+        blackbox: dump,
     })
 }
 
@@ -182,6 +202,17 @@ mod tests {
         assert!(outcome.schedule.len() <= outcome.original_events);
         assert!(has_detection_gap(&outcome.record));
         assert!(outcome.probes >= 2);
+        let dump = hypernel_telemetry::json::Json::parse(&outcome.blackbox)
+            .expect("validation run leaves a parseable blackbox");
+        assert_eq!(
+            dump.get("kind")
+                .and_then(hypernel_telemetry::json::Json::as_str),
+            Some(crate::blackbox::BLACKBOX_KIND)
+        );
+        assert!(
+            dump.get("metrics_jsonl").is_some(),
+            "dump embeds the run's windowed metrics"
+        );
     }
 
     #[test]

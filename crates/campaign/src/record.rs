@@ -10,6 +10,7 @@
 use hypernel_machine::FaultStats;
 use hypernel_mbm::MbmStats;
 use hypernel_telemetry::json::Json;
+use hypernel_telemetry::series::MetricsDoc;
 
 /// Schema version stamped into every campaign record.
 pub const CAMPAIGN_SCHEMA: u64 = 1;
@@ -147,6 +148,14 @@ pub struct RunRecord {
     pub violations: Vec<Violation>,
     /// `true` iff every violation was declared by the scenario.
     pub passed: bool,
+    /// Full windowed metrics for the run. Carried in memory for
+    /// `--metrics` export; [`RunRecord::to_json`] stamps only the
+    /// bounded summary (totals and maxima per series).
+    pub metrics: Option<MetricsDoc>,
+    /// Pre-serialized flight-recorder dump, present when the run
+    /// failed. Carried in memory for `--blackbox` export; never part
+    /// of the record JSON.
+    pub blackbox: Option<String>,
 }
 
 impl RunRecord {
@@ -192,6 +201,9 @@ impl RunRecord {
         }
         if let Some(audit) = self.audit {
             fields.push(("audit", audit.to_json()));
+        }
+        if let Some(metrics) = &self.metrics {
+            fields.push(("metrics", metrics.summary_json()));
         }
         fields.push((
             "violations",
@@ -323,6 +335,8 @@ mod tests {
                 }]
             },
             passed,
+            metrics: None,
+            blackbox: None,
         }
     }
 

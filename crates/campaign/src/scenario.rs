@@ -13,6 +13,7 @@ use hypernel::Mode;
 use hypernel_kernel::kernel::MonitorMode;
 use hypernel_kernel::AttackStep;
 use hypernel_machine::{FaultKind, FaultPlan, FaultSpec};
+use hypernel_telemetry::metrics::{MetricsConfig, DEFAULT_WINDOW_CYCLES};
 
 use crate::toml::{self, TomlTable};
 
@@ -60,6 +61,38 @@ impl StepExpect {
     }
 }
 
+/// Windowed-metrics recording configuration (the optional `[metrics]`
+/// scenario section). The engine records the full standard catalog at
+/// the default window width when the section is absent; this spec only
+/// *tunes* recording, it never changes simulated results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSpec {
+    /// Window width in simulated cycles (`window-cycles`, > 0).
+    pub window_cycles: u64,
+    /// Series subset to record (`series`), or `None` for the full
+    /// standard catalog.
+    pub series: Option<Vec<String>>,
+}
+
+impl Default for MetricsSpec {
+    fn default() -> Self {
+        Self {
+            window_cycles: DEFAULT_WINDOW_CYCLES,
+            series: None,
+        }
+    }
+}
+
+impl MetricsSpec {
+    /// The recorder configuration this spec describes.
+    pub fn to_config(&self) -> MetricsConfig {
+        MetricsConfig {
+            window_cycles: self.window_cycles,
+            enabled: self.series.clone(),
+        }
+    }
+}
+
 /// One attacker action plus its expected outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepSpec {
@@ -95,6 +128,9 @@ pub struct Scenario {
     pub steps: Vec<StepSpec>,
     /// Faults injected at the machine/MBM boundary.
     pub faults: FaultPlan,
+    /// Windowed-metrics recording tuning (`[metrics]`), if the
+    /// scenario overrides the defaults.
+    pub metrics: Option<MetricsSpec>,
 }
 
 impl Scenario {
@@ -111,6 +147,7 @@ impl Scenario {
             drain_budget: None,
             steps: Vec::new(),
             faults: FaultPlan::new(),
+            metrics: None,
         }
     }
 
@@ -153,6 +190,12 @@ impl Scenario {
     /// Adds a fault to the injection schedule.
     pub fn fault(mut self, spec: FaultSpec) -> Self {
         self.faults = self.faults.with(spec);
+        self
+    }
+
+    /// Tunes windowed-metrics recording (window width, series subset).
+    pub fn metrics(mut self, spec: MetricsSpec) -> Self {
+        self.metrics = Some(spec);
         self
     }
 
@@ -208,8 +251,36 @@ impl Scenario {
             let spec = parse_fault(t).map_err(|e| e.context(format!("fault {}", i + 1)))?;
             scenario.faults = scenario.faults.with(spec);
         }
+        if let Some(t) = doc.table("metrics") {
+            scenario.metrics = Some(parse_metrics(t).map_err(|e| e.context("[metrics]"))?);
+        }
         Ok(scenario)
     }
+}
+
+fn parse_metrics(t: &TomlTable) -> Result<MetricsSpec, ScenarioError> {
+    let mut spec = MetricsSpec::default();
+    if let Some(w) = t.get("window-cycles") {
+        spec.window_cycles = w
+            .as_u64()
+            .filter(|w| *w > 0)
+            .ok_or_else(|| ScenarioError::new("`window-cycles` must be a positive integer"))?;
+    }
+    if let Some(v) = t.get("series") {
+        let toml::TomlValue::Array(items) = v else {
+            return Err(ScenarioError::new("`series` must be an array of strings"));
+        };
+        let series = items
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ScenarioError::new("`series` must be an array of strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        spec.series = Some(series);
+    }
+    Ok(spec)
 }
 
 fn parse_step(t: &TomlTable) -> Result<StepSpec, ScenarioError> {
@@ -363,6 +434,41 @@ mod tests {
         assert_eq!(s.faults.specs[0], FaultSpec::delay_irq(2, u64::MAX, 7));
         assert_eq!(s.faults.specs[1], FaultSpec::flip_snoop_addr(1, 1, 5));
         assert_eq!(s.faults.specs[2], FaultSpec::lose_hypercall(1, 1, 0x130));
+    }
+
+    #[test]
+    fn metrics_section_parses_and_rejects_bad_shapes() {
+        let toml = r#"
+            name = "m"
+            [[step]]
+            kind = "ttbr-redirect"
+            [metrics]
+            window-cycles = 20000
+            series = ["hypercalls", "mbm-fifo-depth"]
+        "#;
+        let s = Scenario::from_toml(toml).expect("parses");
+        let spec = s.metrics.expect("metrics spec");
+        assert_eq!(spec.window_cycles, 20_000);
+        assert_eq!(
+            spec.series.as_deref(),
+            Some(&["hypercalls".to_string(), "mbm-fifo-depth".to_string()][..])
+        );
+        assert_eq!(spec.to_config().window_cycles, 20_000);
+
+        // Absent section → None; engine falls back to defaults.
+        let bare = Scenario::from_toml("name = \"x\"\n[[step]]\nkind = \"text-patch\"").unwrap();
+        assert_eq!(bare.metrics, None);
+
+        for bad in [
+            "[metrics]\nwindow-cycles = 0",
+            "[metrics]\nwindow-cycles = \"wide\"",
+            "[metrics]\nseries = 7",
+            "[metrics]\nseries = [1, 2]",
+        ] {
+            let text = format!("name = \"x\"\n[[step]]\nkind = \"text-patch\"\n{bad}");
+            let e = Scenario::from_toml(&text).unwrap_err();
+            assert!(e.message.contains("[metrics]"), "{e}");
+        }
     }
 
     #[test]

@@ -61,6 +61,25 @@ impl SweepOutcome {
     }
 }
 
+/// One arrival, handed to the progress callback of
+/// [`run_sweep_with`] as workers finish runs. Arrivals come in
+/// completion order — scheduling-dependent by nature — which is why
+/// the callback only *observes*: the artifact is still assembled from
+/// the deterministic sort afterwards.
+#[derive(Debug)]
+pub struct SweepProgress<'a> {
+    /// Runs finished so far, including this one.
+    pub done: usize,
+    /// Total runs in the sweep.
+    pub total: usize,
+    /// Scenario of the finished run.
+    pub scenario: &'a str,
+    /// Seed of the finished run.
+    pub seed: u64,
+    /// The finished run's result.
+    pub result: &'a Result<RunRecord, EngineError>,
+}
+
 type WorkItem = (usize, u64);
 type WorkResult = (usize, u64, Result<RunRecord, EngineError>);
 
@@ -101,6 +120,18 @@ fn worker(
 /// Runs the full `scenarios × seeds` cross product on `config.jobs`
 /// worker threads and returns the deterministic, sorted outcome.
 pub fn run_sweep(scenarios: &[Scenario], config: SweepConfig) -> SweepOutcome {
+    run_sweep_with(scenarios, config, |_| {})
+}
+
+/// [`run_sweep`] with a live progress callback, invoked on the
+/// collector thread once per finished run (in completion order). The
+/// callback feeds `hypernel-campaign run --watch`; it cannot perturb
+/// the artifact, which is sorted afterwards regardless.
+pub fn run_sweep_with(
+    scenarios: &[Scenario],
+    config: SweepConfig,
+    mut on_progress: impl FnMut(&SweepProgress<'_>),
+) -> SweepOutcome {
     let jobs = config.jobs.max(1);
     let mut work: VecDeque<WorkItem> = VecDeque::new();
     for (scenario_idx, _) in scenarios.iter().enumerate() {
@@ -121,6 +152,14 @@ pub fn run_sweep(scenarios: &[Scenario], config: SweepConfig) -> SweepOutcome {
         }
         drop(tx);
         while let Ok(result) = rx.recv() {
+            let (scenario_idx, seed, run) = &result;
+            on_progress(&SweepProgress {
+                done: results.len() + 1,
+                total,
+                scenario: &scenarios[*scenario_idx].name,
+                seed: *seed,
+                result: run,
+            });
             results.push(result);
         }
     });

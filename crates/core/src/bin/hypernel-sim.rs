@@ -14,7 +14,9 @@
 use std::process::ExitCode;
 
 use hypernel::kernel::kernel::{MonitorHooks, MonitorMode};
+use hypernel::metrics::metric_samples;
 use hypernel::telemetry::export;
+use hypernel::telemetry::{MetricsConfig, MetricsRecorder};
 use hypernel::workloads::{apps, lmbench, AppBenchmark, LmbenchOp};
 use hypernel::{Mode, RunReport, System, SystemBuilder, DEFAULT_TELEMETRY_CAPACITY};
 
@@ -54,6 +56,10 @@ OPTIONS:
     --histograms                   print span latency histograms
                                    (p50/p95/p99/max, in cycles)
     --report-json <path>           write the full run report as JSON
+    --metrics <path>               write windowed time-series metrics
+                                   (metrics.jsonl); --op runs sample per
+                                   iteration chunk, other runs at the
+                                   start and end
     --forensics                    reconstruct and print the causal
                                    timeline of every MBM incident
                                    (watched write -> FIFO -> drain ->
@@ -110,6 +116,7 @@ struct Options {
     trace_format: Option<String>,
     histograms: bool,
     report_json: Option<String>,
+    metrics: Option<String>,
     forensics: bool,
     audit: bool,
     audit_every: Option<u64>,
@@ -150,6 +157,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace-format" => opts.trace_format = Some(take("--trace-format")?),
             "--histograms" => opts.histograms = true,
             "--report-json" => opts.report_json = Some(take("--report-json")?),
+            "--metrics" => opts.metrics = Some(take("--metrics")?),
             "--forensics" => opts.forensics = true,
             "--audit" => opts.audit = true,
             "--sanitize" => opts.sanitize = true,
@@ -169,14 +177,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run_workload(sys: &mut System, opts: &Options) -> Result<f64, String> {
+fn run_workload(
+    sys: &mut System,
+    opts: &Options,
+    mut recorder: Option<&mut MetricsRecorder>,
+) -> Result<f64, String> {
     let iters = opts.iters.unwrap_or(100);
     if let Some(op) = &opts.op {
         let op = parse_op(op)?;
-        // `--audit=<N>`: break the run into N-iteration chunks and
-        // re-audit the whole system between them, so an invariant break
-        // is pinned to the chunk that introduced it.
-        if let Some(every) = opts.audit_every {
+        // `--audit=<N>` and `--metrics` both break the run into
+        // iteration chunks: the former re-audits the whole system
+        // between chunks (pinning an invariant break to the chunk that
+        // introduced it), the latter samples the windowed series.
+        // `--audit=<N>` picks the chunk size; metrics alone samples
+        // every iters/64 iterations.
+        if opts.audit_every.is_some() || recorder.is_some() {
+            let every = opts.audit_every.unwrap_or_else(|| (iters / 64).max(1));
             let mut done = 0;
             let mut cycles = 0.0;
             while done < iters {
@@ -187,16 +203,25 @@ fn run_workload(sys: &mut System, opts: &Options) -> Result<f64, String> {
                 };
                 cycles += m.cycles_per_iter() * chunk as f64;
                 done += chunk;
-                let report = sys.audit_static();
-                if !report.is_clean() {
-                    report_static_audit(&report);
-                    return Err(format!(
-                        "static audit failed after {done}/{iters} iterations"
-                    ));
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.sample(sys.cycles(), &metric_samples(sys));
+                }
+                if opts.audit_every.is_some() {
+                    let report = sys.audit_static();
+                    if !report.is_clean() {
+                        report_static_audit(&report);
+                        return Err(format!(
+                            "static audit failed after {done}/{iters} iterations"
+                        ));
+                    }
                 }
             }
+            let audited = opts
+                .audit_every
+                .map(|every| format!(", audited every {every}"))
+                .unwrap_or_default();
             println!(
-                "{op}: {:.2} us/iter ({:.0} cycles, {iters} iters, audited every {every})",
+                "{op}: {:.2} us/iter ({:.0} cycles, {iters} iters{audited})",
                 cycles / iters as f64 / CYCLES_PER_US,
                 cycles / iters as f64,
             );
@@ -225,6 +250,33 @@ fn run_workload(sys: &mut System, opts: &Options) -> Result<f64, String> {
     } else {
         Err("provide --op or --app".into())
     }
+}
+
+/// Starts a windowed-metrics recorder (with a baseline sample) when
+/// `--metrics` asks for one.
+fn new_recorder(sys: &System, opts: &Options) -> Option<MetricsRecorder> {
+    opts.metrics.as_ref().map(|_| {
+        let mut rec = MetricsRecorder::new(&MetricsConfig::default());
+        rec.sample(sys.cycles(), &metric_samples(sys));
+        rec
+    })
+}
+
+/// Takes the final sample and writes the `--metrics` artifact.
+fn write_metrics(
+    sys: &System,
+    opts: &Options,
+    recorder: Option<MetricsRecorder>,
+    mode: Mode,
+) -> Result<(), String> {
+    let (Some(path), Some(mut rec)) = (opts.metrics.as_ref(), recorder) else {
+        return Ok(());
+    };
+    rec.sample(sys.cycles(), &metric_samples(sys));
+    let doc = rec.finish(None, None, Some(&mode.to_string()));
+    std::fs::write(path, doc.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+    println!("metrics: {} window(s) -> {path}", doc.windows());
+    Ok(())
 }
 
 /// Boots `mode`, with telemetry installed when any output flag needs it
@@ -293,6 +345,15 @@ fn final_static_audit(sys: &mut System) -> Result<(), String> {
 
 /// Writes the trace/histogram/report artifacts requested by `opts`.
 fn export_telemetry(sys: &System, opts: &Options) -> Result<(), String> {
+    // Truncation warning up front: a full ring silently understates
+    // every trace-derived view, so say so once, for all of them.
+    let dropped = sys.telemetry_dropped().unwrap_or(0);
+    if dropped > 0 && opts.wants_telemetry() {
+        eprintln!(
+            "warning: telemetry ring full, {dropped} oldest event(s) dropped; \
+             traces and reports understate the run"
+        );
+    }
     if let Some(path) = &opts.trace_out {
         let events = sys.telemetry_events().ok_or("telemetry is not enabled")?;
         let text = match opts.trace_format.as_deref().unwrap_or("chrome") {
@@ -301,10 +362,6 @@ fn export_telemetry(sys: &System, opts: &Options) -> Result<(), String> {
             other => return Err(format!("unknown trace format '{other}' (jsonl|chrome)")),
         };
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
-        let dropped = sys.telemetry_dropped().unwrap_or(0);
-        if dropped > 0 {
-            eprintln!("warning: ring full, {dropped} oldest events not in the trace");
-        }
         println!("trace: {} events -> {path}", events.len());
     }
     if opts.histograms {
@@ -348,7 +405,8 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let mode = parse_mode(opts.mode.as_deref().unwrap_or("hypernel"))?;
     let mut sys = boot(mode, opts)?;
     println!("booted: {mode}");
-    run_workload(&mut sys, opts)?;
+    let mut recorder = new_recorder(&sys, opts);
+    run_workload(&mut sys, opts, recorder.as_mut())?;
     sys.service_interrupts().map_err(|e| e.to_string())?;
     if opts.audit {
         final_static_audit(&mut sys)?;
@@ -356,6 +414,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     if opts.markdown {
         println!("\n{}", RunReport::capture(&sys).to_markdown());
     }
+    write_metrics(&sys, opts, recorder, mode)?;
     export_telemetry(&sys, opts)
 }
 
@@ -364,7 +423,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
         let mut sys = System::boot(mode).map_err(|e| e.to_string())?;
         print!("{mode:<12} ");
-        results.push((mode, run_workload(&mut sys, opts)?));
+        results.push((mode, run_workload(&mut sys, opts, None)?));
     }
     let native = results[0].1;
     println!("\noverheads vs native:");
@@ -388,7 +447,8 @@ fn cmd_monitor(opts: &Options) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
     sys.reset_mbm_stats();
-    run_workload(&mut sys, opts)?;
+    let mut recorder = new_recorder(&sys, opts);
+    run_workload(&mut sys, opts, recorder.as_mut())?;
     sys.service_interrupts().map_err(|e| e.to_string())?;
     if opts.audit {
         final_static_audit(&mut sys)?;
@@ -402,6 +462,7 @@ fn cmd_monitor(opts: &Options) -> Result<(), String> {
     for d in hs.detections() {
         println!("    [sid {}] {}", d.sid, d.reason);
     }
+    write_metrics(&sys, opts, recorder, Mode::Hypernel)?;
     export_telemetry(&sys, opts)
 }
 
@@ -415,6 +476,7 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
     let statements = replay::parse(&script).map_err(|e| format!("{path}: {e}"))?;
     let mode = parse_mode(opts.mode.as_deref().unwrap_or("hypernel"))?;
     let mut sys = boot(mode, opts)?;
+    let recorder = new_recorder(&sys, opts);
     let m = {
         let (kernel, machine, hyp) = sys.parts();
         replay::replay(kernel, machine, hyp, &statements, 42).map_err(|e| e.to_string())?
@@ -428,6 +490,7 @@ fn cmd_replay(opts: &Options) -> Result<(), String> {
     if opts.markdown {
         println!("\n{}", RunReport::capture(&sys).to_markdown());
     }
+    write_metrics(&sys, opts, recorder, mode)?;
     export_telemetry(&sys, opts)
 }
 

@@ -43,6 +43,7 @@
 //! # Ok::<(), hypernel_kernel::kernel::KernelError>(())
 //! ```
 
+pub mod metrics;
 pub mod report;
 pub mod system;
 

@@ -46,6 +46,11 @@ pub struct RunReport {
     /// Telemetry aggregates (only when the system has telemetry
     /// enabled): latency histograms per span and point-event counters.
     pub telemetry: Option<Snapshot>,
+    /// Events the bounded telemetry trace ring had to drop (only when
+    /// telemetry is enabled). Deterministic — the ring records
+    /// simulated events — so it belongs in the artifact: a nonzero
+    /// value means the trace understates what happened.
+    pub trace_dropped: Option<u64>,
 }
 
 impl RunReport {
@@ -61,6 +66,7 @@ impl RunReport {
             mbm: system.mbm_stats(),
             faults: system.fault_stats(),
             telemetry: system.telemetry_snapshot(),
+            trace_dropped: system.telemetry_dropped(),
         }
     }
 
@@ -120,6 +126,12 @@ impl RunReport {
                 "| MBM IRQs raised | {} |
 ",
                 mbm.irqs_raised
+            ));
+        }
+        if let Some(dropped) = self.trace_dropped {
+            out.push_str(&format!(
+                "| trace records dropped | {dropped} |
+"
             ));
         }
         if let Some(snap) = &self.telemetry {
@@ -218,6 +230,9 @@ impl RunReport {
                 mbm_fields.push(("first_dropped_addr", Json::UInt(addr.raw())));
             }
             fields.push(("mbm", Json::obj(mbm_fields)));
+        }
+        if let Some(dropped) = self.trace_dropped {
+            fields.push(("trace_dropped", Json::UInt(dropped)));
         }
         if let Some(f) = self.faults {
             fields.push((
@@ -503,6 +518,41 @@ mod tests {
             !md.contains("filter skips"),
             "filter counter leaked into markdown"
         );
+    }
+
+    #[test]
+    fn dropped_trace_events_are_surfaced_in_the_artifact() {
+        use crate::system::SystemBuilder;
+        // A 4-event ring overflows immediately under a real workload…
+        let mut sys = SystemBuilder::new(Mode::Hypernel)
+            .telemetry(4)
+            .build()
+            .expect("boot");
+        {
+            let (kernel, machine, hyp) = sys.parts();
+            let child = kernel.sys_fork(machine, hyp).expect("fork");
+            kernel.switch_to(machine, hyp, child).expect("switch");
+            kernel
+                .sys_exit(machine, hyp, child, hypernel_kernel::task::Pid(1))
+                .expect("exit");
+        }
+        let report = RunReport::capture(&sys);
+        let dropped = report.trace_dropped.expect("telemetry is on");
+        assert!(dropped > 0, "tiny ring must drop");
+        let doc = Json::parse(&report.to_json().to_string()).unwrap();
+        assert_eq!(
+            doc.get("trace_dropped").and_then(Json::as_u64),
+            Some(dropped)
+        );
+        assert!(report.to_markdown().contains("| trace records dropped |"));
+
+        // …and a run without telemetry reports nothing rather than 0.
+        let silent = RunReport::capture(&System::boot(Mode::Native).expect("boot"));
+        assert!(silent.trace_dropped.is_none());
+        assert!(Json::parse(&silent.to_json().to_string())
+            .unwrap()
+            .get("trace_dropped")
+            .is_none());
     }
 
     #[test]

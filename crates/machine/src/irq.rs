@@ -78,6 +78,12 @@ impl IrqController {
     pub fn raised_total(&self) -> u64 {
         self.raised_total
     }
+
+    /// The currently pending lines, lowest-numbered first (for state
+    /// snapshots such as the campaign flight recorder).
+    pub fn pending_lines(&self) -> Vec<IrqLine> {
+        self.pending.iter().copied().collect()
+    }
 }
 
 #[cfg(test)]

@@ -620,6 +620,13 @@ impl Machine {
         &self.tlb
     }
 
+    /// Mutable TLB — for per-structure host fast-path toggles
+    /// ([`Tlb::set_l0_enabled`]) in tests that compare the two paths
+    /// within one process.
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
     /// The data cache (statistics inspection).
     pub fn data_cache(&self) -> &DataCache {
         &self.cache

@@ -103,6 +103,15 @@ impl SnoopFifo {
     pub fn high_watermark(&self) -> usize {
         self.high_watermark
     }
+
+    /// Accounts an occupancy the reference pipeline would have reached
+    /// even though the corresponding entries never physically enqueued
+    /// (the watch-page filter short-circuits them). Keeps the
+    /// high-water mark a model value, identical with the host filter on
+    /// or off.
+    pub fn note_occupancy(&mut self, depth: usize) {
+        self.high_watermark = self.high_watermark.max(depth);
+    }
 }
 
 #[cfg(test)]

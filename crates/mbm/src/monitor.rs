@@ -186,6 +186,12 @@ pub struct Mbm {
     delayed_irqs: Vec<(u64, u64)>,
     /// Host switch for the watch-page summary filter (see module docs).
     filter_enabled: bool,
+    /// Captures the filter short-circuited in the current bus
+    /// transaction. The reference pipeline would have enqueued each of
+    /// them (and drained them at transaction end), so the FIFO's
+    /// high-water mark must count them as transient occupancy — see
+    /// [`SnoopFifo::note_occupancy`].
+    txn_filtered: usize,
     /// Host-side copy of the bitmap storage, maintained from the same
     /// snooped writes that keep the bitmap cache coherent. `Rc` keeps
     /// warm-boot forks O(1): the vectors cover the whole monitored
@@ -224,6 +230,7 @@ impl Mbm {
             faults: None,
             delayed_irqs: Vec::new(),
             filter_enabled: fastpath_enabled(),
+            txn_filtered: 0,
             shadow: std::rc::Rc::new(vec![0; (config.bitmap.bitmap_bytes() / 8) as usize]),
             page_watch: std::rc::Rc::new(vec![
                 0;
@@ -308,11 +315,16 @@ impl Mbm {
     }
 
     /// Charges what the reference pipeline would have charged for a
-    /// short-circuited write: one capture, one (lossless) translation.
+    /// short-circuited write: one capture, one (lossless) translation,
+    /// and one transient FIFO slot (the entry would have enqueued and
+    /// drained within this transaction).
     fn skip_capture(&mut self) {
         self.stats.captured += 1;
         self.stats.bitmap_lookups += 1;
         self.stats.page_filter_skips += 1;
+        self.txn_filtered += 1;
+        self.fifo
+            .note_occupancy(self.fifo.len() + self.txn_filtered);
     }
 
     /// Installs (or removes) the fault injector covering the monitor's
@@ -376,9 +388,22 @@ impl Mbm {
         self.fifo.len()
     }
 
+    /// Deepest the FIFO has ever been (for queue-pressure time series).
+    pub fn fifo_high_watermark(&self) -> usize {
+        self.fifo.high_watermark()
+    }
+
     fn capture(&mut self, write: SnoopedWrite, cycles: u64) {
         self.stats.captured += 1;
         if self.fifo.push(write) {
+            // Entries the filter short-circuited earlier in this
+            // transaction still occupy reference-pipeline slots under
+            // this push (the filter's safety envelope rules out drops,
+            // so the reference depth is exactly `len + filtered`).
+            if self.txn_filtered > 0 {
+                self.fifo
+                    .note_occupancy(self.fifo.len() + self.txn_filtered);
+            }
             self.emit(
                 cycles,
                 PointKind::MbmFifoPush,
@@ -564,6 +589,10 @@ impl Mbm {
 
 impl BusSnooper for Mbm {
     fn on_transaction(&mut self, txn: &BusTransaction, ctx: &mut BusContext<'_>) {
+        // Phantom FIFO occupancy is scoped to one transaction: the
+        // trailing drain() retires everything the reference pipeline
+        // would have enqueued.
+        self.txn_filtered = 0;
         if txn.is_write() {
             self.check_guard(txn.addr(), ctx);
         }
@@ -1057,7 +1086,14 @@ mod tests {
             // Host-observability fields are allowed to diverge.
             stats.page_filter_skips = 0;
             stats.device_reads = 0;
-            runs.push((stats, rig.irq.is_pending(IrqLine::MBM)));
+            // The high-water mark is a *model* value: short-circuited
+            // captures count as transient occupancy, so the skipping
+            // run reports the depth the reference run actually reached.
+            runs.push((
+                stats,
+                rig.mbm.fifo_high_watermark(),
+                rig.irq.is_pending(IrqLine::MBM),
+            ));
         }
         assert_eq!(runs[0], runs[1]);
     }

@@ -17,6 +17,10 @@
 //!   loads directly into `chrome://tracing` / Perfetto).
 //! * [`json`] — the dependency-free JSON writer/parser the exporters and
 //!   round-trip tests build on.
+//! * [`metrics`] / [`series`] / [`recorder`] — windowed time series: a
+//!   catalog of always-simulated counters and gauges, a columnar
+//!   per-cycle-window document (`metrics.jsonl`), and the polling
+//!   recorder that buckets cumulative samples into windows.
 //! * [`reader`] — the analysis-side entry point: lossy JSONL ingestion
 //!   (skip-and-count, never abort) and the [`reader::SpanTree`] builder
 //!   that reconstructs cross-EL span nesting from the flat stream.
@@ -27,12 +31,18 @@ pub mod event;
 pub mod export;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod reader;
+pub mod recorder;
 pub mod registry;
+pub mod series;
 pub mod sink;
 
 pub use event::{Event, EventKind, PointKind, SpanKind, Track};
 pub use histogram::{Histogram, HistogramSummary};
+pub use metrics::{MetricDef, MetricsConfig, DEFAULT_WINDOW_CYCLES, STANDARD_METRICS};
 pub use reader::{read_jsonl_lossy, LossyTrace, Mark, SpanNode, SpanTree};
+pub use recorder::MetricsRecorder;
 pub use registry::{Snapshot, Telemetry};
+pub use series::{MetricsDoc, Series, SeriesKind, METRICS_KIND, METRICS_SCHEMA};
 pub use sink::{shared, FanoutSink, RingSink, SharedSink, TelemetrySink};

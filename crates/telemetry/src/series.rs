@@ -1,0 +1,373 @@
+//! Columnar windowed time series and their JSONL artifact.
+//!
+//! A [`MetricsDoc`] is the on-disk `metrics.jsonl` shape: one header
+//! line naming the series and the window width, then one line per
+//! window carrying the column values for that window. Everything is
+//! keyed to *simulated* cycles, so a document is a pure function of
+//! `(scenario, seed)` — byte-identical at any worker count and with
+//! the host fast paths on or off.
+
+use crate::json::Json;
+
+/// Schema version stamped into the `metrics.jsonl` header line. Bump
+/// when a field is renamed or its meaning changes; additions do not.
+pub const METRICS_SCHEMA: u64 = 1;
+
+/// `kind` tag in the header line, so downstream tooling can tell a
+/// metrics document from a trace or a campaign artifact.
+pub const METRICS_KIND: &str = "hypernel-metrics";
+
+/// How a series aggregates samples inside one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeriesKind {
+    /// Per-window delta of a monotonically increasing counter (events
+    /// that happened *during* the window).
+    Counter,
+    /// Per-window maximum of an instantaneous level (FIFO depth,
+    /// detection latency).
+    Gauge,
+}
+
+impl SeriesKind {
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        }
+    }
+
+    /// Inverse of [`SeriesKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "counter" => Some(SeriesKind::Counter),
+            "gauge" => Some(SeriesKind::Gauge),
+            _ => None,
+        }
+    }
+}
+
+/// One named column: a value per window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    /// Metric name (see [`crate::metrics::STANDARD_METRICS`]).
+    pub name: String,
+    /// Aggregation the values were produced with.
+    pub kind: SeriesKind,
+    /// One value per window, window 0 first.
+    pub values: Vec<u64>,
+}
+
+impl Series {
+    /// Sum across all windows (saturating).
+    pub fn total(&self) -> u64 {
+        self.values.iter().fold(0u64, |a, v| a.saturating_add(*v))
+    }
+
+    /// Maximum single-window value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A complete windowed-metrics document: the in-memory form of
+/// `metrics.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsDoc {
+    /// Window width in simulated cycles.
+    pub window_cycles: u64,
+    /// Scenario name, when the run came from a campaign.
+    pub scenario: Option<String>,
+    /// Seed, when the run came from a campaign.
+    pub seed: Option<u64>,
+    /// System mode label ("Native" / "KVM-guest" / "Hypernel").
+    pub mode: Option<String>,
+    /// The columns; all have the same number of windows.
+    pub series: Vec<Series>,
+}
+
+impl MetricsDoc {
+    /// Number of windows (rows).
+    pub fn windows(&self) -> usize {
+        self.series.first().map_or(0, |s| s.values.len())
+    }
+
+    /// Looks up a column by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    fn header_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema", Json::UInt(METRICS_SCHEMA)),
+            ("kind", Json::str(METRICS_KIND)),
+            ("window_cycles", Json::UInt(self.window_cycles)),
+            ("windows", Json::UInt(self.windows() as u64)),
+        ];
+        if let Some(s) = &self.scenario {
+            fields.push(("scenario", Json::str(s)));
+        }
+        if let Some(seed) = self.seed {
+            fields.push(("seed", Json::UInt(seed)));
+        }
+        if let Some(m) = &self.mode {
+            fields.push(("mode", Json::str(m)));
+        }
+        fields.push((
+            "series",
+            Json::Array(
+                self.series
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::str(&s.name)),
+                            ("kind", Json::str(s.kind.name())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::obj(fields)
+    }
+
+    /// Serializes the document as JSONL: header line, then one line per
+    /// window. The output is deterministic byte-for-byte.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header_json().to_string());
+        out.push('\n');
+        for w in 0..self.windows() {
+            let row = Json::obj(vec![
+                ("window", Json::UInt(w as u64)),
+                (
+                    "start",
+                    Json::UInt((w as u64).saturating_mul(self.window_cycles)),
+                ),
+                (
+                    "values",
+                    Json::Array(
+                        self.series
+                            .iter()
+                            .map(|s| Json::UInt(s.values[w]))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            out.push_str(&row.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a `metrics.jsonl` document (the inverse of
+    /// [`MetricsDoc::to_jsonl`]). Unlike trace ingestion this is strict:
+    /// a metrics artifact is machine-written, so a malformed line means
+    /// the file is not a metrics document.
+    pub fn parse_jsonl(input: &str) -> Result<MetricsDoc, String> {
+        let mut lines = input
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header_line) = lines.next().ok_or("empty metrics document")?;
+        let header = Json::parse(header_line).map_err(|e| format!("line 1: bad header: {e}"))?;
+        if header.get("kind").and_then(Json::as_str) != Some(METRICS_KIND) {
+            return Err(format!("line 1: not a {METRICS_KIND} document"));
+        }
+        match header.get("schema").and_then(Json::as_u64) {
+            Some(METRICS_SCHEMA) => {}
+            Some(v) => return Err(format!("line 1: unsupported schema {v}")),
+            None => return Err("line 1: header has no schema".to_string()),
+        }
+        let window_cycles = header
+            .get("window_cycles")
+            .and_then(Json::as_u64)
+            .ok_or("line 1: header has no window_cycles")?;
+        let declared_windows = header
+            .get("windows")
+            .and_then(Json::as_u64)
+            .ok_or("line 1: header has no windows count")?;
+        let mut series: Vec<Series> = header
+            .get("series")
+            .and_then(Json::as_array)
+            .ok_or("line 1: header has no series list")?
+            .iter()
+            .map(|s| {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("line 1: series entry without a name")?
+                    .to_string();
+                let kind = s
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(SeriesKind::from_name)
+                    .ok_or("line 1: series entry with a bad kind")?;
+                Ok(Series {
+                    name,
+                    kind,
+                    values: Vec::new(),
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let mut rows = 0u64;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let row = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let window = row
+                .get("window")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {lineno}: row without a window index"))?;
+            if window != rows {
+                return Err(format!(
+                    "line {lineno}: window {window} out of order (expected {rows})"
+                ));
+            }
+            let values = row
+                .get("values")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("line {lineno}: row without values"))?;
+            if values.len() != series.len() {
+                return Err(format!(
+                    "line {lineno}: {} values for {} series",
+                    values.len(),
+                    series.len()
+                ));
+            }
+            for (col, value) in series.iter_mut().zip(values) {
+                col.values.push(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| format!("line {lineno}: non-integer value"))?,
+                );
+            }
+            rows += 1;
+        }
+        if rows != declared_windows {
+            return Err(format!(
+                "header declares {declared_windows} windows, found {rows}"
+            ));
+        }
+        Ok(MetricsDoc {
+            window_cycles,
+            scenario: header
+                .get("scenario")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            seed: header.get("seed").and_then(Json::as_u64),
+            mode: header
+                .get("mode")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            series,
+        })
+    }
+
+    /// A bounded per-run summary (window count plus per-series total and
+    /// single-window max) — the shape stamped into campaign run records,
+    /// where embedding every window would bloat the artifact.
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("window_cycles", Json::UInt(self.window_cycles)),
+            ("windows", Json::UInt(self.windows() as u64)),
+            (
+                "series",
+                Json::Array(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::str(&s.name)),
+                                ("kind", Json::str(s.kind.name())),
+                                ("total", Json::UInt(s.total())),
+                                ("max", Json::UInt(s.max())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> MetricsDoc {
+        MetricsDoc {
+            window_cycles: 1000,
+            scenario: Some("demo".to_string()),
+            seed: Some(7),
+            mode: Some("Hypernel".to_string()),
+            series: vec![
+                Series {
+                    name: "hypercalls".to_string(),
+                    kind: SeriesKind::Counter,
+                    values: vec![3, 0, 9],
+                },
+                Series {
+                    name: "mbm-fifo-depth".to_string(),
+                    kind: SeriesKind::Gauge,
+                    values: vec![1, 4, 2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let d = doc();
+        let text = d.to_jsonl();
+        assert_eq!(text.lines().count(), 4, "header + 3 windows");
+        let parsed = MetricsDoc::parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed, d);
+        // Re-serializing is byte-identical.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn summary_is_bounded_totals_and_maxima() {
+        let s = doc().summary_json();
+        assert_eq!(s.get("windows").and_then(Json::as_u64), Some(3));
+        let series = s.get("series").and_then(Json::as_array).unwrap();
+        assert_eq!(series[0].get("total").and_then(Json::as_u64), Some(12));
+        assert_eq!(series[1].get("max").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_and_corrupt_documents() {
+        assert!(MetricsDoc::parse_jsonl("").is_err());
+        assert!(MetricsDoc::parse_jsonl("{\"kind\":\"other\"}\n").is_err());
+        let mut text = doc().to_jsonl();
+        text.push_str("{\"window\":9,\"start\":0,\"values\":[1,2]}\n");
+        assert!(MetricsDoc::parse_jsonl(&text).is_err(), "row out of order");
+        let truncated: String = doc()
+            .to_jsonl()
+            .lines()
+            .take(2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(
+            MetricsDoc::parse_jsonl(&truncated).is_err(),
+            "window count mismatch"
+        );
+    }
+
+    #[test]
+    fn empty_document_round_trips() {
+        let d = MetricsDoc {
+            window_cycles: 500,
+            scenario: None,
+            seed: None,
+            mode: None,
+            series: vec![Series {
+                name: "hypercalls".to_string(),
+                kind: SeriesKind::Counter,
+                values: Vec::new(),
+            }],
+        };
+        let parsed = MetricsDoc::parse_jsonl(&d.to_jsonl()).expect("parse");
+        assert_eq!(parsed.windows(), 0);
+        assert_eq!(parsed, d);
+    }
+}

@@ -73,26 +73,37 @@ bench-throughput-baseline:
 
 # Determinism gate: the fast paths must be model-invisible. Sweep the
 # corpus with fast paths on (at two worker counts) and off, and demand
-# byte-identical campaign.jsonl artifacts.
+# byte-identical campaign.jsonl artifacts AND byte-identical
+# metrics.jsonl time series.
 determinism:
+    rm -rf {{justfile_directory()}}/target/determinism/fast-metrics \
+           {{justfile_directory()}}/target/determinism/fast-j1-metrics \
+           {{justfile_directory()}}/target/determinism/slow-metrics
     cargo run -q --release -p hypernel-campaign -- run \
         --corpus {{justfile_directory()}}/corpus --seeds 8 --jobs 4 \
         --out {{justfile_directory()}}/target/determinism/fast.jsonl \
-        --summary {{justfile_directory()}}/target/determinism/fast-summary.json
+        --summary {{justfile_directory()}}/target/determinism/fast-summary.json \
+        --metrics {{justfile_directory()}}/target/determinism/fast-metrics
     cargo run -q --release -p hypernel-campaign -- run \
         --corpus {{justfile_directory()}}/corpus --seeds 8 --jobs 1 \
         --out {{justfile_directory()}}/target/determinism/fast-j1.jsonl \
-        --summary {{justfile_directory()}}/target/determinism/fast-j1-summary.json
+        --summary {{justfile_directory()}}/target/determinism/fast-j1-summary.json \
+        --metrics {{justfile_directory()}}/target/determinism/fast-j1-metrics
     HYPERNEL_NO_FASTPATH=1 \
         cargo run -q --release -p hypernel-campaign -- run \
         --corpus {{justfile_directory()}}/corpus --seeds 8 --jobs 4 \
         --out {{justfile_directory()}}/target/determinism/slow.jsonl \
-        --summary {{justfile_directory()}}/target/determinism/slow-summary.json
+        --summary {{justfile_directory()}}/target/determinism/slow-summary.json \
+        --metrics {{justfile_directory()}}/target/determinism/slow-metrics
     diff {{justfile_directory()}}/target/determinism/fast.jsonl \
          {{justfile_directory()}}/target/determinism/fast-j1.jsonl
     diff {{justfile_directory()}}/target/determinism/fast.jsonl \
          {{justfile_directory()}}/target/determinism/slow.jsonl
-    @echo "determinism: campaign.jsonl byte-identical (fastpath on/off, jobs 1/4)"
+    diff -r {{justfile_directory()}}/target/determinism/fast-metrics \
+            {{justfile_directory()}}/target/determinism/fast-j1-metrics
+    diff -r {{justfile_directory()}}/target/determinism/fast-metrics \
+            {{justfile_directory()}}/target/determinism/slow-metrics
+    @echo "determinism: campaign.jsonl + metrics.jsonl byte-identical (fastpath on/off, jobs 1/4)"
 
 # The CI audit gate: lint the scenario corpus schema, then run the
 # static whole-system audit (with the ownership sanitizer enabled)
@@ -133,3 +144,30 @@ campaign-smoke:
     cargo run -q --release -p hypernel-campaign -- minimize \
         --corpus {{justfile_directory()}}/corpus \
         --scenario fault-drop-irq --seed 0
+
+# The CI flight-recorder gate: the deliberately broken desync scenario
+# must FAIL its sweep (hence the `!`), dump a blackbox.json, and that
+# dump must render through `hypernel-analyze timeline`. Also diffs the
+# fifo-overflow time series against itself as a zero-regression check
+# of the timeline gate.
+timeline-smoke:
+    rm -rf {{justfile_directory()}}/target/timeline
+    ! cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/examples/scenarios \
+        --seeds 1 --jobs 1 \
+        --out {{justfile_directory()}}/target/timeline/desync.jsonl \
+        --blackbox {{justfile_directory()}}/target/timeline/blackbox \
+        > /dev/null
+    cargo run -q --release -p hypernel-analyze -- timeline \
+        {{justfile_directory()}}/target/timeline/blackbox/blackbox-desync-s0.blackbox.json \
+        > /dev/null
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --scenario fifo-overflow \
+        --seeds 1 --jobs 1 \
+        --metrics {{justfile_directory()}}/target/timeline/metrics \
+        > /dev/null
+    cargo run -q --release -p hypernel-analyze -- timeline \
+        {{justfile_directory()}}/target/timeline/metrics/fifo-overflow-s0.metrics.jsonl \
+        --against {{justfile_directory()}}/target/timeline/metrics/fifo-overflow-s0.metrics.jsonl \
+        > /dev/null
+    @echo "timeline-smoke: blackbox dumped and rendered, timeline gate clean"
