@@ -10,12 +10,15 @@
 //! hypernel-analyze audit       <report.json>...
 //! hypernel-analyze timeline    <metrics.jsonl | blackbox.json> [--csv]
 //!                              [--against <other>] [--threshold 0.10]
+//! hypernel-analyze coverage    <coverage.json> [--against <baseline.json>]
 //! hypernel-analyze selftest
 //! ```
 //!
 //! `compare` and `bench --baseline` exit nonzero when a cost metric
 //! regressed beyond the threshold, which is what the CI perf gate keys
-//! on.
+//! on; `coverage --against` exits nonzero when any feature covered by
+//! the baseline atlas went uncovered, which is what the CI coverage
+//! gate keys on.
 
 use hypernel_analyze::attribution::{attribute, collapsed_stacks};
 use hypernel_analyze::bench::{read_summaries_dir, today_utc, trajectory_json};
@@ -67,6 +70,11 @@ USAGE:
       extracted). --against diffs a second document and exits 1 when a
       gated tail series (FIFO high water, detection-latency max) grew
       beyond the threshold (default 0.10 = 10%).
+  hypernel-analyze coverage <coverage.json> [--against <baseline.json>]
+      Renders a campaign coverage atlas (per-group coverage table plus
+      the uncovered tuple/feature lists). --against diffs a baseline
+      atlas and exits 1 when any feature covered by the baseline is no
+      longer covered.
 ";
 
 fn main() -> ExitCode {
@@ -84,6 +92,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(rest),
         "audit" => cmd_audit(rest),
         "timeline" => cmd_timeline(rest),
+        "coverage" => cmd_coverage(rest),
         "selftest" => cmd_selftest(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -343,7 +352,11 @@ fn cmd_campaign(rest: &[String]) -> Result<ExitCode, String> {
                 row.unexpected_violations,
                 row.max_latency
                     .map(|l| format!("  max-latency {l}"))
-                    .unwrap_or_default(),
+                    .unwrap_or_default()
+                    + &match row.fault_total() {
+                        0 => String::new(),
+                        n => format!("  fault-hits {n}"),
+                    },
             );
         }
     }
@@ -416,6 +429,38 @@ fn cmd_timeline(rest: &[String]) -> Result<ExitCode, String> {
             return Ok(ExitCode::FAILURE);
         }
         println!("timeline gate: ok vs `{against_path}`");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_coverage(rest: &[String]) -> Result<ExitCode, String> {
+    use hypernel_analyze::coverage::{diff_atlases, ingest_atlas, render_report};
+
+    let (positional, options) = split_args(rest, &["against"])?;
+    let [atlas_path] = positional.as_slice() else {
+        return Err("usage: coverage <coverage.json> [--against <baseline.json>]".into());
+    };
+    let atlas =
+        ingest_atlas(&load_report(atlas_path)?).map_err(|e| format!("`{atlas_path}`: {e}"))?;
+    print!("{}", render_report(&atlas));
+    if let Some(baseline_path) = opt(&options, "against") {
+        let baseline = ingest_atlas(&load_report(baseline_path)?)
+            .map_err(|e| format!("`{baseline_path}`: {e}"))?;
+        let diff = diff_atlases(&baseline, &atlas);
+        for key in &diff.newly_covered {
+            println!("newly covered: {key}");
+        }
+        for key in &diff.regressions {
+            println!("REGRESSION: `{key}` covered in baseline, uncovered now");
+        }
+        if diff.has_regressions() {
+            eprintln!(
+                "coverage gate: FAIL ({} feature(s) lost vs `{baseline_path}`)",
+                diff.regressions.len()
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("coverage gate: ok vs `{baseline_path}`");
     }
     Ok(ExitCode::SUCCESS)
 }

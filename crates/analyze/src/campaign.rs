@@ -15,6 +15,21 @@ pub const CAMPAIGN_RECORD_KIND: &str = "hypernel-campaign-run";
 /// `kind` tag of a campaign summary artifact.
 pub const CAMPAIGN_SUMMARY_KIND: &str = "hypernel-campaign-summary";
 
+/// The injected-fault counter names, in artifact order (the field
+/// names of a run record's `faults` object).
+pub const FAULT_COUNTERS: [&str; 6] = [
+    "irqs_dropped",
+    "irqs_delayed",
+    "translator_stalls",
+    "snoop_addr_flips",
+    "hypercalls_lost",
+    "bitmap_desyncs",
+];
+
+fn zero_faults() -> Vec<(String, u64)> {
+    FAULT_COUNTERS.iter().map(|n| (n.to_string(), 0)).collect()
+}
+
 /// Per-scenario aggregation of a campaign sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignRow {
@@ -30,6 +45,16 @@ pub struct CampaignRow {
     pub unexpected_violations: u64,
     /// Largest observed write→detection latency in cycles.
     pub max_latency: Option<u64>,
+    /// Injected-fault counters summed over the scenario's runs, in
+    /// artifact order ([`FAULT_COUNTERS`] plus any future names).
+    pub faults: Vec<(String, u64)>,
+}
+
+impl CampaignRow {
+    /// Total fault injections across all counters.
+    pub fn fault_total(&self) -> u64 {
+        self.faults.iter().map(|(_, n)| n).sum()
+    }
 }
 
 fn row_mut<'a>(rows: &'a mut Vec<CampaignRow>, scenario: &str) -> &'a mut CampaignRow {
@@ -43,8 +68,21 @@ fn row_mut<'a>(rows: &'a mut Vec<CampaignRow>, scenario: &str) -> &'a mut Campai
         expected_violations: 0,
         unexpected_violations: 0,
         max_latency: None,
+        faults: zero_faults(),
     });
     rows.last_mut().expect("pushed above")
+}
+
+fn add_faults(into: &mut Vec<(String, u64)>, doc: &Json) {
+    if let Some(Json::Object(fields)) = doc.get("faults") {
+        for (name, value) in fields {
+            let n = value.as_u64().unwrap_or(0);
+            match into.iter_mut().find(|(k, _)| k == name) {
+                Some(slot) => slot.1 += n,
+                None => into.push((name.clone(), n)),
+            }
+        }
+    }
 }
 
 /// Aggregates a `campaign.jsonl` document (one run record per line)
@@ -78,6 +116,7 @@ pub fn ingest_records(text: &str) -> Result<(Vec<CampaignRow>, usize), String> {
         row.runs += 1;
         let passed = matches!(doc.get("passed"), Some(Json::Bool(true)));
         row.passed += u64::from(passed);
+        add_faults(&mut row.faults, &doc);
         if let Some(violations) = doc.get("violations").and_then(Json::as_array) {
             for v in violations {
                 if matches!(v.get("expected"), Some(Json::Bool(true))) {
@@ -141,6 +180,13 @@ pub fn rows_from_summary(doc: &Json) -> Result<Vec<CampaignRow>, String> {
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             max_latency: s.get("max_latency").and_then(Json::as_u64),
+            faults: {
+                let mut faults = zero_faults();
+                add_faults(&mut faults, s);
+                // `add_faults` accumulates on top of the zeros, so a
+                // summary row's absolute counts land unchanged.
+                faults
+            },
         });
     }
     Ok(rows)
@@ -170,6 +216,15 @@ pub fn summary_to_json(rows: &[CampaignRow]) -> Json {
                             ("expected_violations", Json::UInt(r.expected_violations)),
                             ("unexpected_violations", Json::UInt(r.unexpected_violations)),
                             ("max_latency", r.max_latency.map_or(Json::Null, Json::UInt)),
+                            (
+                                "faults",
+                                Json::Object(
+                                    r.faults
+                                        .iter()
+                                        .map(|(name, n)| (name.clone(), Json::UInt(*n)))
+                                        .collect(),
+                                ),
+                            ),
                         ])
                     })
                     .collect(),
@@ -297,6 +352,7 @@ mod tests {
                 expected_violations: 0,
                 unexpected_violations: *unexpected,
                 max_latency: *max_latency,
+                faults: zero_faults(),
             })
             .collect()
     }
@@ -318,6 +374,36 @@ mod tests {
         assert_eq!(rows[0].unexpected_violations, 1);
         assert_eq!(rows[0].max_latency, Some(300));
         assert_eq!(rows[1].runs, 1);
+    }
+
+    #[test]
+    fn ingest_sums_fault_counters_per_scenario() {
+        let with_faults = |seed: u64, dropped: u64| {
+            Json::obj(vec![
+                ("schema", Json::UInt(1)),
+                ("kind", Json::str(CAMPAIGN_RECORD_KIND)),
+                ("scenario", Json::str("faulty")),
+                ("seed", Json::UInt(seed)),
+                (
+                    "faults",
+                    Json::obj(vec![
+                        ("irqs_dropped", Json::UInt(dropped)),
+                        ("irqs_delayed", Json::UInt(1)),
+                    ]),
+                ),
+                ("passed", Json::Bool(true)),
+            ])
+            .to_string()
+        };
+        let text = format!("{}\n{}\n", with_faults(0, 2), with_faults(1, 3));
+        let (rows, _) = ingest_records(&text).expect("ingests");
+        assert_eq!(rows[0].fault_total(), 7);
+        let dropped = rows[0].faults.iter().find(|(k, _)| k == "irqs_dropped");
+        assert_eq!(dropped.map(|(_, n)| *n), Some(5));
+        // Round trip through the summary artifact keeps the counters.
+        let doc = Json::parse(&summary_to_json(&rows).to_string()).expect("valid");
+        let back = rows_from_summary(&doc).expect("summary");
+        assert_eq!(back, rows);
     }
 
     #[test]

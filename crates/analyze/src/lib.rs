@@ -23,6 +23,9 @@
 //!   summaries into dated `BENCH_<date>.json` trajectory artifacts.
 //! * [`audit`] — ingestion of `hypernel-audit` static-audit reports
 //!   with per-invariant finding breakdowns.
+//! * [`coverage`] — coverage-atlas rendering (per-group tables and
+//!   uncovered-feature lists) and the baseline diff the CI coverage
+//!   gate fails on.
 //! * [`timeline`] — rendering and cross-run diffing of windowed
 //!   `metrics.jsonl` time series, including the ones embedded in
 //!   `blackbox.json` flight-recorder dumps.
@@ -34,6 +37,7 @@ pub mod audit;
 pub mod bench;
 pub mod campaign;
 pub mod compare;
+pub mod coverage;
 pub mod forensics;
 pub mod timeline;
 
@@ -42,6 +46,9 @@ pub use audit::{ingest_report, AuditFinding, AuditSummary};
 pub use bench::{read_summaries_dir, trajectory_json, BenchEntry};
 pub use campaign::{diff_campaigns, ingest_records, CampaignFinding, CampaignRow};
 pub use compare::{compare_reports, flatten_metrics, Comparison, MetricDelta};
+pub use coverage::{
+    diff_atlases, ingest_atlas, per_group, render_report, Atlas, CoverageDiff, GroupCoverage,
+};
 pub use forensics::{reconstruct_incidents, Incident, IncidentKind};
 pub use timeline::{
     diff as diff_timelines, ingest as ingest_timeline, render_csv, render_markdown, Timeline,

@@ -4,10 +4,12 @@
 //! hypernel-campaign run --corpus <dir> [--seeds N] [--jobs N]
 //!                       [--out <campaign.jsonl>] [--summary <file>]
 //!                       [--scenario <name>] [--metrics <dir>]
-//!                       [--blackbox <dir>] [--watch]
+//!                       [--blackbox <dir>] [--coverage <file>] [--watch]
 //! hypernel-campaign list --corpus <dir>
 //! hypernel-campaign minimize --corpus <dir> --scenario <name> [--seed N]
 //!                            [--blackbox <file>]
+//! hypernel-campaign explore --corpus <dir> --out <dir> [--seeds N]
+//!                           [--jobs N] [--max-emit M]
 //! hypernel-campaign lint <dir>
 //! hypernel-campaign selftest
 //! ```
@@ -18,6 +20,8 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use hypernel_campaign::coverage::{atlas_json, CoverageMap};
+use hypernel_campaign::explore::{explore, ExploreConfig};
 use hypernel_campaign::record::{summarize, summary_json};
 use hypernel_campaign::scenario::Scenario;
 use hypernel_campaign::sweep::{run_sweep, run_sweep_with, SweepConfig};
@@ -30,16 +34,18 @@ USAGE:
   hypernel-campaign run --corpus <dir> [--seeds N] [--jobs N]
                         [--out <campaign.jsonl>] [--summary <file>]
                         [--scenario <name>] [--metrics <dir>]
-                        [--blackbox <dir>] [--watch]
+                        [--blackbox <dir>] [--coverage <file>] [--watch]
       Sweeps every corpus scenario across seeds 0..N (default 16) on a
       worker pool (default 1 job). Writes one JSON record per run,
       sorted by (scenario, seed) — byte-identical regardless of --jobs.
       --metrics writes each run's windowed time series to
       <dir>/<scenario>-s<seed>.metrics.jsonl; --blackbox writes each
       failing run's flight-recorder dump to
-      <dir>/<scenario>-s<seed>.blackbox.json; --watch prints one live
-      progress line per finished run (arrival order — progress only,
-      the artifacts are unaffected). Exits 1 when any run violates an
+      <dir>/<scenario>-s<seed>.blackbox.json; --coverage merges every
+      run's structural coverage into one canonical coverage.json atlas
+      (byte-identical at any --jobs); --watch prints one live progress
+      line per finished run (arrival order — progress only, the
+      artifacts are unaffected). Exits 1 when any run violates an
       oracle the scenario did not declare.
   hypernel-campaign list --corpus <dir>
       Prints each scenario's name, mode, step count and fault count.
@@ -48,6 +54,14 @@ USAGE:
       Reduces the named scenario's fault schedule to a minimal set of
       single-occurrence faults that still masks detection. --blackbox
       writes the validation run's flight-recorder dump.
+  hypernel-campaign explore --corpus <dir> --out <dir> [--seeds N]
+                            [--jobs N] [--max-emit M]
+      Coverage-guided mutation: sweeps the corpus (seeds 0..N, default
+      2) to learn which (outcome, fault, oracle, mode) tuples it covers,
+      then probes deterministic mutants (mode flips, step swaps, fault
+      substitutions, MBM pressure) and writes every mutant that runs
+      clean, lints clean and reaches a new tuple to <out>/<name>.toml
+      (at most M, default 4). Exits 1 when nothing novel is found.
   hypernel-campaign lint <dir>
       Schema-lints every scenario file in <dir>: keys the loader would
       silently ignore, Hypernel-only knobs on baseline modes, unhittable
@@ -69,6 +83,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "list" => cmd_list(rest),
         "minimize" => cmd_minimize(rest),
+        "explore" => cmd_explore(rest),
         "lint" => cmd_lint(rest),
         "selftest" => cmd_selftest(),
         "help" | "--help" | "-h" => {
@@ -181,6 +196,7 @@ fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
         &rest,
         &[
             "corpus", "seeds", "jobs", "out", "summary", "scenario", "metrics", "blackbox",
+            "coverage",
         ],
     )?;
     let corpus = opt(&options, "corpus").ok_or("`run` needs --corpus <dir>")?;
@@ -254,9 +270,21 @@ fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
         write_or_stdout(Some(path), &summary, "campaign summary")?;
     }
 
+    if let Some(path) = opt(&options, "coverage") {
+        let mut merged = CoverageMap::new();
+        for record in &outcome.records {
+            if let Some(cov) = &record.coverage {
+                merged.merge(cov);
+            }
+        }
+        let atlas = format!("{}\n", atlas_json(&merged, outcome.records.len() as u64));
+        write_or_stdout(Some(path), &atlas, "coverage atlas")?;
+    }
+
     for row in &rows {
+        let faults = row.faults.total();
         eprintln!(
-            "{:<28} runs {:>3}  passed {:>3}  expected-violations {:>3}  unexpected {:>3}{}",
+            "{:<28} runs {:>3}  passed {:>3}  expected-violations {:>3}  unexpected {:>3}{}{}",
             row.scenario,
             row.runs,
             row.passed,
@@ -265,6 +293,11 @@ fn cmd_run(rest: &[String]) -> Result<ExitCode, String> {
             row.max_latency
                 .map(|l| format!("  max-latency {l}"))
                 .unwrap_or_default(),
+            if faults > 0 {
+                format!("  fault-hits {faults}")
+            } else {
+                String::new()
+            },
         );
     }
     for failure in &outcome.failures {
@@ -354,6 +387,42 @@ fn cmd_minimize(rest: &[String]) -> Result<ExitCode, String> {
         }
         Err(e) => Err(e.to_string()),
     }
+}
+
+fn cmd_explore(rest: &[String]) -> Result<ExitCode, String> {
+    let options = split_args(rest, &["corpus", "out", "seeds", "jobs", "max-emit"])?;
+    let corpus = opt(&options, "corpus").ok_or("`explore` needs --corpus <dir>")?;
+    let out_dir = opt(&options, "out").ok_or("`explore` needs --out <dir>")?;
+    let config = ExploreConfig {
+        seeds: opt_num(&options, "seeds", 2)?,
+        jobs: opt_num(&options, "jobs", 1)?,
+        max_emit: opt_num(&options, "max-emit", 4)?,
+    };
+    let scenarios = load_corpus(corpus)?;
+    let outcome = explore(&scenarios, &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "explore: corpus covers {} tuple(s); probed {} candidate(s)",
+        outcome.baseline_tuples, outcome.candidates_tried
+    );
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create `{out_dir}`: {e}"))?;
+    for emitted in &outcome.emitted {
+        let path = Path::new(out_dir).join(format!("{}.toml", emitted.name));
+        std::fs::write(&path, &emitted.toml)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        eprintln!("wrote {}:", path.display());
+        for tuple in &emitted.new_tuples {
+            eprintln!("  + {tuple}");
+        }
+    }
+    if outcome.emitted.is_empty() {
+        eprintln!("explore found nothing novel — the corpus already covers every reachable mutant tuple probed");
+        return Ok(ExitCode::FAILURE);
+    }
+    eprintln!(
+        "explore emitted {} novel scenario(s) to {out_dir}",
+        outcome.emitted.len()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_lint(rest: &[String]) -> Result<ExitCode, String> {

@@ -18,6 +18,7 @@ use hypernel_telemetry::MetricsRecorder;
 use hypernel_workloads::lmbench::{run_op, LmbenchOp};
 
 use crate::blackbox;
+use crate::coverage;
 use crate::oracle;
 use crate::record::{AuditRecord, RunRecord, StepRecord};
 use crate::scenario::Scenario;
@@ -304,6 +305,8 @@ pub fn run_one_full(
         Some(&scenario.mode.to_string()),
     );
 
+    let coverage = coverage::coverage_of_run(&sys, scenario, &steps, &violations, &fault_log);
+
     let blackbox = if passed {
         None
     } else {
@@ -349,6 +352,7 @@ pub fn run_one_full(
         passed,
         metrics: Some(metrics_doc),
         blackbox,
+        coverage: Some(coverage),
     };
     Ok((record, fault_log, sys))
 }

@@ -1,0 +1,377 @@
+//! Coverage-guided scenario exploration: the loop the atlas exists for.
+//!
+//! `explore` sweeps the corpus to learn which
+//! `tuple/<outcome>/<fault>/<oracle>/<mode>` coverage keys the existing
+//! scenarios already reach, then derives deterministic mutants — mode
+//! flips, adjacent step swaps, fault-kind substitutions and additions,
+//! MBM pressure knobs — and keeps only mutants that (a) run clean on
+//! every probe seed, (b) cover at least one tuple the corpus never
+//! reached, and (c) serialize to a lint-clean TOML. Survivors come back
+//! as ready-to-commit scenario sources (`hypernel-campaign explore`
+//! writes them to `--out`).
+//!
+//! There is no randomness anywhere: mutants are generated in a fixed
+//! order from a name-sorted corpus, so the same corpus always yields
+//! the same discoveries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use hypernel::Mode;
+use hypernel_kernel::kernel::MonitorMode;
+use hypernel_machine::{FaultKind, FaultSpec};
+
+use crate::coverage::tuple_keys;
+use crate::engine::run_one;
+use crate::lint::lint_source;
+use crate::record::RunRecord;
+use crate::scenario::{Scenario, StepExpect};
+use crate::sweep::{run_sweep, SweepConfig};
+
+/// Knobs of one exploration pass.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Probe seeds per candidate (`0..seeds`); the baseline corpus
+    /// sweep uses the same count.
+    pub seeds: u64,
+    /// Worker threads for the baseline sweep.
+    pub jobs: usize,
+    /// Stop after emitting this many novel scenarios.
+    pub max_emit: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            seeds: 2,
+            jobs: 1,
+            max_emit: 4,
+        }
+    }
+}
+
+/// One discovered scenario: a mutant that reached tuples the corpus
+/// missed and lints clean.
+#[derive(Debug, Clone)]
+pub struct EmittedScenario {
+    /// Mutant name (`<base>-x<idx>`, also the suggested file stem).
+    pub name: String,
+    /// Ready-to-lint TOML source.
+    pub toml: String,
+    /// The tuple keys this mutant covers that the corpus did not.
+    pub new_tuples: Vec<String>,
+}
+
+/// Result of an exploration pass.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreOutcome {
+    /// Distinct tuple keys the baseline corpus covers.
+    pub baseline_tuples: usize,
+    /// Mutants generated and probed.
+    pub candidates_tried: usize,
+    /// Novel scenarios, in discovery order.
+    pub emitted: Vec<EmittedScenario>,
+}
+
+/// Exploration failed outright (empty corpus).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreError {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Runs one exploration pass over `corpus`. Pure apart from CPU time:
+/// writes nothing, returns the discoveries.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] when the corpus is empty — there is nothing
+/// to mutate from.
+pub fn explore(
+    corpus: &[Scenario],
+    config: &ExploreConfig,
+) -> Result<ExploreOutcome, ExploreError> {
+    if corpus.is_empty() {
+        return Err(ExploreError {
+            message: "explore needs a non-empty corpus to mutate from".to_string(),
+        });
+    }
+    let mut bases: Vec<&Scenario> = corpus.iter().collect();
+    bases.sort_by(|a, b| a.name.cmp(&b.name));
+
+    // Baseline: which tuples does the corpus already reach?
+    let baseline = run_sweep(
+        corpus,
+        SweepConfig {
+            seeds: config.seeds,
+            jobs: config.jobs,
+        },
+    );
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    for record in &baseline.records {
+        if let Some(cov) = &record.coverage {
+            covered.extend(cov.tuples().map(str::to_string));
+        }
+    }
+    let mut outcome = ExploreOutcome {
+        baseline_tuples: covered.len(),
+        ..ExploreOutcome::default()
+    };
+
+    'search: for base in bases {
+        for (idx, mutant) in mutants_of(base).into_iter().enumerate() {
+            if outcome.emitted.len() >= config.max_emit {
+                break 'search;
+            }
+            let mutant = named(mutant, &base.name, idx);
+            outcome.candidates_tried += 1;
+            let Some(new_tuples) = probe(&mutant, config.seeds, &covered) else {
+                continue;
+            };
+            let toml = mutant.to_toml();
+            if !lint_source(Some(&mutant.name), &toml).is_empty() {
+                continue;
+            }
+            // Count everything the survivor reaches as covered so the
+            // next mutant must be novel *beyond* it.
+            covered.extend(all_tuples(&mutant, config.seeds));
+            outcome.emitted.push(EmittedScenario {
+                name: mutant.name.clone(),
+                toml,
+                new_tuples,
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+/// Runs the candidate on every probe seed; returns the tuple keys it
+/// covers beyond `covered`, or `None` if any run fails (engine error or
+/// undeclared oracle violation) or nothing new is reached.
+fn probe(candidate: &Scenario, seeds: u64, covered: &BTreeSet<String>) -> Option<Vec<String>> {
+    let mut fresh: BTreeSet<String> = BTreeSet::new();
+    for seed in 0..seeds {
+        let record = run_one(candidate, seed).ok()?;
+        if !record.passed {
+            return None;
+        }
+        for key in record_tuples(&record, candidate) {
+            if !covered.contains(&key) {
+                fresh.insert(key);
+            }
+        }
+    }
+    if fresh.is_empty() {
+        None
+    } else {
+        Some(fresh.into_iter().collect())
+    }
+}
+
+/// Every tuple key the candidate reaches across the probe seeds
+/// (runs it again; runs are deterministic so this matches `probe`).
+fn all_tuples(candidate: &Scenario, seeds: u64) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for seed in 0..seeds {
+        if let Ok(record) = run_one(candidate, seed) {
+            out.extend(record_tuples(&record, candidate));
+        }
+    }
+    out
+}
+
+fn record_tuples(record: &RunRecord, candidate: &Scenario) -> Vec<String> {
+    match &record.coverage {
+        Some(cov) => cov.tuples().map(str::to_string).collect(),
+        // Coverage is always derived by the engine; recompute from the
+        // record if a caller stripped it.
+        None => tuple_keys(candidate, &record.steps, &record.violations),
+    }
+}
+
+fn named(mut mutant: Scenario, base: &str, idx: usize) -> Scenario {
+    mutant.name = format!("{base}-x{idx:02}");
+    mutant
+}
+
+/// The deterministic mutation schedule for one base scenario, in the
+/// order they are probed: mode flips first (whole uncovered mode
+/// columns), then step-order swaps, fault substitutions/additions, and
+/// MBM pressure knobs.
+fn mutants_of(base: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for mode in [Mode::Hypernel, Mode::KvmGuest, Mode::Native] {
+        if mode != base.mode {
+            out.push(with_mode(base, mode));
+        }
+    }
+    for i in 0..base.steps.len().saturating_sub(1) {
+        let mut m = base.clone();
+        m.steps.swap(i, i + 1);
+        m.description = format!("explore: swap steps {} and {} of {}", i, i + 1, base.name);
+        out.push(m);
+    }
+    let kinds = [
+        FaultKind::DropIrq,
+        FaultKind::DelayIrq,
+        FaultKind::StallTranslator,
+        FaultKind::FlipSnoopAddr,
+        FaultKind::LoseHypercall,
+        FaultKind::DesyncBitmap,
+    ];
+    if base.faults.specs.is_empty() {
+        for kind in kinds {
+            let mut m = base.clone();
+            m.faults = m.faults.with(fault_with_kind(kind, 1, u64::MAX));
+            m.description = format!("explore: {} under a persistent {}", base.name, kind.name());
+            out.push(m);
+        }
+    } else {
+        for (i, spec) in base.faults.specs.iter().enumerate() {
+            for kind in kinds {
+                if kind == spec.kind {
+                    continue;
+                }
+                let mut m = base.clone();
+                m.faults.specs[i] = fault_with_kind(kind, spec.at, spec.count);
+                m.description =
+                    format!("explore: {} with fault {} as {}", base.name, i, kind.name());
+                out.push(m);
+            }
+        }
+    }
+    if base.mode == Mode::Hypernel {
+        let mut fifo = base.clone();
+        fifo.fifo_capacity = Some(4);
+        fifo.description = format!("explore: {} under FIFO pressure", base.name);
+        out.push(fifo);
+        let mut drain = base.clone();
+        drain.drain_budget = Some(1);
+        drain.description = format!("explore: {} under drain pressure", base.name);
+        out.push(drain);
+    }
+    out
+}
+
+/// A fault spec of `kind` at the given schedule, with the kind's
+/// default parameter (mirrors the TOML loader's defaults).
+fn fault_with_kind(kind: FaultKind, at: u64, count: u64) -> FaultSpec {
+    let param = match kind {
+        FaultKind::DelayIrq => 1,
+        FaultKind::FlipSnoopAddr => 12,
+        FaultKind::LoseHypercall => u64::MAX,
+        _ => 0,
+    };
+    FaultSpec {
+        kind,
+        at,
+        count,
+        param,
+    }
+}
+
+/// Re-targets a scenario at another mode, rewriting everything that is
+/// mode-specific: baseline modes lose the hypernel-only knobs and any
+/// detection expectations; a hypernel re-target drops expectations to
+/// `any` (exploration will observe what actually happens).
+fn with_mode(base: &Scenario, mode: Mode) -> Scenario {
+    let mut m = base.clone();
+    m.mode = mode;
+    let mode_name = match mode {
+        Mode::Native => "native",
+        Mode::KvmGuest => "kvm",
+        Mode::Hypernel => "hypernel",
+    };
+    m.description = format!("explore: {} under {}", base.name, mode_name);
+    if mode == Mode::Hypernel {
+        for step in &mut m.steps {
+            step.expect = StepExpect::Any;
+        }
+    } else {
+        m.monitor = MonitorMode::SensitiveFields;
+        m.latency_bound = None;
+        m.fifo_capacity = None;
+        m.drain_budget = None;
+        for step in &mut m.steps {
+            step.expect = match step.expect {
+                StepExpect::Detected | StepExpect::Masked => StepExpect::Undetected,
+                StepExpect::Blocked => StepExpect::Any,
+                other => other,
+            };
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypernel_kernel::AttackStep;
+
+    fn tiny_corpus() -> Vec<Scenario> {
+        vec![
+            Scenario::new("probe-hypernel", Mode::Hypernel)
+                .describe("detected escalation")
+                .background(2)
+                .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Detected),
+            Scenario::new("probe-drop", Mode::Hypernel)
+                .describe("masked escalation under drop-irq")
+                .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Masked)
+                .fault(FaultSpec::drop_irq(1, u64::MAX)),
+        ]
+    }
+
+    #[test]
+    fn explore_discovers_lint_clean_novel_scenarios() {
+        let corpus = tiny_corpus();
+        let outcome = explore(&corpus, &ExploreConfig::default()).expect("explores");
+        assert!(outcome.baseline_tuples > 0);
+        assert!(
+            !outcome.emitted.is_empty(),
+            "tried {} candidates, none novel",
+            outcome.candidates_tried
+        );
+        for e in &outcome.emitted {
+            assert!(
+                lint_source(Some(&e.name), &e.toml).is_empty(),
+                "{} must lint clean",
+                e.name
+            );
+            assert!(!e.new_tuples.is_empty());
+            let parsed = Scenario::from_toml(&e.toml).expect("emitted TOML parses");
+            assert_eq!(parsed.name, e.name);
+        }
+    }
+
+    #[test]
+    fn explore_is_deterministic() {
+        let corpus = tiny_corpus();
+        let config = ExploreConfig {
+            max_emit: 2,
+            ..ExploreConfig::default()
+        };
+        let a = explore(&corpus, &config).expect("explores");
+        let b = explore(&corpus, &config).expect("explores");
+        let names =
+            |o: &ExploreOutcome| o.emitted.iter().map(|e| e.name.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&a), names(&b));
+        assert_eq!(a.candidates_tried, b.candidates_tried);
+        for (x, y) in a.emitted.iter().zip(b.emitted.iter()) {
+            assert_eq!(x.toml, y.toml);
+            assert_eq!(x.new_tuples, y.new_tuples);
+        }
+    }
+
+    #[test]
+    fn explore_rejects_an_empty_corpus() {
+        assert!(explore(&[], &ExploreConfig::default()).is_err());
+    }
+}

@@ -24,6 +24,12 @@
 //!   `blackbox.json` post-mortem dump a failing run leaves behind;
 //! - [`record`] — `campaign.jsonl` records and summary artifacts that
 //!   `hypernel-analyze campaign` consumes;
+//! - [`coverage`] — structural coverage of a run (which model behaviors
+//!   it exercised), merged across a sweep into the `coverage.json`
+//!   atlas `hypernel-analyze coverage` renders and gates on;
+//! - [`explore`] — the coverage-guided mutation loop: corpus mutants
+//!   that reach new `(outcome, fault, oracle, mode)` tuples are emitted
+//!   as ready-to-lint scenario TOMLs;
 //! - [`lint`] — the corpus schema linter (flags keys the lenient
 //!   loader would silently ignore, plus semantic smells);
 //! - [`toml`] — the dependency-free parser for the scenario file
@@ -32,7 +38,9 @@
 #![forbid(unsafe_code)]
 
 pub mod blackbox;
+pub mod coverage;
 pub mod engine;
+pub mod explore;
 pub mod lint;
 pub mod minimize;
 pub mod oracle;
@@ -42,7 +50,12 @@ pub mod sweep;
 pub mod toml;
 
 pub use blackbox::{BLACKBOX_KIND, BLACKBOX_SCHEMA, FLIGHT_RING_CAPACITY};
+pub use coverage::{
+    atlas_json, coverage_of_run, known_features, mode_key, CoverageMap, COVERAGE_KIND,
+    COVERAGE_SCHEMA,
+};
 pub use engine::{boot_system, run_one, run_one_full, run_one_logged, EngineError};
+pub use explore::{explore, EmittedScenario, ExploreConfig, ExploreError, ExploreOutcome};
 pub use lint::{lint_dir, lint_source, LintIssue};
 pub use minimize::{minimize, MinimizeError, MinimizeOutcome};
 pub use oracle::{evaluate, OracleInput};

@@ -12,6 +12,8 @@ use hypernel_mbm::MbmStats;
 use hypernel_telemetry::json::Json;
 use hypernel_telemetry::series::MetricsDoc;
 
+use crate::coverage::CoverageMap;
+
 /// Schema version stamped into every campaign record.
 pub const CAMPAIGN_SCHEMA: u64 = 1;
 
@@ -156,6 +158,10 @@ pub struct RunRecord {
     /// failed. Carried in memory for `--blackbox` export; never part
     /// of the record JSON.
     pub blackbox: Option<String>,
+    /// Structural coverage of the run. Carried in memory for
+    /// `--coverage` atlas merging; never part of the record JSON (the
+    /// atlas is its own artifact).
+    pub coverage: Option<CoverageMap>,
 }
 
 impl RunRecord {
@@ -187,17 +193,7 @@ impl RunRecord {
             fields.push(("mbm", Json::obj(mbm_fields)));
         }
         if let Some(f) = self.faults {
-            fields.push((
-                "faults",
-                Json::obj(vec![
-                    ("irqs_dropped", Json::UInt(f.irqs_dropped)),
-                    ("irqs_delayed", Json::UInt(f.irqs_delayed)),
-                    ("translator_stalls", Json::UInt(f.translator_stalls)),
-                    ("snoop_addr_flips", Json::UInt(f.snoop_addr_flips)),
-                    ("hypercalls_lost", Json::UInt(f.hypercalls_lost)),
-                    ("bitmap_desyncs", Json::UInt(f.bitmap_desyncs)),
-                ]),
-            ));
+            fields.push(("faults", fault_counters_json(&f)));
         }
         if let Some(audit) = self.audit {
             fields.push(("audit", audit.to_json()));
@@ -219,6 +215,18 @@ impl RunRecord {
     }
 }
 
+/// Serializes the per-kind injected-fault counters as one JSON object
+/// — the single source of the artifact field names, shared by run
+/// records and summary rows.
+fn fault_counters_json(f: &FaultStats) -> Json {
+    Json::Object(
+        f.counters()
+            .iter()
+            .map(|(name, n)| (name.to_string(), Json::UInt(*n)))
+            .collect(),
+    )
+}
+
 /// Per-scenario aggregation of a sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioSummary {
@@ -234,6 +242,9 @@ pub struct ScenarioSummary {
     pub unexpected_violations: u64,
     /// Largest observed write→detection latency (cycles).
     pub max_latency: Option<u64>,
+    /// Injected-fault hits summed over the scenario's runs (the
+    /// injector's per-fault counters, surfaced into artifacts).
+    pub faults: FaultStats,
 }
 
 /// Aggregates records (already sorted by scenario) into per-scenario
@@ -249,11 +260,15 @@ pub fn summarize(records: &[RunRecord]) -> Vec<ScenarioSummary> {
                 expected_violations: 0,
                 unexpected_violations: 0,
                 max_latency: None,
+                faults: FaultStats::default(),
             });
         }
         let row = rows.last_mut().expect("pushed above");
         row.runs += 1;
         row.passed += u64::from(r.passed);
+        if let Some(f) = &r.faults {
+            row.faults.add(f);
+        }
         for v in &r.violations {
             if v.expected {
                 row.expected_violations += 1;
@@ -294,6 +309,7 @@ pub fn summary_json(rows: &[ScenarioSummary]) -> Json {
                             ("expected_violations", Json::UInt(r.expected_violations)),
                             ("unexpected_violations", Json::UInt(r.unexpected_violations)),
                             ("max_latency", r.max_latency.map_or(Json::Null, Json::UInt)),
+                            ("faults", fault_counters_json(&r.faults)),
                         ])
                     })
                     .collect(),
@@ -337,6 +353,7 @@ mod tests {
             passed,
             metrics: None,
             blackbox: None,
+            coverage: None,
         }
     }
 
@@ -382,5 +399,29 @@ mod tests {
             doc.get("unexpected_violations").and_then(Json::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn summary_rolls_up_fault_counters() {
+        let mut a = record("a", 1, true);
+        a.faults = Some(FaultStats {
+            irqs_dropped: 2,
+            ..FaultStats::default()
+        });
+        let mut b = record("a", 2, true);
+        b.faults = Some(FaultStats {
+            irqs_dropped: 1,
+            irqs_delayed: 3,
+            ..FaultStats::default()
+        });
+        let rows = summarize(&[a, b]);
+        assert_eq!(rows[0].faults.irqs_dropped, 3);
+        assert_eq!(rows[0].faults.irqs_delayed, 3);
+        let json = summary_json(&rows).to_string();
+        let doc = Json::parse(&json).expect("valid");
+        let scenarios = doc.get("scenarios").and_then(Json::as_array).expect("rows");
+        let faults = scenarios[0].get("faults").expect("faults object");
+        assert_eq!(faults.get("irqs_dropped").and_then(Json::as_u64), Some(3));
+        assert_eq!(faults.get("bitmap_desyncs").and_then(Json::as_u64), Some(0));
     }
 }

@@ -256,6 +256,116 @@ impl Scenario {
         }
         Ok(scenario)
     }
+
+    /// Serializes the scenario back into its TOML form, emitting only
+    /// keys the linter knows, so `explore` mutants land on disk
+    /// ready-to-lint. Inverse of [`Scenario::from_toml`]:
+    /// `from_toml(&s.to_toml())` reproduces `s` (round-trip tested).
+    pub fn to_toml(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "name = {}", toml_str(&self.name));
+        if !self.description.is_empty() {
+            let _ = writeln!(out, "description = {}", toml_str(&self.description));
+        }
+        let mode = match self.mode {
+            Mode::Native => "native",
+            Mode::KvmGuest => "kvm",
+            Mode::Hypernel => "hypernel",
+        };
+        let _ = writeln!(out, "mode = \"{mode}\"");
+        if self.monitor == MonitorMode::WholeObject {
+            let _ = writeln!(out, "monitor = \"whole-object\"");
+        }
+        if self.background_ops > 0 {
+            let _ = writeln!(out, "background-ops = {}", self.background_ops);
+        }
+        if let Some(bound) = self.latency_bound {
+            let _ = writeln!(out, "latency-bound = {bound}");
+        }
+        if let Some(capacity) = self.fifo_capacity {
+            let _ = writeln!(out, "fifo-capacity = {capacity}");
+        }
+        if let Some(budget) = self.drain_budget {
+            let _ = writeln!(out, "drain-budget = {budget}");
+        }
+        if let Some(metrics) = &self.metrics {
+            let _ = writeln!(out, "\n[metrics]");
+            let _ = writeln!(out, "window-cycles = {}", metrics.window_cycles);
+            if let Some(series) = &metrics.series {
+                let items: Vec<String> = series.iter().map(|s| toml_str(s)).collect();
+                let _ = writeln!(out, "series = [{}]", items.join(", "));
+            }
+        }
+        for spec in &self.steps {
+            let _ = writeln!(out, "\n[[step]]");
+            let (kind, params): (&str, Vec<(&str, String)>) = match &spec.step {
+                AttackStep::CredEscalation { pid } => {
+                    ("cred-escalation", vec![("pid", pid.to_string())])
+                }
+                AttackStep::DentryHijack { path, rogue_inode } => (
+                    "dentry-hijack",
+                    vec![
+                        ("path", toml_str(path)),
+                        ("rogue-inode", rogue_inode.to_string()),
+                    ],
+                ),
+                AttackStep::MapSecureRegion { pid } => {
+                    ("map-secure-region", vec![("pid", pid.to_string())])
+                }
+                AttackStep::PtDirectWrite { pid, value } => (
+                    "pt-direct-write",
+                    vec![("pid", pid.to_string()), ("value", value.to_string())],
+                ),
+                AttackStep::TtbrRedirect => ("ttbr-redirect", vec![]),
+                AttackStep::CodeInjection => ("code-injection", vec![]),
+                AttackStep::TextPatch => ("text-patch", vec![]),
+                AttackStep::AtraCred { pid } => ("atra-cred", vec![("pid", pid.to_string())]),
+                AttackStep::AtraDentry { path } => ("atra-dentry", vec![("path", toml_str(path))]),
+                AttackStep::DoubleMapCred { pid } => {
+                    ("double-map-cred", vec![("pid", pid.to_string())])
+                }
+            };
+            let _ = writeln!(out, "kind = \"{kind}\"");
+            for (key, value) in params {
+                let _ = writeln!(out, "{key} = {value}");
+            }
+            let _ = writeln!(out, "expect = \"{}\"", spec.expect.name());
+        }
+        for fault in &self.faults.specs {
+            let _ = writeln!(out, "\n[[fault]]");
+            let _ = writeln!(out, "kind = \"{}\"", fault.kind.name());
+            let _ = writeln!(out, "at = {}", fault.at);
+            if fault.count == u64::MAX {
+                let _ = writeln!(out, "count = -1");
+            } else {
+                let _ = writeln!(out, "count = {}", fault.count);
+            }
+            match fault.kind {
+                FaultKind::DelayIrq => {
+                    let _ = writeln!(out, "steps = {}", fault.param);
+                }
+                FaultKind::FlipSnoopAddr => {
+                    let _ = writeln!(out, "bit = {}", fault.param);
+                }
+                // `call` defaults to "any" (u64::MAX), which has no
+                // literal TOML spelling — omit it to mean the same.
+                FaultKind::LoseHypercall if fault.param != u64::MAX => {
+                    let _ = writeln!(out, "call = {}", fault.param);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Quotes a TOML basic string. The crate's TOML subset has no escape
+/// sequences (the parser rejects embedded quotes outright), so any
+/// scenario that *parsed* serializes cleanly; an embedded `"` from a
+/// Rust-built scenario is replaced to keep the output parseable.
+fn toml_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "'"))
 }
 
 fn parse_metrics(t: &TomlTable) -> Result<MetricsSpec, ScenarioError> {
@@ -468,6 +578,46 @@ mod tests {
             let text = format!("name = \"x\"\n[[step]]\nkind = \"text-patch\"\n{bad}");
             let e = Scenario::from_toml(&text).unwrap_err();
             assert!(e.message.contains("[metrics]"), "{e}");
+        }
+    }
+
+    #[test]
+    fn to_toml_round_trips() {
+        let full = Scenario::new("round-trip", Mode::Hypernel)
+            .describe("every knob at once")
+            .background(5)
+            .latency_bound(250_000)
+            .fifo_capacity(4)
+            .drain_budget(1)
+            .step(AttackStep::CredEscalation { pid: 1 }, StepExpect::Detected)
+            .step(
+                AttackStep::DentryHijack {
+                    path: "/bin/sh".to_string(),
+                    rogue_inode: 0xBAD,
+                },
+                StepExpect::Masked,
+            )
+            .step(AttackStep::TtbrRedirect, StepExpect::Blocked)
+            .fault(FaultSpec::delay_irq(2, u64::MAX, 7))
+            .fault(FaultSpec::lose_hypercall(1, 1, u64::MAX))
+            .metrics(MetricsSpec {
+                window_cycles: 20_000,
+                series: Some(vec!["hypercalls".to_string()]),
+            });
+        let reparsed = Scenario::from_toml(&full.to_toml()).expect("round-trips");
+        assert_eq!(reparsed, full);
+
+        // Every shipped corpus scenario must survive the round trip too.
+        for entry in std::fs::read_dir("../../corpus").expect("corpus dir") {
+            let path = entry.expect("entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+                continue;
+            }
+            let source = std::fs::read_to_string(&path).expect("readable");
+            let loaded = Scenario::from_toml(&source).expect("corpus parses");
+            let again = Scenario::from_toml(&loaded.to_toml())
+                .unwrap_or_else(|e| panic!("{} re-parses: {e}", path.display()));
+            assert_eq!(again, loaded, "{} round-trips", path.display());
         }
     }
 

@@ -76,6 +76,10 @@ OPTIONS:
                                    sanitizer: every store is checked
                                    against the per-page tag policy, with
                                    verdicts in the audit report
+    --strict-telemetry             fail (exit nonzero) if the telemetry
+                                   ring dropped any event, instead of
+                                   only warning; implies telemetry is
+                                   enabled
 ";
 
 fn parse_mode(s: &str) -> Result<Mode, String> {
@@ -121,12 +125,17 @@ struct Options {
     audit: bool,
     audit_every: Option<u64>,
     sanitize: bool,
+    strict_telemetry: bool,
 }
 
 impl Options {
     /// Whether any flag needs the telemetry pipeline installed.
     fn wants_telemetry(&self) -> bool {
-        self.trace_out.is_some() || self.histograms || self.report_json.is_some() || self.forensics
+        self.trace_out.is_some()
+            || self.histograms
+            || self.report_json.is_some()
+            || self.forensics
+            || self.strict_telemetry
     }
 }
 
@@ -161,6 +170,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--forensics" => opts.forensics = true,
             "--audit" => opts.audit = true,
             "--sanitize" => opts.sanitize = true,
+            "--strict-telemetry" => opts.strict_telemetry = true,
             other if other.starts_with("--audit=") => {
                 let n: u64 = other["--audit=".len()..]
                     .parse()
@@ -349,6 +359,12 @@ fn export_telemetry(sys: &System, opts: &Options) -> Result<(), String> {
     // every trace-derived view, so say so once, for all of them.
     let dropped = sys.telemetry_dropped().unwrap_or(0);
     if dropped > 0 && opts.wants_telemetry() {
+        if opts.strict_telemetry {
+            return Err(format!(
+                "strict telemetry: ring full, {dropped} event(s) dropped; \
+                 traces and reports would understate the run"
+            ));
+        }
         eprintln!(
             "warning: telemetry ring full, {dropped} oldest event(s) dropped; \
              traces and reports understate the run"

@@ -18,7 +18,7 @@
 //!   maintenance + non-cacheable remapping of monitored pages, and MBM
 //!   event dispatch — §5.3, Fig. 4.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use hypernel_kernel::abi::Hypercall;
 use hypernel_kernel::layout;
@@ -65,6 +65,49 @@ pub mod codes {
     pub const NO_STAGE2: u32 = 0x500E;
     /// The kernel image (text) is immutable after LOCK.
     pub const TEXT_IMMUTABLE: u32 = 0x500F;
+
+    /// Every violation code, in numeric order — the rule universe for
+    /// coverage accounting.
+    pub const ALL: &[u32] = &[
+        UNKNOWN_HYPERCALL,
+        NOT_A_TABLE,
+        SECURE_MAPPING,
+        WXORX,
+        LINEAR_IDENTITY,
+        WRITABLE_TABLE,
+        BAD_TABLE_REGISTRATION,
+        ROGUE_ROOT,
+        FROZEN_SYSREG,
+        BAD_MONITOR_REQUEST,
+        BAD_EMULATED_WRITE,
+        MONITORED_CACHEABLE,
+        BAD_PHASE,
+        NO_STAGE2,
+        TEXT_IMMUTABLE,
+    ];
+
+    /// Stable kebab-case name of a violation code, used as the
+    /// `hypersec/rule/<name>` coverage key and in reports.
+    pub fn name(code: u32) -> &'static str {
+        match code {
+            UNKNOWN_HYPERCALL => "unknown-hypercall",
+            NOT_A_TABLE => "not-a-table",
+            SECURE_MAPPING => "secure-mapping",
+            WXORX => "wxorx",
+            LINEAR_IDENTITY => "linear-identity",
+            WRITABLE_TABLE => "writable-table",
+            BAD_TABLE_REGISTRATION => "bad-table-registration",
+            ROGUE_ROOT => "rogue-root",
+            FROZEN_SYSREG => "frozen-sysreg",
+            BAD_MONITOR_REQUEST => "bad-monitor-request",
+            BAD_EMULATED_WRITE => "bad-emulated-write",
+            MONITORED_CACHEABLE => "monitored-cacheable",
+            BAD_PHASE => "bad-phase",
+            NO_STAGE2 => "no-stage2",
+            TEXT_IMMUTABLE => "text-immutable",
+            _ => "unknown-code",
+        }
+    }
 }
 
 /// Which translation root family a table belongs to.
@@ -230,6 +273,11 @@ pub struct Hypersec {
     apps: Vec<Box<dyn SecurityApp>>,
     detections: Vec<Detection>,
     stats: HypersecStats,
+    /// Per-rule denial counters, keyed by violation code: how many
+    /// times each policy rule fired at an EL2 boundary (hypercall,
+    /// trapped sysreg, stage-2 stub). Model-visible — feeds the
+    /// campaign coverage atlas.
+    rule_hits: BTreeMap<u32, u64>,
     /// Test-only miswire switch: skips the W⊕X clause in both the
     /// incremental verifier and the runtime auditor, emulating a
     /// verifier bug the *static* auditor must still catch (the
@@ -324,6 +372,7 @@ impl Hypersec {
             apps: Vec::new(),
             detections: Vec::new(),
             stats: HypersecStats::default(),
+            rule_hits: BTreeMap::new(),
             wx_check_disabled: false,
         }
     }
@@ -341,6 +390,17 @@ impl Hypersec {
     /// Whether boot has been finalized by `LOCK`.
     pub fn is_locked(&self) -> bool {
         self.locked
+    }
+
+    /// Per-rule denial counts as `(code, hits)` pairs in code order:
+    /// which policy rules have fired since install. Codes that never
+    /// fired are absent.
+    pub fn rule_hits(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.rule_hits.iter().map(|(code, n)| (*code, *n))
+    }
+
+    fn note_rule(&mut self, code: u32) {
+        *self.rule_hits.entry(code).or_insert(0) += 1;
     }
 
     /// Detections raised so far.
@@ -1184,8 +1244,13 @@ impl Hyp for Hypersec {
         args: [u64; 4],
     ) -> Result<u64, PolicyViolation> {
         self.stats.hypercalls += 1;
-        let request = Hypercall::decode(call, args)
-            .map_err(|e| Self::deny(codes::UNKNOWN_HYPERCALL, e.to_string()))?;
+        let request = match Hypercall::decode(call, args) {
+            Ok(request) => request,
+            Err(e) => {
+                self.note_rule(codes::UNKNOWN_HYPERCALL);
+                return Err(Self::deny(codes::UNKNOWN_HYPERCALL, e.to_string()));
+            }
+        };
         let result = match request {
             Hypercall::PtWrite {
                 table,
@@ -1209,8 +1274,11 @@ impl Hyp for Hypersec {
             Hypercall::IrqNotify => self.handle_irq_notify(machine),
             Hypercall::EmulateWrite { va, value } => self.handle_emulate_write(machine, va, value),
         };
-        if result.is_err() && matches!(request, Hypercall::PtWrite { .. }) {
-            self.stats.pt_denials += 1;
+        if let Err(v) = &result {
+            self.note_rule(v.code);
+            if matches!(request, Hypercall::PtWrite { .. }) {
+                self.stats.pt_denials += 1;
+            }
         }
         result
     }
@@ -1277,6 +1345,7 @@ impl Hyp for Hypersec {
             }
             Err(v) => {
                 self.stats.sysreg_denied += 1;
+                self.note_rule(v.code);
                 Err(v)
             }
         }
@@ -1290,6 +1359,7 @@ impl Hyp for Hypersec {
         _value: Option<u64>,
     ) -> Result<Stage2Outcome, PolicyViolation> {
         // Hypernel's whole point: stage 2 is never enabled.
+        self.note_rule(codes::NO_STAGE2);
         Err(Self::deny(
             codes::NO_STAGE2,
             format!("impossible stage-2 {kind} fault at {ipa}"),

@@ -172,6 +172,21 @@ pub struct KernelStats {
     pub monitor_registrations: u64,
 }
 
+impl KernelStats {
+    /// Syscall-family counters: the families with dedicated counters
+    /// plus the residual `other` bucket (stat/signal/mmap traffic and
+    /// everything else), summing to `syscalls`.
+    pub fn syscall_families(&self) -> [(&'static str, u64); 4] {
+        let dedicated = self.forks + self.execs + self.exits;
+        [
+            ("fork", self.forks),
+            ("exec", self.execs),
+            ("exit", self.exits),
+            ("other", self.syscalls.saturating_sub(dedicated)),
+        ]
+    }
+}
+
 /// Errors surfaced by kernel operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KernelError {

@@ -219,6 +219,30 @@ impl FaultStats {
     pub fn detection_threatening(&self) -> u64 {
         self.total() - self.irqs_delayed
     }
+
+    /// `(field, count)` pairs for every counter, in declaration order.
+    /// The names are the artifact field names — campaign records and
+    /// summaries serialize through this one list.
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("irqs_dropped", self.irqs_dropped),
+            ("irqs_delayed", self.irqs_delayed),
+            ("translator_stalls", self.translator_stalls),
+            ("snoop_addr_flips", self.snoop_addr_flips),
+            ("hypercalls_lost", self.hypercalls_lost),
+            ("bitmap_desyncs", self.bitmap_desyncs),
+        ]
+    }
+
+    /// Adds every counter from `other` into `self` (summary rollups).
+    pub fn add(&mut self, other: &FaultStats) {
+        self.irqs_dropped += other.irqs_dropped;
+        self.irqs_delayed += other.irqs_delayed;
+        self.translator_stalls += other.translator_stalls;
+        self.snoop_addr_flips += other.snoop_addr_flips;
+        self.hypercalls_lost += other.hypercalls_lost;
+        self.bitmap_desyncs += other.bitmap_desyncs;
+    }
 }
 
 /// One recorded injection, for post-run attribution.

@@ -393,6 +393,25 @@ impl Mbm {
         self.fifo.high_watermark()
     }
 
+    /// Coarse occupancy bucket of the FIFO's high watermark relative to
+    /// its configured capacity: `empty`, `low` (under half), `high`
+    /// (half or more), or `full` (capacity reached). Derived from
+    /// model-visible state only, so coverage keys built on it are
+    /// fastpath-invariant.
+    pub fn fifo_occupancy_bucket(&self) -> &'static str {
+        let capacity = self.config.fifo_capacity.max(1);
+        let peak = self.fifo_high_watermark();
+        if peak == 0 {
+            "empty"
+        } else if peak >= capacity {
+            "full"
+        } else if peak * 2 >= capacity {
+            "high"
+        } else {
+            "low"
+        }
+    }
+
     fn capture(&mut self, write: SnoopedWrite, cycles: u64) {
         self.stats.captured += 1;
         if self.fifo.push(write) {

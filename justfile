@@ -145,6 +145,38 @@ campaign-smoke:
         --corpus {{justfile_directory()}}/corpus \
         --scenario fault-drop-irq --seed 0
 
+# The CI coverage gate: an 8-seed corpus sweep merged into the coverage
+# atlas, rendered and diffed against the committed baseline (any feature
+# covered there but not here exits nonzero), then the explore smoke
+# (must emit at least one lint-clean novel scenario).
+coverage-smoke:
+    rm -rf {{justfile_directory()}}/target/coverage
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus \
+        --seeds 8 --jobs 4 \
+        --coverage {{justfile_directory()}}/target/coverage/coverage.json \
+        > /dev/null
+    cargo run -q --release -p hypernel-analyze -- coverage \
+        {{justfile_directory()}}/target/coverage/coverage.json \
+        --against {{justfile_directory()}}/benchmarks/coverage-baseline.json
+    cargo run -q --release -p hypernel-campaign -- explore \
+        --corpus {{justfile_directory()}}/corpus \
+        --out {{justfile_directory()}}/target/coverage/novel
+    cargo run -q --release -p hypernel-campaign -- lint \
+        {{justfile_directory()}}/target/coverage/novel
+
+# Regenerate benchmarks/coverage-baseline.json after intentionally
+# extending coverage (new scenario or new instrumentation). Must use the
+# same seeds/jobs as `coverage-smoke` — the atlas is seed-range
+# dependent but jobs-independent.
+coverage-baseline:
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus \
+        --seeds 8 --jobs 4 \
+        --coverage {{justfile_directory()}}/benchmarks/coverage-baseline.json \
+        > /dev/null
+    @echo "wrote benchmarks/coverage-baseline.json — review and commit"
+
 # The CI flight-recorder gate: the deliberately broken desync scenario
 # must FAIL its sweep (hence the `!`), dump a blackbox.json, and that
 # dump must render through `hypernel-analyze timeline`. Also diffs the

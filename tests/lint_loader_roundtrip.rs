@@ -1,0 +1,160 @@
+//! Lint/loader round-trip: the scenario TOML loader is deliberately
+//! lenient (unknown keys are ignored so old corpora keep loading), and
+//! `hypernel-campaign lint` exists to close that gap. These tests pin
+//! the contract from both sides:
+//!
+//! * every key the loader silently ignores — at the top level, in
+//!   `[metrics]`, in a `[[step]]`, in a `[[fault]]` — is flagged by
+//!   `lint_source`, so a typo can never ship silently;
+//! * every key the linter whitelists is actually honored by the loader
+//!   (a fully-keyed scenario loads, lints clean, and `to_toml`
+//!   round-trips it).
+
+use hypernel_campaign::{lint_source, Scenario};
+
+/// A scenario body exercising every whitelisted key for one step kind
+/// and one fault kind, with `{top}`, `{metrics}`, `{step}` and
+/// `{fault}` injection points for bogus keys.
+fn source(top: &str, metrics: &str, step: &str, fault: &str) -> String {
+    format!(
+        r#"
+name = "demo"
+description = "round-trip probe"
+mode = "hypernel"
+monitor = "whole-object"
+background-ops = 2
+latency-bound = 60000
+fifo-capacity = 8
+drain-budget = 2
+{top}
+
+[metrics]
+window-cycles = 50000
+{metrics}
+
+[[step]]
+kind = "dentry-hijack"
+path = "/bin/login"
+rogue-inode = 4919
+expect = "detected"
+{step}
+
+[[fault]]
+kind = "delay-irq"
+at = 1
+count = 2
+steps = 3
+{fault}
+"#
+    )
+}
+
+/// The loader accepts the source (leniency) while the linter flags
+/// exactly the injected key.
+fn assert_ignored_but_flagged(source: &str, key: &str) {
+    let scenario = Scenario::from_toml(source).expect("lenient loader still loads");
+    // Ignored means ignored: the parsed scenario is identical to the
+    // clean one.
+    let clean = Scenario::from_toml(&self::source("", "", "", "")).expect("clean loads");
+    assert_eq!(scenario, clean, "`{key}` leaked into the parsed scenario");
+    let issues = lint_source(Some("demo"), source);
+    assert!(
+        issues.iter().any(|m| m.contains(key)),
+        "lint missed ignored key `{key}`; issues: {issues:?}"
+    );
+}
+
+#[test]
+fn every_loader_ignored_key_is_flagged_by_lint() {
+    assert_ignored_but_flagged(&source("latency_bound = 1", "", "", ""), "latency_bound");
+    assert_ignored_but_flagged(&source("", "window_cycles = 9", "", ""), "window_cycles");
+    assert_ignored_but_flagged(&source("", "", "pidd = 7", ""), "pidd");
+    assert_ignored_but_flagged(&source("", "", "", "stepss = 9"), "stepss");
+    // Keys that belong to a *different* kind are just as ignored: a
+    // dentry-hijack step has no `pid`, a delay-irq fault has no `bit`.
+    assert_ignored_but_flagged(&source("", "", "pid = 7", ""), "pid");
+    assert_ignored_but_flagged(&source("", "", "", "bit = 3"), "bit");
+}
+
+#[test]
+fn unknown_sections_are_flagged_too() {
+    let with_table = format!("{}\n[telemetry]\nring = 4096\n", source("", "", "", ""));
+    Scenario::from_toml(&with_table).expect("lenient loader still loads");
+    let issues = lint_source(Some("demo"), &with_table);
+    assert!(
+        issues.iter().any(|m| m.contains("telemetry")),
+        "lint missed unknown section: {issues:?}"
+    );
+    let with_array = format!("{}\n[[probe]]\nkind = \"x\"\n", source("", "", "", ""));
+    Scenario::from_toml(&with_array).expect("lenient loader still loads");
+    let issues = lint_source(Some("demo"), &with_array);
+    assert!(
+        issues.iter().any(|m| m.contains("probe")),
+        "lint missed unknown section: {issues:?}"
+    );
+}
+
+/// The complementary direction: everything the linter whitelists is a
+/// key the loader honors, for every step and fault kind.
+#[test]
+fn every_whitelisted_key_is_honored_by_the_loader() {
+    let clean = source("", "", "", "");
+    assert_eq!(lint_source(Some("demo"), &clean), Vec::<String>::new());
+    let scenario = Scenario::from_toml(&clean).expect("loads");
+    // Honored means present after a serialize/parse round-trip.
+    let reparsed = Scenario::from_toml(&scenario.to_toml()).expect("round-trip loads");
+    assert_eq!(scenario, reparsed);
+
+    let steps = [
+        ("cred-escalation", "pid = 2"),
+        ("map-secure-region", "pid = 2"),
+        ("atra-cred", "pid = 2"),
+        ("double-map-cred", "pid = 2"),
+        ("dentry-hijack", "path = \"/sbin/init\"\nrogue-inode = 7"),
+        ("pt-direct-write", "pid = 2\nvalue = 13"),
+        ("atra-dentry", "path = \"/sbin/init\""),
+        ("ttbr-redirect", ""),
+        ("code-injection", ""),
+        ("text-patch", ""),
+    ];
+    let faults = [
+        ("delay-irq", "steps = 2"),
+        ("flip-snoop-addr", "bit = 5"),
+        ("lose-hypercall", "call = 3"),
+        ("drop-irq", ""),
+        ("stall-translator", ""),
+        ("desync-bitmap", ""),
+    ];
+    for (step_kind, step_params) in steps {
+        for (fault_kind, fault_params) in faults {
+            let src = format!(
+                r#"
+name = "demo"
+mode = "hypernel"
+
+[[step]]
+kind = "{step_kind}"
+{step_params}
+expect = "any"
+
+[[fault]]
+kind = "{fault_kind}"
+at = 1
+count = 1
+{fault_params}
+"#
+            );
+            let issues = lint_source(Some("demo"), &src);
+            assert_eq!(
+                issues,
+                Vec::<String>::new(),
+                "{step_kind}/{fault_kind} should lint clean"
+            );
+            let scenario = Scenario::from_toml(&src)
+                .unwrap_or_else(|e| panic!("{step_kind}/{fault_kind} should load: {e}"));
+            let reparsed = Scenario::from_toml(&scenario.to_toml())
+                .unwrap_or_else(|e| panic!("{step_kind}/{fault_kind} round-trip: {e}"));
+            assert_eq!(scenario, reparsed, "{step_kind}/{fault_kind}");
+        }
+    }
+}
