@@ -24,6 +24,9 @@
 //!   and `hypersec/verdict/*` — allowed/denied counts per boundary;
 //! - `kernel/syscall/<family>`, `kernel/event/*`,
 //!   `kernel/irq-service/*`, `kernel/attack/<step>/<outcome>`;
+//! - `compose/*` — composed multi-domain systems: domains spawned by
+//!   role, channel/region lowering, legitimate channel traffic, and
+//!   the derived/merged/issued watch-set spans;
 //! - `oracle/<name>/{expected,unexpected}` (or `oracle/none`);
 //! - `tuple/<outcome>/<fault>/<oracle>/<mode>` — the cross product the
 //!   `explore` loop hunts for. The fault dimension is the *declared*
@@ -56,12 +59,15 @@ pub const COVERAGE_KIND: &str = "hypernel-coverage-atlas";
 pub const STEP_KINDS: &[&str] = &[
     "atra-cred",
     "atra-dentry",
+    "channel-spoof",
     "code-injection",
     "cred-escalation",
+    "cross-domain-cred-theft",
     "dentry-hijack",
     "double-map-cred",
     "map-secure-region",
     "pt-direct-write",
+    "shared-region-toctou",
     "text-patch",
     "ttbr-redirect",
 ];
@@ -290,6 +296,19 @@ pub fn coverage_of_run(
         kernel.monitor_registrations,
     );
 
+    let compose = sys.kernel().compose_stats();
+    cov.record_n("compose/domain/server", compose.server_domains);
+    cov.record_n("compose/domain/client", compose.client_domains);
+    cov.record_n("compose/domain/task", compose.domain_tasks);
+    cov.record_n("compose/channel/created", compose.channels_created);
+    cov.record_n("compose/channel/message", compose.channel_messages);
+    cov.record_n("compose/region/mapped", compose.regions_mapped);
+    cov.record_n("compose/region/protected", compose.protected_regions);
+    cov.record_n("compose/region/shared-mapping", compose.shared_mappings);
+    cov.record_n("compose/watch/derived-span", compose.watch_spans_derived);
+    cov.record_n("compose/watch/merged-span", compose.watch_spans_merged);
+    cov.record_n("compose/watch/batched-call", compose.watch_calls_issued);
+
     for step in steps {
         cov.record(format!(
             "kernel/attack/{}/{}",
@@ -368,6 +387,18 @@ pub fn known_features() -> Vec<String> {
     }
     for k in ["forwarded", "emulated-write", "monitor-registration"] {
         out.insert(format!("kernel/irq-service/{k}"));
+    }
+    for k in ["server", "client", "task"] {
+        out.insert(format!("compose/domain/{k}"));
+    }
+    for k in ["created", "message"] {
+        out.insert(format!("compose/channel/{k}"));
+    }
+    for k in ["mapped", "protected", "shared-mapping"] {
+        out.insert(format!("compose/region/{k}"));
+    }
+    for k in ["derived-span", "merged-span", "batched-call"] {
+        out.insert(format!("compose/watch/{k}"));
     }
     for step in STEP_KINDS {
         for outcome in OUTCOMES {

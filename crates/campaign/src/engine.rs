@@ -56,8 +56,9 @@ impl SplitMix64 {
 }
 
 /// FNV-1a, used to fold the scenario name into the seed so equal seeds
-/// still produce distinct interleavings across scenarios.
-fn fnv1a(text: &str) -> u64 {
+/// still produce distinct interleavings across scenarios (and by
+/// `explore` as the stable mutant-id suffix).
+pub(crate) fn fnv1a(text: &str) -> u64 {
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     for b in text.as_bytes() {
         hash ^= u64::from(*b);
@@ -132,6 +133,14 @@ pub fn boot_system(scenario: &Scenario) -> Result<System, EngineError> {
         kernel
             .arm_monitor_hooks(machine, hyp, MonitorHooks { mode: monitor })
             .map_err(EngineError::from)?;
+    }
+    // Lower the composed system description (if any) after the hooks
+    // are armed, so the derived watch set registers under Hypernel —
+    // and runs identically-unwatched under the baseline modes. Still
+    // seed-independent: the lowering is a pure function of the doc.
+    if let Some(doc) = &scenario.compose {
+        let (kernel, machine, hyp) = sys.parts();
+        hypernel_compose::apply(doc, kernel, machine, hyp).map_err(EngineError::from)?;
     }
     Ok(sys)
 }

@@ -54,7 +54,12 @@ impl Default for ExploreConfig {
 /// missed and lints clean.
 #[derive(Debug, Clone)]
 pub struct EmittedScenario {
-    /// Mutant name (`<base>-x<idx>`, also the suggested file stem).
+    /// Mutant name (`<base>-x<id>` where `<id>` is a stable hash of
+    /// the mutant's own TOML; also the suggested file stem). The id
+    /// depends only on the mutant's content — never on its position in
+    /// the mutation schedule — so re-running explore over a grown
+    /// corpus renames nothing, and two distinct novel mutants of the
+    /// same base scenario can never overwrite each other on disk.
     pub name: String,
     /// Ready-to-lint TOML source.
     pub toml: String,
@@ -127,11 +132,11 @@ pub fn explore(
     };
 
     'search: for base in bases {
-        for (idx, mutant) in mutants_of(base).into_iter().enumerate() {
+        for mutant in mutants_of(base) {
             if outcome.emitted.len() >= config.max_emit {
                 break 'search;
             }
-            let mutant = named(mutant, &base.name, idx);
+            let mutant = named(mutant, &base.name);
             outcome.candidates_tried += 1;
             let Some(new_tuples) = probe(&mutant, config.seeds, &covered) else {
                 continue;
@@ -197,8 +202,14 @@ fn record_tuples(record: &RunRecord, candidate: &Scenario) -> Vec<String> {
     }
 }
 
-fn named(mut mutant: Scenario, base: &str, idx: usize) -> Scenario {
-    mutant.name = format!("{base}-x{idx:02}");
+/// Names a mutant with a stable content-derived id: FNV-1a of the
+/// mutant's serialized form (still carrying the base name, so equal
+/// mutations of different bases differ). Schedule position never
+/// enters the name — reordering or extending the mutation schedule
+/// cannot rename an existing discovery or collide two of them.
+fn named(mut mutant: Scenario, base: &str) -> Scenario {
+    let id = crate::engine::fnv1a(&mutant.to_toml()) & 0xFFFF_FFFF;
+    mutant.name = format!("{base}-x{id:08x}");
     mutant
 }
 
@@ -373,5 +384,27 @@ mod tests {
     #[test]
     fn explore_rejects_an_empty_corpus() {
         assert!(explore(&[], &ExploreConfig::default()).is_err());
+    }
+
+    #[test]
+    fn mutant_names_are_stable_content_hashes() {
+        let base = tiny_corpus().remove(1);
+        let mutants = mutants_of(&base);
+        assert!(mutants.len() > 2);
+        let name_of = |m: &Scenario| named(m.clone(), &base.name).name;
+        let names: Vec<String> = mutants.iter().map(name_of).collect();
+        let unique: BTreeSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "no two mutants share a name");
+        // Position independence: the id survives schedule reordering,
+        // so growing the mutation schedule can never rename or clobber
+        // an earlier discovery.
+        let mut reversed: Vec<String> = mutants.iter().rev().map(name_of).collect();
+        reversed.reverse();
+        assert_eq!(reversed, names);
+        for name in &names {
+            let suffix = name.rsplit("-x").next().expect("suffix");
+            assert_eq!(suffix.len(), 8, "`{name}` must end in an 8-hex-digit id");
+            assert!(suffix.chars().all(|c| c.is_ascii_hexdigit()));
+        }
     }
 }

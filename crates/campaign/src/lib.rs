@@ -33,7 +33,14 @@
 //! - [`lint`] — the corpus schema linter (flags keys the lenient
 //!   loader would silently ignore, plus semantic smells);
 //! - [`toml`] — the dependency-free parser for the scenario file
-//!   subset.
+//!   subset (re-exported from `hypernel-compose`, which shares the
+//!   same subset for system descriptions).
+//!
+//! Scenarios may also embed a `hypernel-compose` system description
+//! (`[compose]` / `[[domain]]` / `[[channel]]` / `[[region]]`): the
+//! engine lowers it right after boot, before any attack step runs, so
+//! composed multi-domain systems flow through the same deterministic
+//! `(scenario, seed)` pipeline.
 
 #![forbid(unsafe_code)]
 
@@ -47,7 +54,8 @@ pub mod oracle;
 pub mod record;
 pub mod scenario;
 pub mod sweep;
-pub mod toml;
+
+pub use hypernel_compose::toml;
 
 pub use blackbox::{BLACKBOX_KIND, BLACKBOX_SCHEMA, FLIGHT_RING_CAPACITY};
 pub use coverage::{

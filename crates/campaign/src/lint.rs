@@ -10,7 +10,11 @@
 //! smells — a `latency-bound` that can never be checked, Hypernel-only
 //! pressure knobs on baseline modes, a `masked` step with nothing
 //! declared that could mask it, and scenario names that drift from
-//! their file stems (the sweep artifact is keyed by name).
+//! their file stems (the sweep artifact is keyed by name). Compose
+//! sections get the same treatment: unknown keys in `[compose]` /
+//! `[[domain]]` / `[[channel]]` / `[[region]]`, dangling channel
+//! endpoints, overlapping shared regions, and attack steps that target
+//! compose entities the description never declares.
 
 use std::path::Path;
 
@@ -36,6 +40,18 @@ const HYPERNEL_ONLY_KEYS: &[&str] = &["monitor", "latency-bound", "fifo-capacity
 /// Keys the optional `[metrics]` section consumes.
 const METRICS_KEYS: &[&str] = &["window-cycles", "series"];
 
+/// Keys the optional `[compose]` section consumes.
+const COMPOSE_KEYS: &[&str] = &["watch"];
+
+/// Keys every `[[domain]]` may carry.
+const DOMAIN_KEYS: &[&str] = &["name", "role", "priority", "tasks"];
+
+/// Keys every `[[channel]]` may carry.
+const CHANNEL_KEYS: &[&str] = &["name", "from", "to", "capacity"];
+
+/// Keys every `[[region]]` may carry.
+const REGION_KEYS: &[&str] = &["name", "owner", "share", "pages", "protect", "va"];
+
 /// Keys every `[[step]]` may carry.
 const STEP_COMMON_KEYS: &[&str] = &["kind", "expect"];
 
@@ -49,6 +65,9 @@ fn step_extra_keys(kind: &str) -> Option<&'static [&'static str]> {
         "dentry-hijack" => &["path", "rogue-inode"],
         "pt-direct-write" => &["pid", "value"],
         "atra-dentry" => &["path"],
+        "cross-domain-cred-theft" => &["attacker", "victim"],
+        "shared-region-toctou" => &["region"],
+        "channel-spoof" => &["channel"],
         "ttbr-redirect" | "code-injection" | "text-patch" => &[],
         _ => return None,
     })
@@ -101,13 +120,28 @@ pub fn lint_source(stem: Option<&str>, source: &str) -> Vec<String> {
             unknown_keys(t, METRICS_KEYS, &[], "[metrics]", &mut out);
             continue;
         }
+        if name == "compose" {
+            unknown_keys(t, COMPOSE_KEYS, &[], "[compose]", &mut out);
+            continue;
+        }
         out.push(format!(
-            "top level: unknown section `[{name}]` (only `[metrics]`, `[[step]]` and `[[fault]]` exist)"
+            "top level: unknown section `[{name}]` (only `[metrics]`, `[compose]`, `[[step]]`, \
+             `[[fault]]`, `[[domain]]`, `[[channel]]` and `[[region]]` exist)"
         ));
     }
-    for (name, _) in &doc.arrays {
-        if name != "step" && name != "fault" {
-            out.push(format!("top level: unknown section `[[{name}]]`"));
+    for (name, tables) in &doc.arrays {
+        let keys = match name.as_str() {
+            "step" | "fault" => continue, // handled per-kind below
+            "domain" => DOMAIN_KEYS,
+            "channel" => CHANNEL_KEYS,
+            "region" => REGION_KEYS,
+            _ => {
+                out.push(format!("top level: unknown section `[[{name}]]`"));
+                continue;
+            }
+        };
+        for (i, t) in tables.iter().enumerate() {
+            unknown_keys(t, keys, &[], &format!("{name} {}", i + 1), &mut out);
         }
     }
     for (i, t) in doc.array("step").iter().enumerate() {
@@ -183,6 +217,49 @@ pub fn lint_source(stem: Option<&str>, source: &str) -> Vec<String> {
             "latency-bound is set but no step expects `detected`, so it can never be checked"
                 .to_string(),
         );
+    }
+    if let Some(compose) = &scenario.compose {
+        for problem in compose.validate() {
+            out.push(format!("compose: {problem}"));
+        }
+    }
+    for (i, spec) in scenario.steps.iter().enumerate() {
+        use hypernel_kernel::AttackStep;
+        let references: Vec<(&str, &str, &str)> = match &spec.step {
+            AttackStep::CrossDomainCredTheft { attacker, victim } => vec![
+                ("attacker", "domain", attacker.as_str()),
+                ("victim", "domain", victim.as_str()),
+            ],
+            AttackStep::SharedRegionToctou { region } => {
+                vec![("region", "region", region.as_str())]
+            }
+            AttackStep::ChannelSpoof { channel } => {
+                vec![("channel", "channel", channel.as_str())]
+            }
+            _ => continue,
+        };
+        let Some(compose) = &scenario.compose else {
+            out.push(format!(
+                "step {}: `{}` targets a composed system, but the scenario declares none \
+                 (add [[domain]] / [[channel]] / [[region]] sections)",
+                i + 1,
+                spec.step.name()
+            ));
+            continue;
+        };
+        for (key, kind, name) in references {
+            let declared = match kind {
+                "domain" => compose.domains.iter().any(|d| d.name == name),
+                "channel" => compose.channels.iter().any(|c| c.name == name),
+                _ => compose.regions.iter().any(|r| r.name == name),
+            };
+            if !declared {
+                out.push(format!(
+                    "step {}: `{key}` references undeclared {kind} `{name}`",
+                    i + 1
+                ));
+            }
+        }
     }
     let declared_mask = !scenario.faults.specs.is_empty()
         || scenario.fifo_capacity.is_some()
@@ -387,6 +464,169 @@ mod tests {
         let issues = lint_source(Some("demo"), empty);
         assert!(
             issues.iter().any(|m| m.contains("disables every series")),
+            "{issues:?}"
+        );
+    }
+
+    const CLEAN_COMPOSE: &str = r#"
+        name = "demo"
+        mode = "hypernel"
+
+        [compose]
+        watch = true
+
+        [[domain]]
+        name = "server"
+        role = "server"
+
+        [[domain]]
+        name = "client"
+
+        [[channel]]
+        name = "req"
+        from = "client"
+        to = "server"
+
+        [[region]]
+        name = "shared"
+        owner = "server"
+        share = ["client"]
+        protect = true
+
+        [[step]]
+        kind = "cross-domain-cred-theft"
+        attacker = "client"
+        victim = "server"
+        expect = "detected"
+
+        [[step]]
+        kind = "shared-region-toctou"
+        region = "shared"
+        expect = "detected"
+
+        [[step]]
+        kind = "channel-spoof"
+        channel = "req"
+        expect = "detected"
+    "#;
+
+    #[test]
+    fn clean_compose_scenario_has_no_findings() {
+        assert_eq!(
+            lint_source(Some("demo"), CLEAN_COMPOSE),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn unknown_compose_keys_are_flagged() {
+        let source = r#"
+            name = "demo"
+            [compose]
+            watchdog = true       # typo: not `watch`
+            [[domain]]
+            name = "server"
+            prio = 3              # typo: not `priority`
+            [[channel]]
+            name = "req"
+            from = "server"
+            to = "server"
+            depth = 4             # typo: not `capacity`
+            [[region]]
+            name = "shared"
+            owner = "server"
+            sharing = ["server"]  # typo: not `share`
+            [[step]]
+            kind = "channel-spoof"
+            channel = "req"
+            expect = "detected"
+        "#;
+        let issues = lint_source(Some("demo"), source);
+        assert!(
+            issues
+                .iter()
+                .any(|m| m.contains("[compose]") && m.contains("`watchdog`")),
+            "{issues:?}"
+        );
+        assert!(issues
+            .iter()
+            .any(|m| m.contains("domain 1") && m.contains("`prio`")));
+        assert!(issues
+            .iter()
+            .any(|m| m.contains("channel 1") && m.contains("`depth`")));
+        assert!(issues
+            .iter()
+            .any(|m| m.contains("region 1") && m.contains("`sharing`")));
+    }
+
+    #[test]
+    fn compose_semantic_problems_are_flagged() {
+        let source = r#"
+            name = "demo"
+            [[domain]]
+            name = "server"
+            [[channel]]
+            name = "req"
+            from = "ghost"
+            to = "server"
+            [[region]]
+            name = "a"
+            owner = "server"
+            va = 0x60000000
+            [[region]]
+            name = "b"
+            owner = "server"
+            va = 0x60000000
+            [[step]]
+            kind = "shared-region-toctou"
+            region = "a"
+            expect = "detected"
+        "#;
+        let issues = lint_source(Some("demo"), source);
+        assert!(
+            issues
+                .iter()
+                .any(|m| m.contains("compose:") && m.contains("ghost")),
+            "{issues:?}"
+        );
+        assert!(
+            issues
+                .iter()
+                .any(|m| m.contains("compose:") && m.contains("overlap")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn compose_steps_without_a_composed_system_are_flagged() {
+        let source = r#"
+            name = "demo"
+            [[step]]
+            kind = "shared-region-toctou"
+            region = "shared"
+            expect = "detected"
+        "#;
+        let issues = lint_source(Some("demo"), source);
+        assert!(
+            issues.iter().any(|m| m.contains("declares none")),
+            "{issues:?}"
+        );
+
+        let dangling = r#"
+            name = "demo"
+            [[domain]]
+            name = "server"
+            [[step]]
+            kind = "cross-domain-cred-theft"
+            attacker = "client"
+            victim = "server"
+            expect = "detected"
+        "#;
+        let issues = lint_source(Some("demo"), dangling);
+        assert!(
+            issues
+                .iter()
+                .any(|m| m.contains("undeclared domain `client`")),
             "{issues:?}"
         );
     }

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use hypernel::Mode;
+use hypernel_compose::ComposeDoc;
 use hypernel_kernel::kernel::MonitorMode;
 use hypernel_kernel::AttackStep;
 use hypernel_machine::{FaultKind, FaultPlan, FaultSpec};
@@ -131,6 +132,10 @@ pub struct Scenario {
     /// Windowed-metrics recording tuning (`[metrics]`), if the
     /// scenario overrides the defaults.
     pub metrics: Option<MetricsSpec>,
+    /// Composed multi-domain system description (`[compose]` /
+    /// `[[domain]]` / `[[channel]]` / `[[region]]`), lowered onto the
+    /// kernel right after boot.
+    pub compose: Option<ComposeDoc>,
 }
 
 impl Scenario {
@@ -148,6 +153,7 @@ impl Scenario {
             steps: Vec::new(),
             faults: FaultPlan::new(),
             metrics: None,
+            compose: None,
         }
     }
 
@@ -196,6 +202,13 @@ impl Scenario {
     /// Tunes windowed-metrics recording (window width, series subset).
     pub fn metrics(mut self, spec: MetricsSpec) -> Self {
         self.metrics = Some(spec);
+        self
+    }
+
+    /// Attaches a composed multi-domain system description, lowered
+    /// right after boot.
+    pub fn compose(mut self, doc: ComposeDoc) -> Self {
+        self.compose = Some(doc);
         self
     }
 
@@ -254,6 +267,8 @@ impl Scenario {
         if let Some(t) = doc.table("metrics") {
             scenario.metrics = Some(parse_metrics(t).map_err(|e| e.context("[metrics]"))?);
         }
+        scenario.compose =
+            ComposeDoc::from_doc(doc).map_err(|e| ScenarioError::new(e.to_string()))?;
         Ok(scenario)
     }
 
@@ -297,6 +312,9 @@ impl Scenario {
                 let _ = writeln!(out, "series = [{}]", items.join(", "));
             }
         }
+        if let Some(compose) = &self.compose {
+            let _ = write!(out, "\n{}", compose.to_toml());
+        }
         for spec in &self.steps {
             let _ = writeln!(out, "\n[[step]]");
             let (kind, params): (&str, Vec<(&str, String)>) = match &spec.step {
@@ -324,6 +342,19 @@ impl Scenario {
                 AttackStep::AtraDentry { path } => ("atra-dentry", vec![("path", toml_str(path))]),
                 AttackStep::DoubleMapCred { pid } => {
                     ("double-map-cred", vec![("pid", pid.to_string())])
+                }
+                AttackStep::CrossDomainCredTheft { attacker, victim } => (
+                    "cross-domain-cred-theft",
+                    vec![
+                        ("attacker", toml_str(attacker)),
+                        ("victim", toml_str(victim)),
+                    ],
+                ),
+                AttackStep::SharedRegionToctou { region } => {
+                    ("shared-region-toctou", vec![("region", toml_str(region))])
+                }
+                AttackStep::ChannelSpoof { channel } => {
+                    ("channel-spoof", vec![("channel", toml_str(channel))])
                 }
             };
             let _ = writeln!(out, "kind = \"{kind}\"");
@@ -416,6 +447,16 @@ fn parse_step(t: &TomlTable) -> Result<StepSpec, ScenarioError> {
         "atra-cred" => AttackStep::AtraCred { pid: pid() },
         "atra-dentry" => AttackStep::AtraDentry { path: path() },
         "double-map-cred" => AttackStep::DoubleMapCred { pid: pid() },
+        "cross-domain-cred-theft" => AttackStep::CrossDomainCredTheft {
+            attacker: t.get_str("attacker").unwrap_or("client").to_string(),
+            victim: t.get_str("victim").unwrap_or("server").to_string(),
+        },
+        "shared-region-toctou" => AttackStep::SharedRegionToctou {
+            region: t.get_str("region").unwrap_or("shared").to_string(),
+        },
+        "channel-spoof" => AttackStep::ChannelSpoof {
+            channel: t.get_str("channel").unwrap_or("chan").to_string(),
+        },
         other => return Err(ScenarioError::new(format!("unknown step kind `{other}`"))),
     };
     let expect = match t.get_str("expect") {

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! # hypernel-compose
+//!
+//! Declarative multi-domain system composition for the Hypernel
+//! reproduction, in the spirit of seL4 microkit system descriptions: a
+//! TOML file declares protection domains (passive servers and client
+//! tasks with priorities), channels between them, and shared memory
+//! regions, and a deterministic compiler lowers the description into
+//! concrete kernel state — tasks, a channel table, shared mappings —
+//! **plus the matching MBM watch set and Hypersec registrations,
+//! derived entirely from the description**. No hand-maintained watch
+//! list exists anywhere in the pipeline.
+//!
+//! - [`toml`] — the dependency-free TOML-subset parser shared with the
+//!   campaign scenario loader.
+//! - [`doc`] — the [`ComposeDoc`] description model: parse, validate,
+//!   exact `to_toml` round-trip.
+//! - [`lower`] — the compiler: a pure [`lower::plan`] describing the
+//!   lowering, and [`lower::apply`] which executes it against a booted
+//!   kernel.
+//!
+//! See `docs/COMPOSE.md` for the schema and the derived-watch-set
+//! guarantees.
+
+pub mod doc;
+pub mod lower;
+pub mod toml;
+
+pub use doc::{ChannelDecl, ComposeDoc, DomainDecl, RegionDecl};
+pub use lower::{apply, plan, LowerStep};

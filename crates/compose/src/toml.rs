@@ -1,11 +1,12 @@
-//! A dependency-free parser for the TOML subset scenario files use.
+//! A dependency-free parser for the TOML subset compose descriptions
+//! and campaign scenario files use.
 //!
 //! Supported: top-level `key = value` pairs, `[table]` sections,
 //! `[[array-of-tables]]` sections, `#` comments, and the value forms
 //! strings (`"..."`), integers (decimal, `0x` hex, `_` separators,
-//! negative), booleans, and flat arrays. That is the whole scenario
-//! schema (see `docs/CAMPAIGN.md`); anything fancier is a parse error,
-//! not silently misread.
+//! negative), booleans, and flat arrays. That is the whole schema of
+//! both formats (see `docs/COMPOSE.md` and `docs/CAMPAIGN.md`);
+//! anything fancier is a parse error, not silently misread.
 
 use std::fmt;
 

@@ -9,7 +9,9 @@
 //! * [`Mode::Hypernel`] — the kernel under Hypersec (no nested paging)
 //!   with the memory bus monitor attached.
 
-use hypernel_hypersec::{CredMonitor, DentryMonitor, Hypersec, HypersecConfig, SecurityApp};
+use hypernel_hypersec::{
+    ComposeMonitor, CredMonitor, DentryMonitor, Hypersec, HypersecConfig, SecurityApp,
+};
 use hypernel_hypervisor::{KvmConfig, KvmHypervisor};
 use hypernel_kernel::kernel::{Kernel, KernelConfig, KernelError, MonitorHooks};
 use hypernel_kernel::layout;
@@ -255,6 +257,7 @@ impl SystemBuilder {
                 let mut hypersec = Hypersec::install(&mut machine, HypersecConfig::standard());
                 hypersec.install_app(Box::new(CredMonitor::new()));
                 hypersec.install_app(Box::new(DentryMonitor::new()));
+                hypersec.install_app(Box::new(ComposeMonitor::new()));
                 for app in self.extra_apps {
                     hypersec.install_app(app);
                 }

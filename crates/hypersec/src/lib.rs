@@ -42,5 +42,6 @@ pub use hypersec::{
     codes, AuditReport, Detection, Hypersec, HypersecConfig, HypersecCosts, HypersecStats,
 };
 pub use secapp::{
-    CredMonitor, DentryMonitor, MonitorEvent, Region, SecurityApp, ValueWhitelistMonitor, Verdict,
+    ComposeMonitor, CredMonitor, DentryMonitor, MonitorEvent, Region, SecurityApp,
+    ValueWhitelistMonitor, Verdict,
 };

@@ -285,6 +285,69 @@ impl SecurityApp for DentryMonitor {
     }
 }
 
+/// The composed-system guard: watches the regions `hypernel-compose`
+/// derives — channel headers and protected shared pages. Every watched
+/// word is write-once: the lowering populates headers and stamps
+/// region pages *before* registration, so any post-registration write
+/// inside a derived span (cross-domain theft, TOCTOU rewrite, channel
+/// spoofing) is a rewrite and flags. The app needs no field map — what
+/// is sensitive was already decided by the derivation.
+#[derive(Debug, Clone, Default)]
+pub struct ComposeMonitor {
+    state: WriteOnce,
+    events_seen: u64,
+}
+
+impl ComposeMonitor {
+    /// Creates the monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total events this app has judged.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+}
+
+impl SecurityApp for ComposeMonitor {
+    fn clone_box(&self) -> Box<dyn SecurityApp> {
+        Box::new(self.clone())
+    }
+
+    fn on_region_registered(&mut self, machine: &mut Machine, region: &Region) {
+        self.state.preconsume(machine, region);
+    }
+
+    fn sid(&self) -> u32 {
+        sid::COMPOSE_MONITOR
+    }
+
+    fn name(&self) -> &str {
+        "compose-guard"
+    }
+
+    fn on_region_unregistered(&mut self, region: &Region) {
+        self.state.forget_region(region);
+    }
+
+    fn on_event(&mut self, event: &MonitorEvent) -> Verdict {
+        self.events_seen += 1;
+        if self.state.record(event.pa) > 1 {
+            Verdict::Malicious {
+                reason: format!(
+                    "composed-system word at {:#x} rewritten to {:#x} after \
+                     lowering (cross-domain tampering signature)",
+                    event.pa.raw(),
+                    event.value
+                ),
+            }
+        } else {
+            Verdict::Benign
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,9 @@ pub mod sid {
     pub const CRED_MONITOR: u32 = 1;
     /// The dentry-integrity monitor (paper §7.2).
     pub const DENTRY_MONITOR: u32 = 2;
+    /// The composed-system guard: watches channel headers and
+    /// protected shared regions derived by `hypernel-compose`.
+    pub const COMPOSE_MONITOR: u32 = 3;
 }
 
 /// Raw hypercall numbers.

@@ -111,6 +111,25 @@ pub enum AttackStep {
         /// Task whose cred page is double-mapped.
         pid: u64,
     },
+    /// [`Kernel::attack_cross_domain_cred_theft`] between two composed
+    /// domains.
+    CrossDomainCredTheft {
+        /// Compromised domain whose cred is forged.
+        attacker: String,
+        /// Domain whose identity is stolen.
+        victim: String,
+    },
+    /// [`Kernel::attack_shared_region_toctou`] against a composed
+    /// shared region.
+    SharedRegionToctou {
+        /// Composed region whose validated contents are rewritten.
+        region: String,
+    },
+    /// [`Kernel::attack_channel_spoof`] against a composed channel.
+    ChannelSpoof {
+        /// Composed channel whose header is forged.
+        channel: String,
+    },
 }
 
 impl AttackStep {
@@ -127,6 +146,9 @@ impl AttackStep {
             Self::AtraCred { .. } => "atra-cred",
             Self::AtraDentry { .. } => "atra-dentry",
             Self::DoubleMapCred { .. } => "double-map-cred",
+            Self::CrossDomainCredTheft { .. } => "cross-domain-cred-theft",
+            Self::SharedRegionToctou { .. } => "shared-region-toctou",
+            Self::ChannelSpoof { .. } => "channel-spoof",
         }
     }
 }
@@ -548,6 +570,89 @@ impl Kernel {
         )))
     }
 
+    /// **Cross-domain credential theft**: a compromised composed
+    /// domain forges its own `cred` identity fields to the values read
+    /// from another domain's cred — impersonating the victim across a
+    /// protection-domain boundary with plain linear-map stores. The
+    /// flat scenario model cannot express this: it needs two named
+    /// domains to exist. Every cred is a monitored object, so under
+    /// Hypernel the forging stores are classic post-commit rewrites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchDomain`] for unknown domain names.
+    pub fn attack_cross_domain_cred_theft(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        attacker: &str,
+        victim: &str,
+    ) -> Result<AttackOutcome, KernelError> {
+        let attacker_pid = self.compose_domain(attacker)?.pid();
+        let victim_pid = self.compose_domain(victim)?.pid();
+        let forged = self
+            .task(attacker_pid)
+            .ok_or(KernelError::NoSuchTask(attacker_pid))?
+            .cred;
+        let stolen = self
+            .task(victim_pid)
+            .ok_or(KernelError::NoSuchTask(victim_pid))?
+            .cred;
+        for field in [CredField::Uid, CredField::Euid, CredField::Fsuid] {
+            // Reading the victim's identity is unremarkable; *writing*
+            // it into the attacker's committed cred is the signature.
+            let value = m.debug_read_phys(stolen.add(field.byte_offset()));
+            let va = layout::kva(forged.add(field.byte_offset()));
+            if let Err(e) = m.write_u64(va, value, hyp) {
+                return Ok(AttackOutcome::Blocked { why: e.to_string() });
+            }
+        }
+        Ok(AttackOutcome::Succeeded)
+    }
+
+    /// **Shared-region TOCTOU**: rewrite the owner-validated first word
+    /// of a composed shared region after the owner stamped it — the
+    /// window where a racing sharer swaps checked data for malicious
+    /// data. Campaign scenarios race this against the MBM capture
+    /// window with `delay-irq` faults. When the region is `protect`ed
+    /// the derived watch set covers the page and the rewrite flags;
+    /// unprotected or baseline-mode regions absorb it silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchRegion`] for unknown region names.
+    pub fn attack_shared_region_toctou(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        region: &str,
+    ) -> Result<AttackOutcome, KernelError> {
+        let info = self.compose_region(region)?;
+        let va = layout::kva(info.frames[0]);
+        Ok(outcome_of(m.write_u64(va, 0x70C_70D1D, hyp)))
+    }
+
+    /// **Channel spoofing**: forge a composed channel's sender word so
+    /// messages appear to originate from a different domain — the IPC
+    /// analogue of source-address spoofing. The header was written
+    /// exactly once by the lowering, so under the derived watch set the
+    /// forgery is a rewrite of a watched word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchChannel`] for unknown channel
+    /// names.
+    pub fn attack_channel_spoof(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        channel: &str,
+    ) -> Result<AttackOutcome, KernelError> {
+        let info = self.compose_channel(channel)?;
+        let va = layout::kva(info.header_pa());
+        Ok(outcome_of(m.write_u64(va, 0xBAD_5EED, hyp)))
+    }
+
     /// Runs one composable [`AttackStep`], resolving its parameters
     /// (pids, paths) against live kernel state.
     ///
@@ -638,6 +743,30 @@ impl Kernel {
                 StepResult {
                     outcome: self.attack_double_map(m, hyp, euid, 0)?,
                     monitored: Some((euid, 8)),
+                }
+            }
+            AttackStep::CrossDomainCredTheft { attacker, victim } => {
+                let forged = {
+                    let pid = self.compose_domain(attacker)?.pid();
+                    cred_of(self, pid.0)?
+                };
+                StepResult {
+                    outcome: self.attack_cross_domain_cred_theft(m, hyp, attacker, victim)?,
+                    monitored: Some((forged, ObjectKind::Cred.bytes())),
+                }
+            }
+            AttackStep::SharedRegionToctou { region } => {
+                let word = self.compose_region(region)?.frames[0];
+                StepResult {
+                    outcome: self.attack_shared_region_toctou(m, hyp, region)?,
+                    monitored: Some((word, 8)),
+                }
+            }
+            AttackStep::ChannelSpoof { channel } => {
+                let header = self.compose_channel(channel)?.header_pa();
+                StepResult {
+                    outcome: self.attack_channel_spoof(m, hyp, channel)?,
+                    monitored: Some((header, 8)),
                 }
             }
         })

@@ -22,6 +22,10 @@ use hypernel_machine::shadow::PageTag;
 use hypernel_telemetry::SpanKind;
 
 use crate::abi::Hypercall;
+use crate::compose::{
+    compose_stamp, ChannelInfo, ComposeState, ComposeStats, DomainInfo, DomainRole, RegionInfo,
+    CHANNEL_HEADER_BYTES, MAX_CHANNELS,
+};
 use crate::kobj::{CredField, DentryField, ObjectKind};
 use crate::layout;
 use crate::pgalloc::FrameAllocator;
@@ -200,6 +204,14 @@ pub enum KernelError {
     NoSuchPath(String),
     /// Unknown pid.
     NoSuchTask(Pid),
+    /// Unknown composed protection domain.
+    NoSuchDomain(String),
+    /// Unknown composed channel.
+    NoSuchChannel(String),
+    /// Unknown composed shared region.
+    NoSuchRegion(String),
+    /// A compose description exceeded a lowering limit.
+    ComposeLimit(String),
 }
 
 impl std::fmt::Display for KernelError {
@@ -210,6 +222,10 @@ impl std::fmt::Display for KernelError {
             Self::OutOfFrames => write!(f, "out of physical frames"),
             Self::NoSuchPath(p) => write!(f, "no such path: {p}"),
             Self::NoSuchTask(pid) => write!(f, "no such task: {pid}"),
+            Self::NoSuchDomain(name) => write!(f, "no such protection domain: {name}"),
+            Self::NoSuchChannel(name) => write!(f, "no such channel: {name}"),
+            Self::NoSuchRegion(name) => write!(f, "no such shared region: {name}"),
+            Self::ComposeLimit(what) => write!(f, "compose lowering limit: {what}"),
         }
     }
 }
@@ -262,6 +278,7 @@ pub struct Kernel {
     dentry_heat: HashMap<u64, u64>,
     next_mmap_va: u64,
     mmap_count: u64,
+    compose: ComposeState,
     stats: KernelStats,
     locked: bool,
 }
@@ -316,6 +333,7 @@ impl Kernel {
             dentry_heat: HashMap::new(),
             next_mmap_va: 0x2000_0000,
             mmap_count: 0,
+            compose: ComposeState::new(),
             stats: KernelStats::default(),
             locked: false,
         };
@@ -475,6 +493,299 @@ impl Kernel {
             self.hook_register_object(m, hyp, ObjectKind::Cred, c, true)?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Composed multi-domain systems (`hypernel-compose` lowering targets)
+    // ------------------------------------------------------------------
+
+    /// The composed-system registry (domains, channels, regions).
+    pub fn compose_state(&self) -> &ComposeState {
+        &self.compose
+    }
+
+    /// Compose lowering counters.
+    pub fn compose_stats(&self) -> ComposeStats {
+        self.compose.stats
+    }
+
+    /// Resolves a composed protection domain by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchDomain`] for unknown names.
+    pub fn compose_domain(&self, name: &str) -> Result<DomainInfo, KernelError> {
+        self.compose
+            .domain(name)
+            .cloned()
+            .ok_or_else(|| KernelError::NoSuchDomain(name.to_string()))
+    }
+
+    /// Resolves a composed channel by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchChannel`] for unknown names.
+    pub fn compose_channel(&self, name: &str) -> Result<ChannelInfo, KernelError> {
+        self.compose
+            .channel(name)
+            .cloned()
+            .ok_or_else(|| KernelError::NoSuchChannel(name.to_string()))
+    }
+
+    /// Resolves a composed shared region by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchRegion`] for unknown names.
+    pub fn compose_region(&self, name: &str) -> Result<RegionInfo, KernelError> {
+        self.compose
+            .region(name)
+            .cloned()
+            .ok_or_else(|| KernelError::NoSuchRegion(name.to_string()))
+    }
+
+    /// Spawns the tasks backing one protection domain and records it in
+    /// the registry. Returns the domain's principal pid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame exhaustion and hypercall denials.
+    pub fn compose_spawn_domain(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        name: &str,
+        role: DomainRole,
+        priority: u64,
+        tasks: u64,
+    ) -> Result<Pid, KernelError> {
+        let mut pids = Vec::new();
+        for _ in 0..tasks.max(1) {
+            pids.push(self.spawn_task(m, hyp)?);
+        }
+        self.compose.stats.domain_tasks += pids.len() as u64;
+        match role {
+            DomainRole::Server => self.compose.stats.server_domains += 1,
+            DomainRole::Client => self.compose.stats.client_domains += 1,
+        }
+        let principal = pids[0];
+        self.compose.domains.push((
+            name.to_string(),
+            DomainInfo {
+                pids,
+                role,
+                priority,
+            },
+        ));
+        Ok(principal)
+    }
+
+    /// Creates a channel between two domains: claims the next slot in
+    /// the shared channel table page and populates its header — the one
+    /// legitimate write of each watched word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchDomain`] for dangling endpoints and
+    /// [`KernelError::ComposeLimit`] past [`MAX_CHANNELS`].
+    pub fn compose_create_channel(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        name: &str,
+        from: &str,
+        to: &str,
+        capacity: u64,
+    ) -> Result<(), KernelError> {
+        let from_pid = self.compose_domain(from)?.pid();
+        let to_pid = self.compose_domain(to)?.pid();
+        let table = match self.compose.channel_table {
+            Some(table) => table,
+            None => {
+                let table = self.frames.alloc()?;
+                self.prep_frame(m, hyp, table)?;
+                self.compose.channel_table = Some(table);
+                table
+            }
+        };
+        let slot = self.compose.channels.len();
+        if slot >= MAX_CHANNELS {
+            return Err(KernelError::ComposeLimit(format!(
+                "at most {MAX_CHANNELS} channels per system"
+            )));
+        }
+        let info = ChannelInfo {
+            table,
+            slot,
+            from: from_pid,
+            to: to_pid,
+        };
+        let header = info.header_pa();
+        self.kwrite(m, hyp, layout::kva(header), from_pid.0)?;
+        self.kwrite(m, hyp, layout::kva(header.add(8)), to_pid.0)?;
+        self.kwrite(m, hyp, layout::kva(header.add(16)), capacity.max(1))?;
+        self.compose.channels.push((name.to_string(), info));
+        self.compose.stats.channels_created += 1;
+        Ok(())
+    }
+
+    /// Allocates a shared memory region and maps it at one virtual
+    /// address into the owner and every sharer. The owner stamps the
+    /// first word of each page before the watch set arms — the baseline
+    /// a write-once monitor learns. Returns the mapping base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchDomain`] for a dangling owner or
+    /// sharer; propagates frame exhaustion and mapping denials.
+    #[allow(clippy::too_many_arguments)] // mirrors the declaration 1:1
+    pub fn compose_map_region(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        name: &str,
+        owner: &str,
+        sharers: &[String],
+        pages: u64,
+        protect: bool,
+        va: Option<u64>,
+    ) -> Result<VirtAddr, KernelError> {
+        let owner_pid = self.compose_domain(owner)?.pid();
+        let mut mapped = vec![owner_pid];
+        for sharer in sharers {
+            mapped.push(self.compose_domain(sharer)?.pid());
+        }
+        let pages = pages.max(1);
+        let base = match va {
+            Some(v) => VirtAddr::new(v),
+            None => {
+                let v = self.compose.next_region_va;
+                self.compose.next_region_va += pages * PAGE_SIZE;
+                VirtAddr::new(v)
+            }
+        };
+        let mut frames = Vec::new();
+        for i in 0..pages {
+            let frame = self.frames.alloc()?;
+            self.prep_frame(m, hyp, frame)?;
+            self.kwrite(m, hyp, layout::kva(frame), compose_stamp(name, i))?;
+            frames.push(frame);
+        }
+        for pid in &mapped {
+            let mut task = self
+                .tasks
+                .remove(pid)
+                .ok_or(KernelError::NoSuchTask(*pid))?;
+            for (i, frame) in frames.iter().enumerate() {
+                let page_va = base.add(i as u64 * PAGE_SIZE);
+                self.map_user_page(m, hyp, &mut task, page_va, *frame, *pid == owner_pid)?;
+                self.compose.stats.shared_mappings += 1;
+            }
+            self.tasks.insert(*pid, task);
+        }
+        self.compose.stats.regions_mapped += 1;
+        if protect {
+            self.compose.stats.protected_regions += 1;
+        }
+        self.compose.regions.push((
+            name.to_string(),
+            RegionInfo {
+                frames,
+                va: base,
+                protect,
+                owner: owner_pid,
+                sharers: mapped[1..].to_vec(),
+            },
+        ));
+        Ok(base)
+    }
+
+    /// Sends one legitimate message over a channel: bumps the slot's
+    /// sequence word and stores the payload. Both words live in the
+    /// table page's data area, outside every derived watch span, so
+    /// benign traffic never raises monitor events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchChannel`] for unknown names.
+    pub fn compose_channel_send(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+        name: &str,
+        payload: u64,
+    ) -> Result<(), KernelError> {
+        let info = self.compose_channel(name)?;
+        m.charge(tuning::PIPE_COMPUTE);
+        let data = info.data_pa();
+        let seq = self.kread(m, hyp, layout::kva(data))?;
+        self.kwrite(m, hyp, layout::kva(data), seq + 1)?;
+        self.kwrite(m, hyp, layout::kva(data.add(8)), payload)?;
+        self.compose.stats.channel_messages += 1;
+        Ok(())
+    }
+
+    /// Derives the composed system's watch set — every channel header
+    /// and every page of every protected region — and registers it with
+    /// the security layer in one deterministic batch: spans are sorted
+    /// by physical address and physically adjacent spans coalesce into
+    /// a single registration (never across a page boundary: monitored
+    /// regions must not straddle pages). No hand-maintained watch list
+    /// exists anywhere; this derivation is the only source. Returns the
+    /// number of registration hypercalls issued (always 0 when the
+    /// security hooks are off — baseline modes run the same composition
+    /// unwatched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hypercall denials.
+    pub fn compose_arm_watch(
+        &mut self,
+        m: &mut Machine,
+        hyp: &mut dyn Hyp,
+    ) -> Result<u64, KernelError> {
+        let mut spans: Vec<(PhysAddr, u64)> = Vec::new();
+        for (_, channel) in &self.compose.channels {
+            spans.push((channel.header_pa(), CHANNEL_HEADER_BYTES));
+        }
+        for (_, region) in &self.compose.regions {
+            if region.protect {
+                for frame in &region.frames {
+                    spans.push((*frame, PAGE_SIZE));
+                }
+            }
+        }
+        self.compose.stats.watch_spans_derived = spans.len() as u64;
+        if self.config.monitor_hooks.is_none() || spans.is_empty() {
+            return Ok(0);
+        }
+        spans.sort();
+        let mut merged: Vec<(PhysAddr, u64)> = Vec::new();
+        for (pa, len) in spans {
+            if let Some(last) = merged.last_mut() {
+                let contiguous = last.0.raw() + last.1 == pa.raw();
+                let same_page = last.0.page_base() == pa.add(len - 1).page_base();
+                if contiguous && same_page {
+                    last.1 += len;
+                    self.compose.stats.watch_spans_merged += 1;
+                    continue;
+                }
+            }
+            merged.push((pa, len));
+        }
+        for (pa, len) in &merged {
+            let (nr, args) = Hypercall::MonitorRegister {
+                sid: crate::abi::sid::COMPOSE_MONITOR,
+                base: layout::kva(*pa),
+                len: *len,
+            }
+            .encode();
+            self.stats.monitor_registrations += 1;
+            self.compose.stats.watch_calls_issued += 1;
+            m.hvc(nr, args, hyp)?;
+        }
+        Ok(merged.len() as u64)
     }
 
     // ------------------------------------------------------------------

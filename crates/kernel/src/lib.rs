@@ -8,6 +8,7 @@
 
 pub mod abi;
 pub mod attack;
+pub mod compose;
 pub mod kernel;
 pub mod kobj;
 pub mod layout;
@@ -18,6 +19,9 @@ pub mod slab;
 pub mod task;
 
 pub use attack::{AttackOutcome, AttackStep, StepResult};
+pub use compose::{
+    ChannelInfo, ComposeState, ComposeStats, DomainInfo, DomainRole, RegionInfo, MAX_CHANNELS,
+};
 pub use kernel::{Kernel, KernelConfig, KernelError, KernelStats, MonitorHooks, MonitorMode};
 pub use pgtable::{LinearMapMode, PtRoute};
 pub use task::{Pid, Task};

@@ -1,0 +1,105 @@
+//! Compose quickstart: declare a three-domain system in TOML, lower it
+//! onto a booted kernel, and watch the compiler-derived watch set catch
+//! a cross-domain attack — with zero hand-maintained watch lists.
+//!
+//! ```sh
+//! cargo run --release -p hypernel-campaign --example compose_quickstart
+//! ```
+
+use hypernel::Mode;
+use hypernel_campaign::engine::boot_system;
+use hypernel_campaign::scenario::Scenario;
+use hypernel_compose::ComposeDoc;
+use hypernel_kernel::AttackStep;
+
+/// A declarative system: who exists, who talks to whom, what they
+/// share. Everything else — task spawning, channel tables, mappings,
+/// the MBM watch set — is derived by the compose compiler.
+const DESCRIPTION: &str = r#"
+[compose]
+watch = true
+
+[[domain]]
+name = "server"
+role = "server"
+priority = 3
+tasks = 2
+
+[[domain]]
+name = "client"
+
+[[domain]]
+name = "logger"
+
+[[channel]]
+name = "req"
+from = "client"
+to = "server"
+capacity = 8
+
+[[channel]]
+name = "log"
+from = "server"
+to = "logger"
+
+[[region]]
+name = "shared"
+owner = "server"
+share = ["client"]
+protect = true
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let doc = ComposeDoc::from_toml(DESCRIPTION)?;
+    let problems = doc.validate();
+    assert!(
+        problems.is_empty(),
+        "description must validate: {problems:?}"
+    );
+
+    println!("Compose quickstart: declarative multi-domain composition\n");
+    println!("The compiler lowers the declaration into these steps:");
+    for (i, step) in hypernel_compose::plan(&doc).iter().enumerate() {
+        println!("  {}. {step}", i + 1);
+    }
+    println!();
+
+    for mode in [Mode::Native, Mode::KvmGuest, Mode::Hypernel] {
+        let scenario = Scenario::new("compose-quickstart", mode).compose(doc.clone());
+        let mut sys = boot_system(&scenario)?;
+
+        let stats = sys.kernel().compose_stats();
+        println!("== {mode} ==");
+        println!(
+            "  lowered: {} domains, {} channels, {} region pages",
+            stats.server_domains + stats.client_domains,
+            stats.channels_created,
+            stats.regions_mapped,
+        );
+        println!(
+            "  derived watch set: {} spans ({} merged into {} registrations)",
+            stats.watch_spans_derived, stats.watch_spans_merged, stats.watch_calls_issued,
+        );
+
+        // The client forges the `req` channel header to impersonate the
+        // server. Same write everywhere; only Hypernel sees it.
+        let spoof = AttackStep::ChannelSpoof {
+            channel: "req".to_string(),
+        };
+        let result = {
+            let (kernel, machine, hyp) = sys.parts();
+            kernel.run_attack_step(machine, hyp, &spoof)?
+        };
+        sys.service_interrupts()?;
+        let detections = sys.hypersec().map_or(0, |hs| hs.detections().len());
+        println!(
+            "  channel-spoof: {:?}, {detections} detection(s)\n",
+            result.outcome
+        );
+    }
+
+    println!("Under native/kvm the spoof lands silently. Under Hypernel the");
+    println!("channel header sits inside a watch span the compiler derived");
+    println!("from `[[channel]]` alone — the write-once monitor flags it.");
+    Ok(())
+}

@@ -177,6 +177,36 @@ coverage-baseline:
         > /dev/null
     @echo "wrote benchmarks/coverage-baseline.json — review and commit"
 
+# The CI compose gate: lint + compile the standalone compose
+# descriptions, run one composed scenario per protection mode, and
+# prove the composed-system artifact survives fastpath-off and a
+# different job count byte-for-byte. See docs/COMPOSE.md.
+compose-smoke:
+    cargo run -q --release -p hypernel-compose -- lint \
+        {{justfile_directory()}}/examples/compose
+    cargo run -q --release -p hypernel-compose -- compile \
+        {{justfile_directory()}}/examples/compose/three-domain.toml
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --scenario compose-cred-theft \
+        --seeds 2 --jobs 2 \
+        --out {{justfile_directory()}}/target/compose/hypernel.jsonl
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --scenario compose-cross-native \
+        --seeds 2 --jobs 2 \
+        --out {{justfile_directory()}}/target/compose/native.jsonl
+    cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --scenario compose-cross-kvm \
+        --seeds 2 --jobs 2 \
+        --out {{justfile_directory()}}/target/compose/kvm.jsonl
+    HYPERNEL_NO_FASTPATH=1 \
+        cargo run -q --release -p hypernel-campaign -- run \
+        --corpus {{justfile_directory()}}/corpus --scenario compose-cred-theft \
+        --seeds 2 --jobs 1 \
+        --out {{justfile_directory()}}/target/compose/hypernel-slow.jsonl
+    diff {{justfile_directory()}}/target/compose/hypernel.jsonl \
+         {{justfile_directory()}}/target/compose/hypernel-slow.jsonl
+    @echo "compose-smoke: descriptions clean, composed scenarios pass in all modes, artifacts fastpath-invariant"
+
 # The CI flight-recorder gate: the deliberately broken desync scenario
 # must FAIL its sweep (hence the `!`), dump a blackbox.json, and that
 # dump must render through `hypernel-analyze timeline`. Also diffs the

@@ -94,6 +94,78 @@ fn unknown_sections_are_flagged_too() {
     );
 }
 
+/// Compose sections obey the same contract: bogus keys load leniently
+/// but lint dirty, and a fully-keyed description lints clean and
+/// round-trips exactly.
+#[test]
+fn compose_sections_are_pinned_both_ways() {
+    fn compose_source(compose: &str, domain: &str, channel: &str, region: &str) -> String {
+        format!(
+            r#"
+name = "demo"
+mode = "hypernel"
+
+[compose]
+watch = true
+{compose}
+
+[[domain]]
+name = "server"
+role = "server"
+priority = 3
+tasks = 2
+{domain}
+
+[[domain]]
+name = "client"
+
+[[channel]]
+name = "req"
+from = "client"
+to = "server"
+capacity = 8
+{channel}
+
+[[region]]
+name = "shared"
+owner = "server"
+share = ["client"]
+pages = 2
+protect = true
+va = 0x60100000
+{region}
+
+[[step]]
+kind = "shared-region-toctou"
+region = "shared"
+expect = "detected"
+"#
+        )
+    }
+
+    let clean = compose_source("", "", "", "");
+    assert_eq!(lint_source(Some("demo"), &clean), Vec::<String>::new());
+    let scenario = Scenario::from_toml(&clean).expect("loads");
+    let reparsed = Scenario::from_toml(&scenario.to_toml()).expect("round-trip loads");
+    assert_eq!(scenario, reparsed);
+
+    for (src, key) in [
+        (compose_source("watchdog = 1", "", "", ""), "watchdog"),
+        (compose_source("", "prio = 3", "", ""), "prio"),
+        (compose_source("", "", "depth = 4", ""), "depth"),
+        (compose_source("", "", "", "frames = 2"), "frames"),
+    ] {
+        let dirty = Scenario::from_toml(&src).expect("lenient loader still loads");
+        let baseline = Scenario::from_toml(&clean).expect("clean loads");
+        assert_eq!(dirty, baseline, "`{key}` leaked into the parsed scenario");
+        let issues = lint_source(Some("demo"), &src);
+        assert!(
+            issues.iter().any(|m| m.contains(key)),
+            "lint missed ignored compose key `{key}`; issues: {issues:?}"
+        );
+    }
+}
+
 /// The complementary direction: everything the linter whitelists is a
 /// key the loader honors, for every step and fault kind.
 #[test]
@@ -105,17 +177,48 @@ fn every_whitelisted_key_is_honored_by_the_loader() {
     let reparsed = Scenario::from_toml(&scenario.to_toml()).expect("round-trip loads");
     assert_eq!(scenario, reparsed);
 
+    // Compose-targeting steps need the composed system declared, or the
+    // linter (correctly) flags the dangling reference.
+    const COMPOSE: &str = r#"
+[[domain]]
+name = "server"
+role = "server"
+
+[[domain]]
+name = "client"
+
+[[channel]]
+name = "req"
+from = "client"
+to = "server"
+
+[[region]]
+name = "shared"
+owner = "server"
+share = ["client"]
+"#;
     let steps = [
-        ("cred-escalation", "pid = 2"),
-        ("map-secure-region", "pid = 2"),
-        ("atra-cred", "pid = 2"),
-        ("double-map-cred", "pid = 2"),
-        ("dentry-hijack", "path = \"/sbin/init\"\nrogue-inode = 7"),
-        ("pt-direct-write", "pid = 2\nvalue = 13"),
-        ("atra-dentry", "path = \"/sbin/init\""),
-        ("ttbr-redirect", ""),
-        ("code-injection", ""),
-        ("text-patch", ""),
+        ("cred-escalation", "pid = 2", ""),
+        ("map-secure-region", "pid = 2", ""),
+        ("atra-cred", "pid = 2", ""),
+        ("double-map-cred", "pid = 2", ""),
+        (
+            "dentry-hijack",
+            "path = \"/sbin/init\"\nrogue-inode = 7",
+            "",
+        ),
+        ("pt-direct-write", "pid = 2\nvalue = 13", ""),
+        ("atra-dentry", "path = \"/sbin/init\"", ""),
+        ("ttbr-redirect", "", ""),
+        ("code-injection", "", ""),
+        ("text-patch", "", ""),
+        (
+            "cross-domain-cred-theft",
+            "attacker = \"client\"\nvictim = \"server\"",
+            COMPOSE,
+        ),
+        ("shared-region-toctou", "region = \"shared\"", COMPOSE),
+        ("channel-spoof", "channel = \"req\"", COMPOSE),
     ];
     let faults = [
         ("delay-irq", "steps = 2"),
@@ -125,13 +228,13 @@ fn every_whitelisted_key_is_honored_by_the_loader() {
         ("stall-translator", ""),
         ("desync-bitmap", ""),
     ];
-    for (step_kind, step_params) in steps {
+    for (step_kind, step_params, sections) in steps {
         for (fault_kind, fault_params) in faults {
             let src = format!(
                 r#"
 name = "demo"
 mode = "hypernel"
-
+{sections}
 [[step]]
 kind = "{step_kind}"
 {step_params}
